@@ -1,0 +1,528 @@
+(* Benchmark harness: regenerates every experiment in DESIGN.md's index.
+
+   Part 1 prints deterministic experiment tables (simulated-network latency,
+   message and byte counts) for the paper's worked examples E1–E5 and for
+   the performance claims P1–P4. Part 2 runs a Bechamel wall-clock suite
+   over the processing pipeline (parse, expand, translate, execute).
+
+   Run with:  dune exec bench/main.exe *)
+
+open Sqlcore
+module F = Msql.Fixtures
+module M = Msql.Msession
+module D = Narada.Dol_ast
+
+let line = String.make 72 '-'
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* run one MSQL statement on a fresh fixture; report virtual metrics *)
+let run_fresh ?caps sql =
+  let fx = F.make ?caps () in
+  Netsim.World.reset_stats fx.F.world;
+  Netsim.World.reset_clock fx.F.world;
+  let outcome =
+    match M.exec fx.F.session sql with
+    | Ok (M.Multitable mt) ->
+        Printf.sprintf "multitable (%d parts, %d rows)"
+          (List.length (Msql.Multitable.parts mt))
+          (Msql.Multitable.total_rows mt)
+    | Ok r -> M.result_to_string r |> String.split_on_char '\n' |> List.hd
+    | Error m -> "error: " ^ m
+  in
+  let st = Netsim.World.stats fx.F.world in
+  (outcome, Netsim.World.now_ms fx.F.world, st.Netsim.World.messages,
+   st.Netsim.World.bytes_moved)
+
+let e1 = {|USE avis national
+LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+SELECT %code, type, ~rate FROM car WHERE status = 'available'|}
+
+let e2 = {|USE continental delta united
+UPDATE flight% SET rate% = rate% * 1.1
+WHERE sour% = 'Houston' AND dest% = 'San Antonio'|}
+
+let e3 = {|USE continental VITAL delta united VITAL
+UPDATE flight% SET rate% = rate% * 1.1
+WHERE sour% = 'Houston' AND dest% = 'San Antonio'|}
+
+let e4 = e3 ^ {|
+COMP continental
+UPDATE flights SET rate = rate / 1.1
+WHERE source = 'Houston' AND destination = 'San Antonio'|}
+
+let e5 = {|BEGIN MULTITRANSACTION
+  USE continental delta
+  LET fltab.snu.sstat.clname BE
+    f838.seatnu.seatstatus.clientname
+    f747.snu.sstat.passname
+  UPDATE fltab SET sstat = 'TAKEN', clname = 'wenders'
+  WHERE snu = ( SELECT MIN(snu) FROM fltab WHERE sstat = 'FREE');
+  USE avis national
+  LET cartab.ccode.cstat BE cars.code.carst vehicle.vcode.vstat
+  UPDATE cartab SET cstat = 'TAKEN', client = 'wenders'
+  WHERE ccode = ( SELECT MIN(ccode) FROM cartab WHERE cstat = 'available');
+COMMIT
+  continental AND national
+  delta AND avis
+END MULTITRANSACTION|}
+
+let paper_examples () =
+  header "E1-E5: the paper's worked examples (fresh federation each)";
+  Printf.printf "%-28s %-44s %10s %6s %8s\n" "experiment" "outcome"
+    "virt ms" "msgs" "bytes";
+  let autocommit_cont = [ ("continental", Ldbms.Capabilities.sybase_like) ] in
+  let row name ?caps sql =
+    let outcome, ms, msgs, bytes = run_fresh ?caps sql in
+    Printf.printf "%-28s %-44s %10.2f %6d %8d\n" name outcome ms msgs bytes
+  in
+  row "E1 multiple SELECT" e1;
+  row "E2 multiple update" e2;
+  row "E3 vital update (2PC)" e3;
+  row "E4 update w/ COMP" ~caps:autocommit_cont e4;
+  row "E5 multitransaction" e5
+
+(* ---- P1: parallel vs sequential task execution -------------------------------- *)
+
+(* strip PARBEGIN/PAREND blocks: the sequential baseline *)
+let rec sequentialize (p : D.program) : D.program =
+  List.concat_map
+    (function
+      | D.Parallel stmts -> sequentialize stmts
+      | D.If (c, a, b) -> [ D.If (c, sequentialize a, sequentialize b) ]
+      | s -> [ s ])
+    p
+
+let fleet_update n =
+  let dbs = List.init n (fun i -> Printf.sprintf "airline%d" (i + 1)) in
+  Printf.sprintf
+    "USE %s UPDATE flights SET rate = rate * 1.1 WHERE source = 'Houston'"
+    (String.concat " " dbs)
+
+let run_program fx prog =
+  Netsim.World.reset_clock fx.F.world;
+  Netsim.World.reset_stats fx.F.world;
+  match
+    Narada.Engine.run ~directory:fx.F.directory ~world:fx.F.world prog
+  with
+  | Ok o -> (o.Narada.Engine.elapsed_ms, (Netsim.World.stats fx.F.world).Netsim.World.messages)
+  | Error m -> failwith m
+
+let p1_parallelism () =
+  header
+    "P1: parallel vs sequential execution of a multiple update (\xc2\xa74.3/\xc2\xa75 claim)";
+  Printf.printf "%-6s %14s %14s %9s\n" "dbs" "parallel ms" "sequential ms" "speedup";
+  List.iter
+    (fun n ->
+      let fx = F.airline_fleet ~n () in
+      let prog =
+        match M.translate fx.F.session (fleet_update n) with
+        | Ok p -> p
+        | Error m -> failwith m
+      in
+      let par_ms, _ = run_program fx prog in
+      let fx2 = F.airline_fleet ~n () in
+      let seq_ms, _ = run_program fx2 (sequentialize prog) in
+      Printf.printf "%-6d %14.2f %14.2f %8.2fx\n" n par_ms seq_ms (seq_ms /. par_ms))
+    [ 1; 2; 4; 6; 8; 12 ]
+
+(* ---- P2: cost of the vital set (2PC rounds) ------------------------------------ *)
+
+let p2_vital_overhead () =
+  header "P2: 2PC synchronization cost vs vital-set size (\xc2\xa73.2.2)";
+  Printf.printf "%-10s %10s %8s\n" "vital dbs" "virt ms" "msgs";
+  let n = 6 in
+  List.iter
+    (fun k ->
+      let fx = F.airline_fleet ~n () in
+      let dbs =
+        List.init n (fun i ->
+            let name = Printf.sprintf "airline%d" (i + 1) in
+            if i < k then name ^ " VITAL" else name)
+      in
+      let sql =
+        Printf.sprintf
+          "USE %s UPDATE flights SET rate = rate * 1.1 WHERE source = 'Houston'"
+          (String.concat " " dbs)
+      in
+      Netsim.World.reset_clock fx.F.world;
+      Netsim.World.reset_stats fx.F.world;
+      (match M.exec fx.F.session sql with
+      | Ok _ -> ()
+      | Error m -> failwith m);
+      let st = Netsim.World.stats fx.F.world in
+      Printf.printf "%-10d %10.2f %8d\n" k
+        (Netsim.World.now_ms fx.F.world)
+        st.Netsim.World.messages)
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+
+(* ---- P3: decomposition pipeline scaling ------------------------------------------ *)
+
+let time_us f =
+  let t0 = Unix.gettimeofday () in
+  let iters = 200 in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int iters
+
+let p3_decomposition_scaling () =
+  header "P3: substitution+disambiguation+translation cost vs scope size";
+  Printf.printf "%-6s %16s\n" "dbs" "translate us";
+  List.iter
+    (fun n ->
+      let fx = F.airline_fleet ~n () in
+      let sql = fleet_update n in
+      let us =
+        time_us (fun () ->
+            match M.translate fx.F.session sql with
+            | Ok p -> p
+            | Error m -> failwith m)
+      in
+      Printf.printf "%-6d %16.1f\n" n us)
+    [ 1; 2; 4; 8; 16; 32 ]
+
+(* ---- P4: data shipping under decomposition vs naive shipping --------------------- *)
+
+let p4_setup rows =
+  let world = Netsim.World.create () in
+  Netsim.World.add_site world (Netsim.Site.make "w1");
+  Netsim.World.add_site world (Netsim.Site.make "w2");
+  let directory = Narada.Directory.create () in
+  let session = M.create ~world ~directory () in
+  let col = Schema.column in
+  let wholesale = Ldbms.Database.create "wholesale" in
+  Ldbms.Database.load wholesale ~name:"parts"
+    [ col "pid" Ty.Int; col "pname" Ty.Str; col "price" Ty.Float;
+      col "origin" Ty.Str ]
+    (List.init rows (fun i ->
+         [| Value.Int i;
+            Value.Str (Printf.sprintf "part-%04d-with-a-long-descriptive-name" i);
+            Value.Float (float_of_int (i mod 100));
+            Value.Str (if i mod 2 = 0 then "domestic" else "imported") |]));
+  let retail = Ldbms.Database.create "retail" in
+  Ldbms.Database.load retail ~name:"sales"
+    [ col "sid" Ty.Int; col "part_id" Ty.Int; col "qty" Ty.Int;
+      col "comment" Ty.Str ]
+    (List.init rows (fun i ->
+         [| Value.Int (10000 + i); Value.Int (i mod rows); Value.Int (1 + (i mod 5));
+            Value.Str "routine restocking order placed by the branch office" |]));
+  Narada.Directory.register directory
+    (Narada.Service.make ~site:"w1" ~caps:Ldbms.Capabilities.ingres_like wholesale);
+  Narada.Directory.register directory
+    (Narada.Service.make ~site:"w2" ~caps:Ldbms.Capabilities.ingres_like retail);
+  List.iter
+    (fun svc ->
+      (match M.incorporate_auto session ~service:svc with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      match M.import_all session ~service:svc with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    [ "wholesale"; "retail" ];
+  (session, world)
+
+let p4_query max_price =
+  Printf.sprintf
+    {|USE wholesale retail
+SELECT s.sid, s.qty
+FROM retail.sales s, wholesale.parts p
+WHERE s.part_id = p.pid AND p.price < %d|}
+    max_price
+
+(* naive baseline: ship the whole remote relation, filter at coordinator *)
+let p4_naive_program max_price =
+  Printf.sprintf
+    {|DOLBEGIN
+  OPEN retail AT w2 AS retail;
+  OPEN wholesale AT w1 AS wholesale;
+  MOVE m_wholesale FROM wholesale TO retail TABLE naive_tmp
+    { SELECT * FROM parts }
+  ENDMOVE;
+  TASK t_q FOR retail
+    { SELECT s.sid AS sid, s.qty AS qty FROM sales s, naive_tmp
+      WHERE s.part_id = naive_tmp.pid AND naive_tmp.price < %d }
+  ENDTASK;
+  TASK t_clean FOR retail { DROP TABLE naive_tmp } ENDTASK;
+  DOLSTATUS = 0;
+  CLOSE retail wholesale;
+DOLEND|}
+    max_price
+
+let p4_shipping () =
+  header "P4: bytes shipped to the coordinator vs predicate selectivity";
+  Printf.printf "%-12s %16s %14s %16s %14s\n" "selectivity" "decomposed B"
+    "decomp ms" "ship-all B" "ship-all ms";
+  let rows = 200 in
+  List.iter
+    (fun max_price ->
+      let session, world = p4_setup rows in
+      Netsim.World.reset_stats world;
+      Netsim.World.reset_clock world;
+      (match M.exec session (p4_query max_price) with
+      | Ok _ -> ()
+      | Error m -> failwith m);
+      let d_bytes = (Netsim.World.stats world).Netsim.World.bytes_moved in
+      let d_ms = Netsim.World.now_ms world in
+      let session2, world2 = p4_setup rows in
+      Netsim.World.reset_stats world2;
+      Netsim.World.reset_clock world2;
+      (match
+         Narada.Engine.run_text
+           ~directory:(M.directory session2)
+           ~world:world2
+           (p4_naive_program max_price)
+       with
+      | Ok _ -> ()
+      | Error m -> failwith m);
+      let n_bytes = (Netsim.World.stats world2).Netsim.World.bytes_moved in
+      let n_ms = Netsim.World.now_ms world2 in
+      Printf.printf "%-12s %16d %14.2f %16d %14.2f\n"
+        (Printf.sprintf "%d%%" max_price)
+        d_bytes d_ms n_bytes n_ms)
+    [ 5; 25; 50; 75; 100 ]
+
+(* ---- P5: DOL optimizer ablation (Â§5 future work) ------------------------------- *)
+
+let p5_optimizer_ablation () =
+  header "P5: DOL optimizer ablation (parallel opens, task merging)";
+  Printf.printf "%-6s %14s %14s %9s %12s
+" "dbs" "plain ms" "optimized ms"
+    "gain" "tasks merged";
+  List.iter
+    (fun n ->
+      let sql = fleet_update n in
+      let fx = F.airline_fleet ~n () in
+      let prog =
+        match M.translate fx.F.session sql with
+        | Ok p -> p
+        | Error m -> failwith m
+      in
+      let plain_ms, _ = run_program fx prog in
+      let fx2 = F.airline_fleet ~n () in
+      let optimized, stats = Narada.Dol_opt.optimize_with_stats prog in
+      let opt_ms, _ = run_program fx2 optimized in
+      Printf.printf "%-6d %14.2f %14.2f %8.2fx %12d
+" n plain_ms opt_ms
+        (plain_ms /. opt_ms) stats.Narada.Dol_opt.tasks_merged)
+    [ 2; 4; 8; 12 ]
+
+(* ---- P6: index fast-path ablation (local DBMS substrate) ------------------------ *)
+
+let p6_index_ablation () =
+  header "P6: equality-lookup index vs full scan (local engine, wall time)";
+  Printf.printf "%-8s %14s %14s %9s
+" "rows" "scan us" "indexed us" "speedup";
+  List.iter
+    (fun n ->
+      let make indexed =
+        let db = Ldbms.Database.create "w" in
+        Ldbms.Database.load db ~name:"stock"
+          [ Schema.column "sku" Ty.Int; Schema.column "bin" Ty.Str ]
+          (List.init n (fun i ->
+               [| Value.Int i; Value.Str (Printf.sprintf "bin%d" (i mod 97)) |]));
+        if indexed then
+          Ldbms.Database.create_index db ~name:"i" ~table:"stock" ~column:"bin";
+        Ldbms.Session.connect db Ldbms.Capabilities.ingres_like
+      in
+      let sql = "SELECT sku FROM stock WHERE bin = 'bin13'" in
+      let s_scan = make false and s_idx = make true in
+      let scan_us =
+        time_us (fun () -> Ldbms.Session.exec_sql s_scan sql)
+      in
+      let idx_us = time_us (fun () -> Ldbms.Session.exec_sql s_idx sql) in
+      Printf.printf "%-8d %14.1f %14.1f %8.1fx
+" n scan_us idx_us
+        (scan_us /. idx_us))
+    [ 100; 1000; 5000 ]
+
+(* ---- P7: outcome distribution under random local failures ----------------------- *)
+
+(* Stresses the vital-set guarantee of Â§3.2.1: with failures injected at
+   every point (execute/prepare/commit) with probability p, how often does
+   each outcome occur? "Incorrect" requires a second-phase failure window,
+   so it stays rare even as aborts soar. *)
+let p7_outcome_distribution () =
+  header "P7: outcome distribution vs failure probability (200 trials each)";
+  Printf.printf "%-8s | %-9s %-9s %-9s | %-9s %-9s %-9s
+" "" "all-2PC" "" ""
+    "autocommit+COMP" "" "";
+  Printf.printf "%-8s | %-9s %-9s %-9s | %-9s %-9s %-9s
+" "p(fail)" "success"
+    "aborted" "INCORRECT" "success" "aborted" "INCORRECT";
+  let trials = 200 in
+  let run_one ~caps ~sql ~seed ~prob =
+    let fx = F.make ~caps () in
+    List.iteri
+      (fun i db ->
+        Ldbms.Failure_injector.set_random
+          (Narada.Directory.find fx.F.directory db).Narada.Service.injector
+          ~seed:((seed * 31) + i) ~prob)
+      [ "continental"; "delta"; "united" ];
+    match M.exec fx.F.session sql with
+    | Ok (M.Update_report { outcome; _ }) -> Some outcome
+    | Ok _ | Error _ -> None
+  in
+  let count ~caps ~sql ~prob =
+    let s = ref 0 and a = ref 0 and i = ref 0 in
+    for seed = 1 to trials do
+      match run_one ~caps ~sql ~seed ~prob with
+      | Some M.Success -> incr s
+      | Some M.Aborted -> incr a
+      | Some M.Incorrect -> incr i
+      | None -> ()
+    done;
+    (!s, !a, !i)
+  in
+  List.iter
+    (fun prob ->
+      let s1, a1, i1 = count ~caps:[] ~sql:e3 ~prob in
+      let s2, a2, i2 =
+        count
+          ~caps:[ ("continental", Ldbms.Capabilities.sybase_like) ]
+          ~sql:e4 ~prob
+      in
+      Printf.printf "%-8.2f | %-9d %-9d %-9d | %-9d %-9d %-9d
+" prob s1 a1 i1
+        s2 a2 i2)
+    [ 0.0; 0.05; 0.1; 0.2; 0.4 ]
+
+(* ---- P8: function replication availability (Â§3.4 motivation) -------------------- *)
+
+(* A stream of booking multitransactions, each able to run its update on
+   either of two airlines (function replication, acceptable states
+   [first] [second]) versus a baseline allowed only the first airline.
+   As local failures rise, replication converts failures into fallbacks. *)
+let p8_function_replication () =
+  header "P8: function replication under failures (100 multitransactions)";
+  Printf.printf "%-8s | %-10s %-10s %-7s | %-10s %-7s
+" "" "replicated" "" ""
+    "single" "";
+  Printf.printf "%-8s | %-10s %-10s %-7s | %-10s %-7s
+" "p(fail)" "first"
+    "fallback" "failed" "committed" "failed";
+  let txns = 100 in
+  let mtx ~replicated a b =
+    if replicated then
+      Printf.sprintf
+        {|BEGIN MULTITRANSACTION
+  USE %s %s
+  UPDATE flights SET rate = rate + 1 WHERE source = 'Houston';
+COMMIT
+  %s
+  %s
+END MULTITRANSACTION|}
+        a b a b
+    else
+      Printf.sprintf
+        {|BEGIN MULTITRANSACTION
+  USE %s
+  UPDATE flights SET rate = rate + 1 WHERE source = 'Houston';
+COMMIT
+  %s
+END MULTITRANSACTION|}
+        a a
+  in
+  let run ~replicated ~prob =
+    let fx = F.airline_fleet ~n:4 ~flights_per_db:40 () in
+    let rng = Random.State.make [| 2026 |] in
+    List.iteri
+      (fun i db ->
+        Ldbms.Failure_injector.set_random
+          (Narada.Directory.find fx.F.directory db).Narada.Service.injector
+          ~seed:(1000 + i) ~prob)
+      [ "airline1"; "airline2"; "airline3"; "airline4" ];
+    let first = ref 0 and fallback = ref 0 and failed = ref 0 in
+    for _ = 1 to txns do
+      let a = 1 + Random.State.int rng 4 in
+      let b = 1 + ((a + Random.State.int rng 3) mod 4) in
+      let sql =
+        mtx ~replicated
+          (Printf.sprintf "airline%d" a)
+          (Printf.sprintf "airline%d" b)
+      in
+      match M.exec fx.F.session sql with
+      | Ok (M.Mtx_report { chosen = Some 0; _ }) -> incr first
+      | Ok (M.Mtx_report { chosen = Some _; _ }) -> incr fallback
+      | Ok (M.Mtx_report { chosen = None; _ }) -> incr failed
+      | Ok _ | Error _ -> incr failed
+    done;
+    (!first, !fallback, !failed)
+  in
+  List.iter
+    (fun prob ->
+      let f1, fb, fl = run ~replicated:true ~prob in
+      let s1, _, sfl = run ~replicated:false ~prob in
+      Printf.printf "%-8.2f | %-10d %-10d %-7d | %-10d %-7d
+" prob f1 fb fl s1
+        sfl)
+    [ 0.0; 0.1; 0.3; 0.5 ]
+
+(* ---- Part 2: Bechamel wall-clock suite -------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let bechamel_tests () =
+  let fx = F.make () in
+  let fx_comp = F.make ~caps:[ ("continental", Ldbms.Capabilities.sybase_like) ] () in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  [
+    stage "parse-e1" (fun () -> Msql.Mparser.parse_toplevel e1);
+    stage "parse-e5-mtx" (fun () -> Msql.Mparser.parse_toplevel e5);
+    stage "translate-e3" (fun () ->
+        match M.translate fx.F.session e3 with Ok p -> p | Error m -> failwith m);
+    stage "exec-e1-select" (fun () ->
+        match M.exec fx.F.session e1 with Ok r -> r | Error m -> failwith m);
+    stage "exec-e2-update" (fun () ->
+        match M.exec fx.F.session e2 with Ok r -> r | Error m -> failwith m);
+    stage "exec-e3-vital" (fun () ->
+        match M.exec fx.F.session e3 with Ok r -> r | Error m -> failwith m);
+    stage "exec-e4-comp" (fun () ->
+        match M.exec fx_comp.F.session e4 with Ok r -> r | Error m -> failwith m);
+    stage "exec-e5-mtx" (fun () ->
+        match M.exec fx.F.session e5 with Ok r -> r | Error m -> failwith m);
+  ]
+
+let run_bechamel () =
+  header "wall-clock pipeline costs (Bechamel, monotonic clock)";
+  let tests = bechamel_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  Printf.printf "%-20s %14s %10s\n" "stage" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> e
+            | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+          in
+          Printf.printf "%-20s %14.0f %10.4f\n" name estimate r2)
+        analyzed)
+    tests
+
+let () =
+  paper_examples ();
+  p1_parallelism ();
+  p2_vital_overhead ();
+  p3_decomposition_scaling ();
+  p4_shipping ();
+  p5_optimizer_ablation ();
+  p6_index_ablation ();
+  p7_outcome_distribution ();
+  p8_function_replication ();
+  run_bechamel ();
+  print_newline ()

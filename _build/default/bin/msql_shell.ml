@@ -1,0 +1,126 @@
+(* msql_shell — execute extended MSQL against the demo federation.
+
+   Usage:
+     dune exec bin/msql_shell.exe                      # REPL on stdin
+     dune exec bin/msql_shell.exe -- --script q.msql   # run a script file
+     dune exec bin/msql_shell.exe -- --translate       # print DOL, don't run
+     dune exec bin/msql_shell.exe -- --stats           # show network stats
+
+   Statements are separated by `;;` on its own line in the REPL (a single
+   `;` belongs to the MSQL grammar, e.g. inside multitransactions). *)
+
+module F = Msql.Fixtures
+module M = Msql.Msession
+
+let process session ~translate ~stats world text =
+  let text = String.trim text in
+  if text = "" then ()
+  else if translate then
+    match M.translate session text with
+    | Ok prog -> print_string (Narada.Dol_pp.program_to_string prog)
+    | Error m -> Printf.printf "error: %s\n" m
+  else begin
+    (match M.exec session text with
+    | Ok r -> print_endline (M.result_to_string r)
+    | Error m -> Printf.printf "error: %s\n" m);
+    if stats then begin
+      let st = Netsim.World.stats world in
+      Printf.printf "[net: %d messages, %d bytes, clock %.2f ms]\n"
+        st.Netsim.World.messages st.Netsim.World.bytes_moved
+        (Netsim.World.now_ms world)
+    end
+  end
+
+let repl session ~translate ~stats world =
+  print_endline
+    "MSQL shell — demo federation: continental delta united avis national";
+  print_endline "End a statement with `;;` on its own line; ctrl-d quits.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "msql> " else "  ... ");
+    match read_line () with
+    | exception End_of_file -> ()
+    | ";;" ->
+        process session ~translate ~stats world (Buffer.contents buf);
+        Buffer.clear buf;
+        loop ()
+    | line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        loop ()
+  in
+  loop ()
+
+let run_script session ~translate ~stats world path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  if translate then
+    match Msql.Mparser.parse_script text with
+    | exception Msql.Mparser.Error (m, l, c) ->
+        Printf.printf "parse error at %d:%d: %s\n" l c m
+    | _ ->
+        (* translate statement by statement is not possible from the parsed
+           list without re-printing MSQL; run the whole script through the
+           single-statement path instead *)
+        process session ~translate ~stats world text
+  else
+    match M.exec_script session text with
+    | Ok results ->
+        List.iter (fun r -> print_endline (M.result_to_string r)) results;
+        if stats then begin
+          let st = Netsim.World.stats world in
+          Printf.printf "[net: %d messages, %d bytes, clock %.2f ms]\n"
+            st.Netsim.World.messages st.Netsim.World.bytes_moved
+            (Netsim.World.now_ms world)
+        end
+    | Error m -> Printf.printf "error: %s\n" m
+
+let main script translate stats optimize trace verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let fx = F.make () in
+  let session = fx.F.session and world = fx.F.world in
+  M.set_optimize session optimize;
+  if trace then M.set_trace session (Some (fun line -> print_endline ("  " ^ line)));
+  match script with
+  | Some path -> run_script session ~translate ~stats world path
+  | None -> repl session ~translate ~stats world
+
+open Cmdliner
+
+let script =
+  let doc = "Execute the MSQL statements in $(docv) instead of reading stdin." in
+  Arg.(value & opt (some file) None & info [ "script"; "s" ] ~docv:"FILE" ~doc)
+
+let translate =
+  let doc = "Print the generated DOL evaluation plan instead of executing." in
+  Arg.(value & flag & info [ "translate"; "t" ] ~doc)
+
+let stats =
+  let doc = "Print simulated-network statistics after each statement." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let optimize =
+  let doc = "Run generated DOL plans through the optimizer (parallel opens, \
+             task merging)." in
+  Arg.(value & flag & info [ "optimize"; "O" ] ~doc)
+
+let trace =
+  let doc = "Print the DOL engine's coordination trace while executing." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let verbose =
+  let doc = "Enable debug logging of the MSQL pipeline and the DOL engine." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let cmd =
+  let doc = "execute extended multidatabase SQL against the demo federation" in
+  let info = Cmd.info "msql_shell" ~doc in
+  Cmd.v info
+    Term.(const main $ script $ translate $ stats $ optimize $ trace $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/car_rental.mli:

@@ -1,0 +1,1 @@
+examples/federation_admin.ml: Ldbms List Msql Narada Printf Sqlcore String

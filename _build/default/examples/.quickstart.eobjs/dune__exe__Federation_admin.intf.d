@@ -1,0 +1,1 @@
+examples/federation_admin.mli:

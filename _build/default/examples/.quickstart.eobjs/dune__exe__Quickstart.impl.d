@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ldbms Msql Narada Netsim Printf Schema Sqlcore Ty Value

@@ -1,0 +1,1 @@
+examples/travel_agent.ml: Array List Msql Narada Netsim Printf Sqlcore

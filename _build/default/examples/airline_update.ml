@@ -1,0 +1,63 @@
+(* The paper's §3.2–§3.3 airline scenario: a multiple update over three
+   airline databases, first NON VITAL, then with VITAL designators, then —
+   after downgrading Continental to an autocommit-only engine — with a
+   user-supplied compensating action. Failure injection walks the paper's
+   execution paths.
+
+   Run with:  dune exec examples/airline_update.exe *)
+
+module F = Msql.Fixtures
+module M = Msql.Msession
+module Inject = Ldbms.Failure_injector
+
+let update = {|
+USE continental VITAL delta united VITAL
+UPDATE flight%
+SET rate% = rate% * 1.1
+WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+|}
+
+let update_comp = update ^ {|
+COMP continental
+UPDATE flights
+SET rate = rate / 1.1
+WHERE source = 'Houston' AND destination = 'San Antonio'
+|}
+
+let run session sql =
+  match M.exec session sql with
+  | Ok r -> print_endline (M.result_to_string r)
+  | Error m -> print_endline ("refused: " ^ m)
+
+let inject fx db point =
+  Inject.fail_next
+    (Narada.Directory.find fx.F.directory db).Narada.Service.injector point
+
+let () =
+  print_endline "== all three airlines support 2PC; the vital update commits ==";
+  let fx = F.make () in
+  print_endline (Narada.Dol_pp.program_to_string
+    (Result.get_ok (M.translate fx.F.session update)));
+  run fx.F.session update;
+
+  print_endline "\n== United aborts its subquery: the vital set rolls back ==";
+  let fx = F.make () in
+  inject fx "united" Inject.At_execute;
+  run fx.F.session update;
+
+  print_endline "\n== Continental is autocommit-only: the query is refused (§3.3) ==";
+  let fx = F.make ~caps:[ ("continental", Ldbms.Capabilities.sybase_like) ] () in
+  run fx.F.session update;
+
+  print_endline "\n== ... unless a COMP clause is provided ==";
+  let fx = F.make ~caps:[ ("continental", Ldbms.Capabilities.sybase_like) ] () in
+  run fx.F.session update_comp;
+
+  print_endline
+    "\n== with COMP: United aborts, Continental's committed update is compensated ==";
+  let fx = F.make ~caps:[ ("continental", Ldbms.Capabilities.sybase_like) ] () in
+  inject fx "united" Inject.At_execute;
+  run fx.F.session update_comp;
+  let flights = F.scan fx ~db:"continental" ~table:"flights" in
+  print_endline "continental.flights after compensation:";
+  print_endline (Sqlcore.Relation.to_string flights)

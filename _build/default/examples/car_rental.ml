@@ -1,0 +1,55 @@
+(* The paper's §2 car-rental scenario: one compact MSQL multiple query
+   resolving naming heterogeneity (cars vs vehicle, code vs vcode) with a
+   LET statement and an implicit %code variable, and schema heterogeneity
+   (NATIONAL has no rate column) with the ~ optional marker.
+
+   Run with:  dune exec examples/car_rental.exe *)
+
+module F = Msql.Fixtures
+module M = Msql.Msession
+
+let run session sql =
+  print_endline ("msql> " ^ String.trim sql);
+  (match M.exec session sql with
+  | Ok r -> print_endline (M.result_to_string r)
+  | Error m -> print_endline ("error: " ^ m));
+  print_newline ()
+
+let () =
+  let fx = F.make () in
+  let session = fx.F.session in
+
+  print_endline "== the paper's §2 multiple query ==";
+  run session
+    {|USE avis national
+      LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+      SELECT %code, type, ~rate
+      FROM car
+      WHERE status = 'available'|};
+
+  print_endline "== aggregation per company (multiple query, one result per db) ==";
+  run session
+    {|USE avis national
+      LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+      SELECT type, COUNT(*)
+      FROM car
+      GROUP BY type
+      ORDER BY type|};
+
+  print_endline "== a cross-database join: same car types in both fleets ==";
+  run session
+    {|USE avis national
+      SELECT c.code, c.cartype, c.rate, v.vcode
+      FROM avis.cars c, national.vehicle v
+      WHERE c.cartype = v.vty AND c.carst = 'available'|};
+
+  print_endline "== and the DOL plan the translator generates for it ==";
+  (match
+     M.translate session
+       {|USE avis national
+         SELECT c.code, c.cartype, c.rate, v.vcode
+         FROM avis.cars c, national.vehicle v
+         WHERE c.cartype = v.vty AND c.carst = 'available'|}
+   with
+  | Ok prog -> print_endline (Narada.Dol_pp.program_to_string prog)
+  | Error m -> print_endline ("error: " ^ m))

@@ -1,0 +1,74 @@
+(* The paper's §3.4 travel-agent multitransaction: book a flight with
+   Continental or Delta AND a car with Avis or National, preferring
+   Continental+National, accepting Delta+Avis — function replication with
+   acceptable termination states.
+
+   Run with:  dune exec examples/travel_agent.exe *)
+
+module F = Msql.Fixtures
+module M = Msql.Msession
+
+let mtx = {|
+BEGIN MULTITRANSACTION
+  USE continental delta
+  LET fltab.snu.sstat.clname BE
+    f838.seatnu.seatstatus.clientname
+    f747.snu.sstat.passname
+  UPDATE fltab
+  SET sstat = 'TAKEN', clname = 'wenders'
+  WHERE snu = ( SELECT MIN(snu) FROM fltab WHERE sstat = 'FREE');
+  USE avis national
+  LET cartab.ccode.cstat BE
+    cars.code.carst
+    vehicle.vcode.vstat
+  UPDATE cartab
+  SET cstat = 'TAKEN', from = '07-04-64', to = '04-16-92', client = 'wenders'
+  WHERE ccode = ( SELECT MIN(ccode) FROM cartab WHERE cstat = 'available');
+COMMIT
+  continental AND national
+  delta AND avis
+END MULTITRANSACTION
+|}
+
+let run fx =
+  (match M.exec fx.F.session mtx with
+  | Ok r -> print_endline (M.result_to_string r)
+  | Error m -> print_endline ("error: " ^ m));
+  let show db table col_status col_client =
+    let rel = F.scan fx ~db ~table in
+    let taken =
+      List.filter
+        (fun row -> Sqlcore.Value.equal row.(col_status) (Sqlcore.Value.Str "TAKEN"))
+        (Sqlcore.Relation.rows rel)
+    in
+    Printf.printf "  %s.%s: %d TAKEN%s\n" db table (List.length taken)
+      (match taken with
+      | row :: _ when col_client >= 0 ->
+          " (client " ^ Sqlcore.Value.to_string row.(col_client) ^ ")"
+      | _ -> "")
+  in
+  show "continental" "f838" 2 3;
+  show "delta" "f747" 2 3;
+  show "avis" "cars" 3 6;
+  show "national" "vehicle" 2 5
+
+let () =
+  print_endline "== everything up: the preferred state (continental AND national) wins ==";
+  run (F.make ());
+
+  print_endline "\n== continental's site is down: fall back to delta AND avis ==";
+  let fx = F.make () in
+  Netsim.World.set_down fx.F.world "site1" true;
+  run fx;
+
+  print_endline "\n== both airlines down: no acceptable state, everything undone ==";
+  let fx = F.make () in
+  Netsim.World.set_down fx.F.world "site1" true;
+  Netsim.World.set_down fx.F.world "site2" true;
+  run fx;
+
+  print_endline "\n== the DOL program generated for the multitransaction ==";
+  let fx = F.make () in
+  match M.translate fx.F.session mtx with
+  | Ok prog -> print_endline (Narada.Dol_pp.program_to_string prog)
+  | Error m -> print_endline ("error: " ^ m)

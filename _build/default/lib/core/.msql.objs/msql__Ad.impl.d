@@ -1,0 +1,1 @@
+lib/core/ad.ml: Ast Hashtbl Ldbms List Sqlcore String

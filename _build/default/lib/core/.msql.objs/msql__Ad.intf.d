@@ -1,0 +1,1 @@
+lib/core/ad.mli: Ast Ldbms

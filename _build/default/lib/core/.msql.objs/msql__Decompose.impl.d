@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Expand Format Hashtbl List Option Printf Sqlcore Sqlfront

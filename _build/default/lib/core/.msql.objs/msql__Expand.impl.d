@@ -1,0 +1,1 @@
+lib/core/expand.ml: Ast Gdd List Option Printf Sqlcore Sqlfront String

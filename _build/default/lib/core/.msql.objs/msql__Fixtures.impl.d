@@ -1,0 +1,1 @@
+lib/core/fixtures.ml: Array Ldbms List Msession Narada Netsim Printf Random Schema Sqlcore Ty Value

@@ -1,0 +1,1 @@
+lib/core/fixtures.mli: Ldbms Msession Narada Netsim Sqlcore

@@ -1,0 +1,1 @@
+lib/core/gdd.ml: Hashtbl List Option Printf Sqlcore String

@@ -1,0 +1,1 @@
+lib/core/gdd.mli: Sqlcore

@@ -1,0 +1,1 @@
+lib/core/mlexer.ml: List Printf Sqlcore Sqlfront String

@@ -1,0 +1,1 @@
+lib/core/mlexer.mli: Sqlfront

@@ -1,0 +1,1 @@
+lib/core/mparser.ml: Ast List Mlexer Option Printf Sqlcore Sqlfront String

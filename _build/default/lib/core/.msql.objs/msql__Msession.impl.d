@@ -1,0 +1,1 @@
+lib/core/msession.ml: Ad Ast Decompose Expand Fun Gdd Hashtbl Ldbms List Logs Mparser Multitable Narada Netsim Option Plangen Printf Sqlcore String

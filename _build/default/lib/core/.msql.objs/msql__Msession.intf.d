@@ -1,0 +1,1 @@
+lib/core/msession.mli: Ad Ast Gdd Multitable Narada Netsim Stdlib

@@ -1,0 +1,1 @@
+lib/core/multitable.ml: Array Format List Option Sqlcore

@@ -1,0 +1,1 @@
+lib/core/multitable.mli: Format Sqlcore

@@ -1,0 +1,1 @@
+lib/core/plangen.ml: Ad Ast Decompose Expand Hashtbl List Narada Option Printf Sqlcore Sqlfront String

@@ -1,0 +1,1 @@
+lib/core/plangen.mli: Ad Ast Decompose Expand Narada

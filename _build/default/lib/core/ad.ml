@@ -1,0 +1,53 @@
+type entry = {
+  service : string;
+  site : string option;
+  connectmode : Ast.connectmode;
+  commitmode : Ast.commitmode;
+  create_commit : bool;
+  insert_commit : bool;
+  drop_commit : bool;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+let key = String.lowercase_ascii
+
+let entry_of_incorporate (i : Ast.incorporate) =
+  {
+    service = i.Ast.inc_service;
+    site = i.Ast.inc_site;
+    connectmode = i.Ast.inc_connectmode;
+    commitmode = i.Ast.inc_commitmode;
+    create_commit = i.Ast.inc_create_commit;
+    insert_commit = i.Ast.inc_insert_commit;
+    drop_commit = i.Ast.inc_drop_commit;
+  }
+
+let register t e = Hashtbl.replace t (key e.service) e
+let incorporate t i = register t (entry_of_incorporate i)
+
+let find t name = Hashtbl.find_opt t (key name)
+
+let services t =
+  Hashtbl.fold (fun _ e acc -> e.service :: acc) t []
+  |> List.sort Sqlcore.Names.compare
+
+let supports_2pc e = e.commitmode = Ast.Supports_prepare
+
+let of_capabilities ~service ?site (caps : Ldbms.Capabilities.t) =
+  {
+    service;
+    site;
+    connectmode =
+      (match caps.Ldbms.Capabilities.connect_mode with
+      | Ldbms.Capabilities.Connect -> Ast.Connect_many
+      | Ldbms.Capabilities.No_connect -> Ast.Connect_one);
+    commitmode =
+      (match caps.Ldbms.Capabilities.commit_mode with
+      | Ldbms.Capabilities.Autocommit -> Ast.Commits_automatically
+      | Ldbms.Capabilities.Two_phase -> Ast.Supports_prepare);
+    create_commit = caps.Ldbms.Capabilities.create_commits;
+    insert_commit = caps.Ldbms.Capabilities.insert_commits;
+    drop_commit = caps.Ldbms.Capabilities.drop_commits;
+  }

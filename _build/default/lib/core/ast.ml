@@ -1,0 +1,84 @@
+type vital = Vital | Non_vital
+
+type use_item = { db : string; alias : string option; vital : vital }
+
+type let_def = { var_path : string list; bindings : string list list }
+
+type comp_clause = { comp_db : string; comp_stmt : Sqlfront.Ast.stmt }
+
+type query = {
+  scope : use_item list;
+  use_current : bool;
+  lets : let_def list;
+  body : Sqlfront.Ast.stmt;
+  comps : comp_clause list;
+}
+
+type acceptable_state = string list
+
+type multitransaction = {
+  queries : query list;
+  acceptable : acceptable_state list;
+}
+
+type connectmode = Connect_many | Connect_one
+type commitmode = Commits_automatically | Supports_prepare
+
+type incorporate = {
+  inc_service : string;
+  inc_site : string option;
+  inc_connectmode : connectmode;
+  inc_commitmode : commitmode;
+  inc_create_commit : bool;
+  inc_insert_commit : bool;
+  inc_drop_commit : bool;
+}
+
+type import_scope =
+  | Import_all
+  | Import_table of { itable : string; icolumns : string list option }
+
+type import = {
+  imp_database : string;
+  imp_service : string;
+  imp_scope : import_scope;
+}
+
+type trigger_def = {
+  trg_name : string;
+  trg_db : string;
+  trg_condition : Sqlfront.Ast.select;
+  trg_action : query;
+}
+
+type toplevel =
+  | Query of query
+  | Multitransaction of multitransaction
+  | Incorporate of incorporate
+  | Import of import
+  | Create_trigger of trigger_def
+  | Drop_trigger of string
+  | Explain of toplevel
+  | Create_multidatabase of { mdb_name : string; mdb_members : use_item list }
+  | Drop_multidatabase of string
+
+let use_db_key u = match u.alias with Some a -> a | None -> u.db
+
+let find_in_scope scope name =
+  List.find_opt
+    (fun u ->
+      Sqlcore.Names.equal (use_db_key u) name || Sqlcore.Names.equal u.db name)
+    scope
+
+let is_retrieval q =
+  match q.body with
+  | Sqlfront.Ast.Select _ -> true
+  | Sqlfront.Ast.Insert _ | Sqlfront.Ast.Update _ | Sqlfront.Ast.Delete _
+  | Sqlfront.Ast.Create_table _ | Sqlfront.Ast.Drop_table _
+  | Sqlfront.Ast.Create_view _ | Sqlfront.Ast.Drop_view _
+  | Sqlfront.Ast.Create_index _ | Sqlfront.Ast.Drop_index _
+  | Sqlfront.Ast.Begin_txn | Sqlfront.Ast.Commit_txn | Sqlfront.Ast.Rollback_txn
+  | Sqlfront.Ast.Prepare_txn ->
+      false
+
+let scope_db_names q = List.map (fun u -> u.db) q.scope

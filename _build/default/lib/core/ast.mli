@@ -1,0 +1,116 @@
+(** Abstract syntax of extended MSQL.
+
+    A {e multiple query} carries its scope (USE, with VITAL designators and
+    aliases, §3.2.1), semantic-variable definitions (LET ... BE, §2), a
+    body that is ordinary SQL except that identifiers may be {e multiple}
+    (contain the [%] wildcard), {e optional} (prefixed with [~]) or
+    {e semantic variables}, and optional compensating actions (COMP,
+    §3.3). Multiple identifiers are preserved verbatim inside the embedded
+    {!Sqlfront.Ast} body — expansion resolves them per database. *)
+
+type vital = Vital | Non_vital
+
+type use_item = {
+  db : string;  (** database name as known to the GDD *)
+  alias : string option;
+  vital : vital;
+}
+
+(** [LET v1.v2...vn BE b11.b12...b1n  b21...b2n ...] — the path components
+    are independent variables: the first names a table, the rest name
+    columns; each binding vector supplies, for one database, the concrete
+    names (§2, §3.4). *)
+type let_def = {
+  var_path : string list;
+  bindings : string list list;  (** each the same length as [var_path] *)
+}
+
+type comp_clause = {
+  comp_db : string;  (** database name or alias from the USE scope *)
+  comp_stmt : Sqlfront.Ast.stmt;  (** the compensating subquery *)
+}
+
+type query = {
+  scope : use_item list;
+  use_current : bool;
+      (** [USE CURRENT ...]: extend the session's current scope with the
+          listed databases instead of replacing it *)
+  lets : let_def list;
+  body : Sqlfront.Ast.stmt;
+  comps : comp_clause list;
+}
+
+(** An acceptable termination state: the conjunction of the subqueries
+    (named by database or alias) whose success the state requires; all
+    other subqueries are implicitly aborted or compensated (§3.4). *)
+type acceptable_state = string list
+
+type multitransaction = {
+  queries : query list;
+  acceptable : acceptable_state list;  (** checked in specification order *)
+}
+
+type connectmode = Connect_many | Connect_one
+
+(** The paper's COMMITMODE naming is inverted with respect to intuition:
+    [Commits_automatically] (COMMIT) marks an autocommit-only LDBMS, while
+    [Supports_prepare] (NOCOMMIT) marks one with a 2PC interface (§3.1). *)
+type commitmode = Commits_automatically | Supports_prepare
+
+type incorporate = {
+  inc_service : string;
+  inc_site : string option;
+  inc_connectmode : connectmode;
+  inc_commitmode : commitmode;
+  inc_create_commit : bool;
+  inc_insert_commit : bool;
+  inc_drop_commit : bool;
+}
+
+type import_scope =
+  | Import_all  (** all public tables of the database *)
+  | Import_table of { itable : string; icolumns : string list option }
+
+type import = {
+  imp_database : string;
+  imp_service : string;
+  imp_scope : import_scope;
+}
+
+(** Interdatabase trigger (§2 lists them among MSQL's features without
+    giving syntax; this design is ours): after any successful multiple
+    update that wrote [trg_db], the [trg_condition] SELECT is evaluated
+    there, and if it returns rows the [trg_action] — a full MSQL multiple
+    query, typically on {e other} databases — is executed. *)
+type trigger_def = {
+  trg_name : string;
+  trg_db : string;  (** monitored database *)
+  trg_condition : Sqlfront.Ast.select;  (** fires when non-empty *)
+  trg_action : query;
+}
+
+type toplevel =
+  | Query of query
+  | Multitransaction of multitransaction
+  | Incorporate of incorporate
+  | Import of import
+  | Create_trigger of trigger_def
+  | Drop_trigger of string
+  | Explain of toplevel
+      (** [EXPLAIN <statement>]: return the generated DOL evaluation plan
+          instead of executing it *)
+  | Create_multidatabase of { mdb_name : string; mdb_members : use_item list }
+      (** a virtual database (§2): a named scope; [USE <name>] expands to
+          its members *)
+  | Drop_multidatabase of string
+
+val use_db_key : use_item -> string
+(** The name under which the subquery on this database is referred to in
+    COMMIT states and COMP clauses: the alias when given, else the
+    database name. *)
+
+val find_in_scope : use_item list -> string -> use_item option
+(** Look up by alias or database name, case-insensitively. *)
+
+val is_retrieval : query -> bool
+val scope_db_names : query -> string list

@@ -1,0 +1,348 @@
+module S = Sqlfront.Ast
+module Names = Sqlcore.Names
+module Schema = Sqlcore.Schema
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type shipped = {
+  sdb : string;
+  subquery : Sqlfront.Ast.select;
+  tmp_table : string;
+}
+
+type plan = {
+  coordinator : string;
+  shipped : shipped list;
+  modified : Sqlfront.Ast.select;
+  cleanup : string list;
+}
+
+let label (g : Expand.global_ref) =
+  Option.value g.Expand.galias ~default:g.Expand.gtable
+
+(* ---- column-occurrence resolution ------------------------------------- *)
+
+(* Index of the reference a column occurrence belongs to. *)
+let resolver grefs =
+  let labelled = List.mapi (fun i g -> (i, label g, g)) grefs in
+  fun ?qualifier name ->
+    let candidates =
+      match qualifier with
+      | Some q -> List.filter (fun (_, l, _) -> Names.equal l q) labelled
+      | None ->
+          List.filter
+            (fun (_, _, g) -> Schema.mem g.Expand.gschema name)
+            labelled
+    in
+    match candidates with
+    | [ (i, _, _) ] -> i
+    | [] ->
+        err "column %s%s does not resolve to any table of the global query"
+          (match qualifier with Some q -> q ^ "." | None -> "")
+          name
+    | _ :: _ :: _ ->
+        err "column %s is ambiguous in the global query; qualify it" name
+
+(* Walk an expression, calling [f] on each column occurrence. Subqueries
+   are rejected: the decomposer handles flat join queries only. *)
+let rec iter_cols f (e : S.expr) =
+  match e with
+  | S.Lit _ -> ()
+  | S.Col { qualifier; name } -> f ?qualifier name
+  | S.Binop (_, a, b) ->
+      iter_cols f a;
+      iter_cols f b
+  | S.Unop (_, a) -> iter_cols f a
+  | S.Is_null { arg; _ } | S.Like { arg; _ } -> iter_cols f arg
+  | S.In_list { arg; items; _ } ->
+      iter_cols f arg;
+      List.iter (iter_cols f) items
+  | S.Between { arg; lo; hi; _ } ->
+      iter_cols f arg;
+      iter_cols f lo;
+      iter_cols f hi
+  | S.Agg { arg; _ } -> Option.iter (iter_cols f) arg
+  | S.Scalar_subquery _ | S.In_subquery _ | S.Exists _ ->
+      err "global (cross-database) queries may not contain nested subqueries"
+
+let rec map_cols f (e : S.expr) : S.expr =
+  match e with
+  | S.Lit _ -> e
+  | S.Col { qualifier; name } -> f ?qualifier name
+  | S.Binop (op, a, b) -> S.Binop (op, map_cols f a, map_cols f b)
+  | S.Unop (op, a) -> S.Unop (op, map_cols f a)
+  | S.Is_null r -> S.Is_null { r with arg = map_cols f r.arg }
+  | S.Like r -> S.Like { r with arg = map_cols f r.arg }
+  | S.In_list r ->
+      S.In_list
+        { r with arg = map_cols f r.arg; items = List.map (map_cols f) r.items }
+  | S.Between r ->
+      S.Between
+        {
+          r with
+          arg = map_cols f r.arg;
+          lo = map_cols f r.lo;
+          hi = map_cols f r.hi;
+        }
+  | S.Agg r -> S.Agg { r with arg = Option.map (map_cols f) r.arg }
+  | S.Scalar_subquery _ | S.In_subquery _ | S.Exists _ ->
+      err "global (cross-database) queries may not contain nested subqueries"
+
+(* split a WHERE clause into its top-level conjuncts *)
+let rec conjuncts = function
+  | S.Binop (S.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left (fun acc c -> S.Binop (S.And, acc, c)) e rest)
+
+(* ---- decomposition ------------------------------------------------------ *)
+
+let decompose ~gselect ~grefs =
+  if grefs = [] then err "global query with empty FROM";
+  (* unique labels *)
+  let labels = List.map label grefs in
+  List.iteri
+    (fun i l ->
+      List.iteri
+        (fun j l' -> if i < j && Names.equal l l' then err "duplicate table label %s" l)
+        labels)
+    labels;
+  let resolve = resolver grefs in
+  let gref i = List.nth grefs i in
+
+  (* which columns of each reference does the query use? *)
+  let used : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let record i name =
+    let cur = Option.value (Hashtbl.find_opt used i) ~default:[] in
+    if not (List.exists (Names.equal name) cur) then
+      Hashtbl.replace used i (cur @ [ name ])
+  in
+  let collect_expr e = iter_cols (fun ?qualifier name -> record (resolve ?qualifier name) name) e in
+  List.iter
+    (function
+      | S.Star ->
+          List.iteri
+            (fun i g ->
+              List.iter
+                (fun (c : Schema.column) -> record i c.Schema.name)
+                g.Expand.gschema)
+            grefs
+      | S.Qualified_star q -> (
+          match
+            List.concat
+              (List.mapi
+                 (fun i g -> if Names.equal (label g) q then [ (i, g) ] else [])
+                 grefs)
+          with
+          | [ (i, g) ] ->
+              List.iter
+                (fun (c : Schema.column) -> record i c.Schema.name)
+                g.Expand.gschema
+          | [] -> err "unknown table label %s in %s.*" q q
+          | _ :: _ :: _ -> err "ambiguous table label %s in %s.*" q q)
+      | S.Proj_expr (e, _) -> collect_expr e)
+    gselect.S.projections;
+  Option.iter collect_expr gselect.S.where;
+  List.iter collect_expr gselect.S.group_by;
+  Option.iter collect_expr gselect.S.having;
+  List.iter (fun (o : S.order_item) -> collect_expr o.S.sort_expr) gselect.S.order_by;
+
+  (* group refs by database, preserving first-appearance order *)
+  let dbs =
+    List.fold_left
+      (fun acc g ->
+        if List.exists (Names.equal g.Expand.gdb) acc then acc
+        else acc @ [ g.Expand.gdb ])
+      [] grefs
+  in
+  let refs_of_db db =
+    List.concat
+      (List.mapi
+         (fun i g -> if Names.equal g.Expand.gdb db then [ i ] else [])
+         grefs)
+  in
+  let coordinator =
+    List.fold_left
+      (fun best db ->
+        match best with
+        | None -> Some db
+        | Some b ->
+            if List.length (refs_of_db db) > List.length (refs_of_db b) then Some db
+            else best)
+      None dbs
+    |> Option.get
+  in
+
+  (* conjunct ownership: Some db when every column of the conjunct lives in
+     that db, None for cross-database conjuncts *)
+  let all_conjuncts = Option.fold ~none:[] ~some:conjuncts gselect.S.where in
+  let conjunct_owner c =
+    let owner = ref None and mixed = ref false in
+    iter_cols
+      (fun ?qualifier name ->
+        let db = (gref (resolve ?qualifier name)).Expand.gdb in
+        match !owner with
+        | None -> owner := Some db
+        | Some d when Names.equal d db -> ()
+        | Some _ -> mixed := true)
+      c;
+    if !mixed then None else !owner
+  in
+  let owned = List.map (fun c -> (c, conjunct_owner c)) all_conjuncts in
+
+  (* shipped subqueries for non-coordinator databases *)
+  let tmp_name i = Printf.sprintf "msql_tmp_%d" i in
+  let shipped_dbs = List.filter (fun db -> not (Names.equal db coordinator)) dbs in
+  let shipped =
+    List.mapi
+      (fun k db ->
+        let idxs = refs_of_db db in
+        let projections =
+          List.concat_map
+            (fun i ->
+              let g = gref i in
+              let l = label g in
+              match Option.value (Hashtbl.find_opt used i) ~default:[] with
+              | [] ->
+                  (* keep cardinality with a constant column *)
+                  [ S.Proj_expr (S.Lit (Sqlcore.Value.Int 1), Some (l ^ "__one")) ]
+              | cols ->
+                  List.map
+                    (fun c ->
+                      S.Proj_expr
+                        ( S.Col { qualifier = Some l; name = c },
+                          Some (Names.canon l ^ "__" ^ Names.canon c) ))
+                    cols)
+            idxs
+        in
+        let from =
+          List.map
+            (fun i ->
+              let g = gref i in
+              { S.table = g.Expand.gtable; alias = g.Expand.galias })
+            idxs
+        in
+        let where =
+          conjoin
+            (List.filter_map
+               (fun (c, owner) ->
+                 match owner with
+                 | Some d when Names.equal d db -> Some c
+                 | _ -> None)
+               owned)
+        in
+        {
+          sdb = db;
+          subquery = S.select ~projections ~from ?where ();
+          tmp_table = tmp_name (k + 1);
+        })
+      shipped_dbs
+  in
+
+  (* rewrite a column occurrence for Q' *)
+  let tmp_of_db db =
+    List.find_opt (fun s -> Names.equal s.sdb db) shipped
+    |> Option.map (fun s -> s.tmp_table)
+  in
+  let rewrite ?qualifier name =
+    let i = resolve ?qualifier name in
+    let g = gref i in
+    match tmp_of_db g.Expand.gdb with
+    | None -> S.Col { qualifier = Some (label g); name }
+    | Some tmp ->
+        S.Col
+          {
+            qualifier = Some tmp;
+            name = Names.canon (label g) ^ "__" ^ Names.canon name;
+          }
+  in
+  let rewrite_expr e = map_cols rewrite e in
+  let projections =
+    List.concat_map
+      (function
+        | S.Star ->
+            List.concat_map
+              (fun g ->
+                List.map
+                  (fun (c : Schema.column) ->
+                    S.Proj_expr
+                      (rewrite ?qualifier:(Some (label g)) c.Schema.name,
+                       Some c.Schema.name))
+                  g.Expand.gschema)
+              grefs
+        | S.Qualified_star q ->
+            let g =
+              match
+                List.find_opt (fun g -> Names.equal (label g) q) grefs
+              with
+              | Some g -> g
+              | None -> err "unknown table label %s in %s.*" q q
+            in
+            List.map
+              (fun (c : Schema.column) ->
+                S.Proj_expr
+                  (rewrite ?qualifier:(Some (label g)) c.Schema.name,
+                   Some c.Schema.name))
+              g.Expand.gschema
+        | S.Proj_expr (e, alias) ->
+            let alias =
+              match alias, e with
+              | Some a, _ -> Some a
+              | None, S.Col { name; _ } -> Some name
+              | None, _ -> None
+            in
+            [ S.Proj_expr (rewrite_expr e, alias) ])
+      gselect.S.projections
+  in
+  let coord_from =
+    List.concat_map
+      (fun g ->
+        if Names.equal g.Expand.gdb coordinator then
+          [ { S.table = g.Expand.gtable; alias = g.Expand.galias } ]
+        else [])
+      grefs
+    @ List.map (fun s -> { S.table = s.tmp_table; alias = None }) shipped
+  in
+  let remaining =
+    List.filter_map
+      (fun (c, owner) ->
+        match owner with
+        | Some d when not (Names.equal d coordinator) -> None
+        | _ -> Some (rewrite_expr c))
+      owned
+  in
+  let modified =
+    {
+      S.distinct = gselect.S.distinct;
+      projections;
+      from = coord_from;
+      where = conjoin remaining;
+      group_by = List.map rewrite_expr gselect.S.group_by;
+      having = Option.map rewrite_expr gselect.S.having;
+      order_by =
+        List.map
+          (fun (o : S.order_item) ->
+            { o with S.sort_expr = rewrite_expr o.S.sort_expr })
+          gselect.S.order_by;
+    }
+  in
+  {
+    coordinator;
+    shipped;
+    modified;
+    cleanup = List.map (fun s -> s.tmp_table) shipped;
+  }
+
+let pp_plan ppf p =
+  Format.fprintf ppf "coordinator: %s@\n" p.coordinator;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "ship %s <- [%s] %s@\n" s.tmp_table s.sdb
+        (Sqlfront.Sql_pp.select_to_string s.subquery))
+    p.shipped;
+  Format.fprintf ppf "Q' @ %s: %s" p.coordinator
+    (Sqlfront.Sql_pp.select_to_string p.modified)

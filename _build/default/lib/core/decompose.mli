@@ -1,0 +1,39 @@
+(** Decomposition of a global (cross-database) SELECT (§4.3, phase 3).
+
+    Following the paper, the query is transformed "into a set of the
+    largest possible local subqueries, one for each involved LDBS", plus a
+    modified global query Q' evaluated by one LDBS designated as the
+    coordinator:
+
+    - table references are grouped by database; the database holding the
+      most references coordinates;
+    - for every other database, a local subquery projects exactly the
+      columns the global query uses from that database's tables and
+      applies every conjunct of the WHERE clause that is local to it;
+    - its result is shipped to the coordinator as a temporary table;
+    - Q' joins the coordinator's own tables with the temporaries and
+      applies the remaining (cross-database) conjuncts.
+
+    Restrictions (documented deviations): a global query must not contain
+    nested subqueries, and its table references must have unique labels. *)
+
+exception Error of string
+
+type shipped = {
+  sdb : string;  (** source database *)
+  subquery : Sqlfront.Ast.select;  (** largest local subquery *)
+  tmp_table : string;  (** temporary table name at the coordinator *)
+}
+
+type plan = {
+  coordinator : string;  (** database that evaluates Q' *)
+  shipped : shipped list;
+  modified : Sqlfront.Ast.select;  (** Q', phrased against coordinator tables
+                                       and the temporaries *)
+  cleanup : string list;  (** temporary tables to drop afterwards *)
+}
+
+val decompose :
+  gselect:Sqlfront.Ast.select -> grefs:Expand.global_ref list -> plan
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,191 @@
+open Sqlcore
+module Caps = Ldbms.Capabilities
+
+type t = {
+  session : Msession.t;
+  world : Netsim.World.t;
+  directory : Narada.Directory.t;
+}
+
+let default_caps =
+  [
+    ("continental", Caps.ingres_like);
+    ("delta", Caps.oracle_like);
+    ("united", Caps.ingres_like);
+    ("avis", Caps.ingres_like);
+    ("national", Caps.oracle_like);
+  ]
+
+let col = Schema.column
+let s = Value.(fun x -> Str x)
+let i = Value.(fun x -> Int x)
+let f = Value.(fun x -> Float x)
+
+(* CONTINENTAL: flights (flnu, source, dep, destination, arr, day, rate)
+                f838 (seatnu, seatty, seatstatus, clientname) *)
+let continental db =
+  Ldbms.Database.load db ~name:"flights"
+    [ col "flnu" Ty.Int; col ~width:20 "source" Ty.Str; col ~width:8 "dep" Ty.Str;
+      col ~width:20 "destination" Ty.Str; col ~width:8 "arr" Ty.Str;
+      col ~width:10 "day" Ty.Str; col "rate" Ty.Float ]
+    [
+      [| i 101; s "Houston"; s "08:00"; s "San Antonio"; s "09:05"; s "mon"; f 100.0 |];
+      [| i 102; s "Houston"; s "12:30"; s "San Antonio"; s "13:35"; s "tue"; f 120.0 |];
+      [| i 103; s "Houston"; s "17:45"; s "Dallas"; s "18:40"; s "mon"; f 80.0 |];
+      [| i 104; s "Austin"; s "07:20"; s "San Antonio"; s "07:55"; s "wed"; f 60.0 |];
+    ];
+  Ldbms.Database.load db ~name:"f838"
+    [ col "seatnu" Ty.Int; col ~width:4 "seatty" Ty.Str;
+      col ~width:8 "seatstatus" Ty.Str; col ~width:30 "clientname" Ty.Str ]
+    [
+      [| i 1; s "1A"; s "TAKEN"; s "smith" |];
+      [| i 2; s "1B"; s "FREE"; Value.Null |];
+      [| i 3; s "2A"; s "FREE"; Value.Null |];
+      [| i 4; s "2B"; s "TAKEN"; s "jones" |];
+    ]
+
+(* DELTA: flight (fnu, source, dest, dep, arr, day, rate)
+          f747 (snu, sty, sstat, passname) *)
+let delta db =
+  Ldbms.Database.load db ~name:"flight"
+    [ col "fnu" Ty.Int; col ~width:20 "source" Ty.Str; col ~width:20 "dest" Ty.Str;
+      col ~width:8 "dep" Ty.Str; col ~width:8 "arr" Ty.Str;
+      col ~width:10 "day" Ty.Str; col "rate" Ty.Float ]
+    [
+      [| i 201; s "Houston"; s "San Antonio"; s "09:10"; s "10:10"; s "mon"; f 110.0 |];
+      [| i 202; s "Houston"; s "New Orleans"; s "11:00"; s "12:20"; s "fri"; f 140.0 |];
+      [| i 203; s "Houston"; s "San Antonio"; s "19:30"; s "20:30"; s "sun"; f 90.0 |];
+    ];
+  Ldbms.Database.load db ~name:"f747"
+    [ col "snu" Ty.Int; col ~width:4 "sty" Ty.Str; col ~width:8 "sstat" Ty.Str;
+      col ~width:30 "passname" Ty.Str ]
+    [
+      [| i 1; s "1A"; s "FREE"; Value.Null |];
+      [| i 2; s "1B"; s "TAKEN"; s "garcia" |];
+      [| i 3; s "2A"; s "FREE"; Value.Null |];
+    ]
+
+(* UNITED: flight (fn, sour, dest, depa, arri, day, rates)
+           fn727 (sn, st, sst, pasna) *)
+let united db =
+  Ldbms.Database.load db ~name:"flight"
+    [ col "fn" Ty.Int; col ~width:20 "sour" Ty.Str; col ~width:20 "dest" Ty.Str;
+      col ~width:8 "depa" Ty.Str; col ~width:8 "arri" Ty.Str;
+      col ~width:10 "day" Ty.Str; col "rates" Ty.Float ]
+    [
+      [| i 301; s "Houston"; s "San Antonio"; s "06:45"; s "07:50"; s "mon"; f 95.0 |];
+      [| i 302; s "Houston"; s "Chicago"; s "10:15"; s "12:40"; s "tue"; f 210.0 |];
+      [| i 303; s "Houston"; s "San Antonio"; s "21:00"; s "22:05"; s "sat"; f 85.0 |];
+    ];
+  Ldbms.Database.load db ~name:"fn727"
+    [ col "sn" Ty.Int; col ~width:4 "st" Ty.Str; col ~width:8 "sst" Ty.Str;
+      col ~width:30 "pasna" Ty.Str ]
+    [
+      [| i 1; s "1A"; s "FREE"; Value.Null |];
+      [| i 2; s "1B"; s "FREE"; Value.Null |];
+    ]
+
+(* AVIS: cars (code, cartype, rate, carst, from, to, client) *)
+let avis db =
+  Ldbms.Database.load db ~name:"cars"
+    [ col "code" Ty.Int; col ~width:12 "cartype" Ty.Str; col "rate" Ty.Float;
+      col ~width:10 "carst" Ty.Str; col ~width:10 "from" Ty.Str;
+      col ~width:10 "to" Ty.Str; col ~width:30 "client" Ty.Str ]
+    [
+      [| i 1; s "sedan"; f 45.0; s "available"; Value.Null; Value.Null; Value.Null |];
+      [| i 2; s "suv"; f 65.0; s "rented"; s "07-01-92"; s "07-09-92"; s "smith" |];
+      [| i 3; s "compact"; f 35.0; s "available"; Value.Null; Value.Null; Value.Null |];
+      [| i 4; s "sedan"; f 50.0; s "available"; Value.Null; Value.Null; Value.Null |];
+    ]
+
+(* NATIONAL: vehicle (vcode, vty, vstat, from, to, client) — no rate column *)
+let national db =
+  Ldbms.Database.load db ~name:"vehicle"
+    [ col "vcode" Ty.Int; col ~width:12 "vty" Ty.Str; col ~width:10 "vstat" Ty.Str;
+      col ~width:10 "from" Ty.Str; col ~width:10 "to" Ty.Str;
+      col ~width:30 "client" Ty.Str ]
+    [
+      [| i 11; s "sedan"; s "available"; Value.Null; Value.Null; Value.Null |];
+      [| i 12; s "van"; s "rented"; s "06-28-92"; s "07-05-92"; s "brown" |];
+      [| i 13; s "compact"; s "available"; Value.Null; Value.Null; Value.Null |];
+    ]
+
+let loaders =
+  [
+    ("continental", continental);
+    ("delta", delta);
+    ("united", united);
+    ("avis", avis);
+    ("national", national);
+  ]
+
+let make ?(caps = []) () =
+  let world = Netsim.World.create () in
+  let directory = Narada.Directory.create () in
+  let session = Msession.create ~world ~directory () in
+  List.iteri
+    (fun idx (name, load) ->
+      let site = Printf.sprintf "site%d" (idx + 1) in
+      Netsim.World.add_site world (Netsim.Site.make site);
+      let db = Ldbms.Database.create name in
+      load db;
+      let engine_caps =
+        match Sqlcore.Names.assoc_opt name caps with
+        | Some c -> c
+        | None -> List.assoc name default_caps
+      in
+      Narada.Directory.register directory
+        (Narada.Service.make ~site ~caps:engine_caps db);
+      (match Msession.incorporate_auto session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      match Msession.import_all session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    loaders;
+  { session; world; directory }
+
+let database t name =
+  (Narada.Directory.find t.directory name).Narada.Service.database
+
+let scan t ~db ~table =
+  Ldbms.Table.to_relation (Ldbms.Database.find_table (database t db) table)
+
+let airline_fleet ?(flights_per_db = 100) ?(seed = 42) ~n () =
+  let world = Netsim.World.create () in
+  let directory = Narada.Directory.create () in
+  let session = Msession.create ~world ~directory () in
+  let rng = Random.State.make [| seed |] in
+  let cities =
+    [| "Houston"; "San Antonio"; "Dallas"; "Austin"; "Chicago"; "Denver" |]
+  in
+  for k = 1 to n do
+    let name = Printf.sprintf "airline%d" k in
+    let site = Printf.sprintf "asite%d" k in
+    Netsim.World.add_site world (Netsim.Site.make site);
+    let db = Ldbms.Database.create name in
+    let rows =
+      List.init flights_per_db (fun j ->
+          let src = cities.(Random.State.int rng (Array.length cities)) in
+          let dst = cities.(Random.State.int rng (Array.length cities)) in
+          [|
+            i ((k * 1000) + j);
+            s src;
+            s dst;
+            f (50.0 +. Random.State.float rng 200.0);
+          |])
+    in
+    Ldbms.Database.load db ~name:"flights"
+      [ col "flnu" Ty.Int; col ~width:20 "source" Ty.Str;
+        col ~width:20 "destination" Ty.Str; col "rate" Ty.Float ]
+      rows;
+    Narada.Directory.register directory
+      (Narada.Service.make ~site ~caps:Caps.ingres_like db);
+    (match Msession.incorporate_auto session ~service:name with
+    | Ok () -> ()
+    | Error m -> failwith m);
+    match Msession.import_all session ~service:name with
+    | Ok () -> ()
+    | Error m -> failwith m
+  done;
+  { session; world; directory }

@@ -1,0 +1,69 @@
+module Names = Sqlcore.Names
+
+type t = (string, (string, string * Sqlcore.Schema.t) Hashtbl.t) Hashtbl.t
+(* db key -> (table key -> (display name, schema)) *)
+
+let create () = Hashtbl.create 16
+let key = String.lowercase_ascii
+
+let db_tbl t db =
+  match Hashtbl.find_opt t (key db) with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace t (key db) tbl;
+      tbl
+
+let import_table t ~db ~table schema =
+  Hashtbl.replace (db_tbl t db) (key table) (table, schema)
+
+let import_columns t ~db ~table schema columns =
+  let picked =
+    List.map
+      (fun cname ->
+        match
+          List.find_opt
+            (fun (c : Sqlcore.Schema.column) -> Names.equal c.Sqlcore.Schema.name cname)
+            schema
+        with
+        | Some c -> c
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Gdd.import_columns: no column %s in %s" cname table))
+      columns
+  in
+  import_table t ~db ~table picked
+
+let import_database t ~db catalog =
+  List.iter (fun (table, schema) -> import_table t ~db ~table schema) catalog
+
+let forget_database t db = Hashtbl.remove t (key db)
+
+let databases t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let has_database t db = Hashtbl.mem t (key db)
+
+let tables t ~db =
+  match Hashtbl.find_opt t (key db) with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun _ (name, schema) acc -> (name, schema) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Names.compare a b)
+
+let find_table t ~db name =
+  match Hashtbl.find_opt t (key db) with
+  | None -> None
+  | Some tbl -> Option.map snd (Hashtbl.find_opt tbl (key name))
+
+let match_tables t ~db ~pattern =
+  tables t ~db
+  |> List.filter (fun (name, _) -> Sqlcore.Like.identifier ~pattern name)
+
+let match_columns schema ~pattern =
+  List.filter_map
+    (fun (c : Sqlcore.Schema.column) ->
+      if Sqlcore.Like.identifier ~pattern c.Sqlcore.Schema.name then
+        Some c.Sqlcore.Schema.name
+      else None)
+    schema

@@ -1,0 +1,38 @@
+(** The Global Data Dictionary: names, types and widths of the database
+    objects visible at the multidatabase level (§3.1).
+
+    Populated by IMPORT statements from Local Conceptual Schemas. The GDD
+    is what multiple-identifier substitution consults: expansion never
+    talks to a live database. *)
+
+type t
+
+val create : unit -> t
+
+val import_table : t -> db:string -> table:string -> Sqlcore.Schema.t -> unit
+(** Insert or replace one table definition. *)
+
+val import_columns :
+  t -> db:string -> table:string -> Sqlcore.Schema.t -> string list -> unit
+(** Partial import: only the named columns of the given schema. Raises
+    [Invalid_argument] if a named column is absent. *)
+
+val import_database : t -> db:string -> (string * Sqlcore.Schema.t) list -> unit
+(** Import a whole local conceptual schema (replaces prior definitions of
+    the same tables but keeps others). *)
+
+val forget_database : t -> string -> unit
+
+val databases : t -> string list
+val has_database : t -> string -> bool
+val tables : t -> db:string -> (string * Sqlcore.Schema.t) list
+
+val find_table : t -> db:string -> string -> Sqlcore.Schema.t option
+(** Exact (case-insensitive) lookup. *)
+
+val match_tables : t -> db:string -> pattern:string -> (string * Sqlcore.Schema.t) list
+(** Tables of [db] whose name matches a multiple identifier ([%]
+    wildcard); an exact name is the degenerate pattern. Sorted by name. *)
+
+val match_columns : Sqlcore.Schema.t -> pattern:string -> string list
+(** Column names of a schema matching a multiple identifier. *)

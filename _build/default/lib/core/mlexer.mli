@@ -1,0 +1,12 @@
+(** Lexer for MSQL.
+
+    Identical to the SQL lexer except for {e multiple identifiers}: the
+    [%] wildcard may appear anywhere in an identifier ([rate%], [%code],
+    [fl%8]), and the [~] optional-column marker may prefix one
+    ([~rate]). Such tokens are emitted as ordinary [Ident]s whose payload
+    keeps the markers; expansion interprets them. Consequently MSQL bodies
+    have no [%] modulo operator. *)
+
+exception Error of string * int * int
+
+val tokenize : string -> Sqlfront.Token.located list

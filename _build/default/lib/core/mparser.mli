@@ -1,0 +1,30 @@
+(** Parser for extended MSQL.
+
+    Concrete syntax follows the paper:
+
+    {v
+    USE continental VITAL delta united VITAL
+    UPDATE flight% SET rate% = rate% * 1.1
+    WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+    COMP continental
+      UPDATE flights SET rate = rate / 1.1
+      WHERE source = 'Houston' AND destination = 'San Antonio'
+    v}
+
+    Aliases in USE require the parenthesized form of the paper's grammar:
+    [USE (continental cont) VITAL (delta d)]. Multitransactions are
+    bracketed by [BEGIN MULTITRANSACTION] / [END MULTITRANSACTION] with a
+    [COMMIT] statement listing acceptable states, one conjunction
+    ([db AND db ...]) per state. *)
+
+exception Error of string * int * int
+
+val parse_toplevel : string -> Ast.toplevel
+(** Parse exactly one top-level MSQL statement. *)
+
+val parse_script : string -> Ast.toplevel list
+(** Parse a sequence of top-level statements (each optionally terminated
+    by [;]). *)
+
+val parse_query : string -> Ast.query
+(** Parse a single multiple query (USE ... LET ... body ... COMP ...). *)

@@ -1,0 +1,624 @@
+module D = Narada.Dol_ast
+module Engine = Narada.Engine
+module Names = Sqlcore.Names
+
+let log_src = Logs.Src.create "msql.session" ~doc:"MSQL pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type update_outcome = Success | Aborted | Incorrect
+
+type db_report = {
+  rdb : string;
+  rvital : Ast.vital;
+  rstatus : D.status;
+  raffected : int option;
+}
+
+type result =
+  | Multitable of Multitable.t
+  | Update_report of {
+      outcome : update_outcome;
+      details : db_report list;
+      dolstatus : int;
+      elapsed_ms : float;
+    }
+  | Mtx_report of {
+      chosen : int option;
+      incorrect : bool;
+      details : db_report list;
+      elapsed_ms : float;
+    }
+  | Info of string
+
+type t = {
+  world : Netsim.World.t;
+  directory : Narada.Directory.t;
+  ad : Ad.t;
+  gdd : Gdd.t;
+  mutable scope : Ast.use_item list;  (* current scope (USE CURRENT) *)
+  mutable optimize : bool;
+  mutable trace : (string -> unit) option;
+  virtual_dbs : (string, Ast.use_item list) Hashtbl.t;
+  triggers : (string, Ast.trigger_def) Hashtbl.t;
+  mutable trigger_order : string list;  (* creation order, oldest first *)
+  mutable trigger_log : string list;  (* oldest first *)
+  mutable firing_depth : int;  (* cascade guard *)
+}
+
+let create ?world ?directory () =
+  {
+    world = (match world with Some w -> w | None -> Netsim.World.create ());
+    directory =
+      (match directory with Some d -> d | None -> Narada.Directory.create ());
+    ad = Ad.create ();
+    gdd = Gdd.create ();
+    scope = [];
+    optimize = false;
+    trace = None;
+    virtual_dbs = Hashtbl.create 8;
+    triggers = Hashtbl.create 8;
+    trigger_order = [];
+    trigger_log = [];
+    firing_depth = 0;
+  }
+
+let world t = t.world
+let current_scope t = t.scope
+
+let triggers t =
+  List.filter_map
+    (fun name ->
+      Option.map (fun d -> (name, d)) (Hashtbl.find_opt t.triggers name))
+    t.trigger_order
+
+let trigger_log t = List.rev t.trigger_log
+let set_optimize t b = t.optimize <- b
+let set_trace t sink = t.trace <- sink
+let optimize_enabled t = t.optimize
+
+let maybe_optimize t (plan : Plangen.plan) =
+  if t.optimize then
+    { plan with Plangen.program = Narada.Dol_opt.optimize plan.Plangen.program }
+  else plan
+let log_trigger t fmt = Printf.ksprintf (fun m -> t.trigger_log <- m :: t.trigger_log) fmt
+
+(* resolve USE CURRENT: prepend the session scope, newest designations
+   winning on duplicates, and remember the effective scope *)
+let expand_virtual t scope =
+  List.concat_map
+    (fun (u : Ast.use_item) ->
+      match Hashtbl.find_opt t.virtual_dbs (Names.canon u.Ast.db) with
+      | None -> [ u ]
+      | Some members ->
+          (* a VITAL designation on the virtual database distributes over
+             its members; aliases on the virtual reference are dropped *)
+          List.map
+            (fun (m : Ast.use_item) ->
+              if u.Ast.vital = Ast.Vital then { m with Ast.vital = Ast.Vital }
+              else m)
+            members)
+    scope
+
+let effective_scope t (q : Ast.query) =
+  let scope =
+    if not q.Ast.use_current then expand_virtual t q.Ast.scope
+    else
+      let shadowed (u : Ast.use_item) =
+        List.exists
+          (fun (u' : Ast.use_item) -> Names.equal u'.Ast.db u.Ast.db)
+          q.Ast.scope
+      in
+      List.filter (fun u -> not (shadowed u)) t.scope
+      @ expand_virtual t q.Ast.scope
+  in
+  t.scope <- scope;
+  { q with Ast.scope; use_current = false }
+let directory t = t.directory
+let ad t = t.ad
+let gdd t = t.gdd
+
+(* ---- dictionary statements -------------------------------------------- *)
+
+let incorporate_stmt t (i : Ast.incorporate) =
+  match Narada.Directory.find_opt t.directory i.Ast.inc_service with
+  | None ->
+      Error
+        (Printf.sprintf "service %s is not known to the resource directory"
+           i.Ast.inc_service)
+  | Some svc ->
+      let actual_2pc =
+        Ldbms.Capabilities.supports_2pc svc.Narada.Service.caps
+      in
+      let declared_2pc = i.Ast.inc_commitmode = Ast.Supports_prepare in
+      if declared_2pc && not actual_2pc then
+        Error
+          (Printf.sprintf
+             "INCORPORATE declares COMMITMODE NOCOMMIT (2PC) but engine %s \
+              of service %s only autocommits"
+             svc.Narada.Service.caps.Ldbms.Capabilities.engine_name
+             i.Ast.inc_service)
+      else begin
+        (* declaring an autocommit-only interface for a 2PC engine is
+           allowed: the federation then simply never uses PREPARE there *)
+        Ad.incorporate t.ad i;
+        Ok ()
+      end
+
+let incorporate_auto t ~service =
+  match Narada.Directory.find_opt t.directory service with
+  | None ->
+      Error
+        (Printf.sprintf "service %s is not known to the resource directory"
+           service)
+  | Some svc ->
+      Ad.register t.ad
+        (Ad.of_capabilities ~service ~site:svc.Narada.Service.site
+           svc.Narada.Service.caps);
+      Ok ()
+
+let import_stmt t (imp : Ast.import) =
+  match Narada.Directory.find_opt t.directory imp.Ast.imp_service with
+  | None ->
+      Error
+        (Printf.sprintf "service %s is not known to the resource directory"
+           imp.Ast.imp_service)
+  | Some svc -> (
+      let db = svc.Narada.Service.database in
+      if not (Names.equal (Ldbms.Database.name db) imp.Ast.imp_database) then
+        Error
+          (Printf.sprintf "service %s hosts database %s, not %s"
+             imp.Ast.imp_service (Ldbms.Database.name db) imp.Ast.imp_database)
+      else
+        match imp.Ast.imp_scope with
+        | Ast.Import_all ->
+            Gdd.import_database t.gdd ~db:imp.Ast.imp_database
+              (Ldbms.Database.catalog db);
+            Ok ()
+        | Ast.Import_table { itable; icolumns } -> (
+            let schema_opt =
+              match Ldbms.Database.find_table_opt db itable with
+              | Some tbl -> Some (Ldbms.Table.schema tbl)
+              | None -> (
+                  (* the IMPORT grammar also covers views: import the
+                     view's result schema as a table definition *)
+                  match Ldbms.Database.find_view_opt db itable with
+                  | Some q -> (
+                      match Ldbms.Exec.view_schema db q with
+                      | schema -> Some schema
+                      | exception Ldbms.Exec.Error _ -> None)
+                  | None -> None)
+            in
+            match schema_opt with
+            | None ->
+                Error
+                  (Printf.sprintf "table or view %s does not exist in database %s"
+                     itable imp.Ast.imp_database)
+            | Some schema -> (
+                match icolumns with
+                | None ->
+                    Gdd.import_table t.gdd ~db:imp.Ast.imp_database ~table:itable
+                      schema;
+                    Ok ()
+                | Some cols -> (
+                    match
+                      Gdd.import_columns t.gdd ~db:imp.Ast.imp_database
+                        ~table:itable schema cols
+                    with
+                    | () -> Ok ()
+                    | exception Invalid_argument m -> Error m))))
+
+let import_all t ~service =
+  match Narada.Directory.find_opt t.directory service with
+  | None ->
+      Error
+        (Printf.sprintf "service %s is not known to the resource directory"
+           service)
+  | Some svc ->
+      import_stmt t
+        {
+          Ast.imp_database = Ldbms.Database.name svc.Narada.Service.database;
+          imp_service = service;
+          imp_scope = Ast.Import_all;
+        }
+
+(* ---- outcome interpretation -------------------------------------------- *)
+
+let report_of_bindings (outcome : Engine.outcome) bindings =
+  List.map
+    (fun (b : Plangen.binding) ->
+      {
+        rdb = b.Plangen.bdb;
+        rvital = b.Plangen.vital;
+        rstatus = Engine.status_of outcome b.Plangen.task;
+        raffected =
+          List.assoc_opt (String.lowercase_ascii b.Plangen.task)
+            outcome.Engine.rowcounts;
+      })
+    bindings
+
+let committed = function D.C -> true | D.P | D.A | D.E | D.N | D.X -> false
+let undone = function D.A | D.X | D.N -> true | D.C | D.P | D.E -> false
+
+let classify_update details =
+  let vitals = List.filter (fun r -> r.rvital = Ast.Vital) details in
+  if vitals = [] then Success
+  else if List.for_all (fun r -> committed r.rstatus) vitals then Success
+  else if List.for_all (fun r -> undone r.rstatus) vitals then Aborted
+  else Incorrect
+
+(* ---- query execution ----------------------------------------------------- *)
+
+let build_multitable (outcome : Engine.outcome) bindings =
+  let parts =
+    List.filter_map
+      (fun (b : Plangen.binding) ->
+        if b.Plangen.retrieval then
+          Engine.result_of outcome b.Plangen.task
+          |> Option.map (fun rel ->
+                 { Multitable.part_db = b.Plangen.bdb; part_table = rel })
+        else None)
+      bindings
+  in
+  Multitable.make parts
+
+let plan_of_query t (q : Ast.query) =
+  maybe_optimize t
+    (match Expand.expand t.gdd q with
+    | Expand.Replicated elems ->
+        Log.debug (fun f ->
+            f "expanded into %d elementary quer%s (%s)" (List.length elems)
+              (if List.length elems = 1 then "y" else "ies")
+              (String.concat ", "
+                 (List.map (fun (e : Expand.elementary) -> e.Expand.edb) elems)));
+        Plangen.plan_replicated t.ad q elems
+    | Expand.Global { gselect; grefs } ->
+        let dp = Decompose.decompose ~gselect ~grefs in
+        Log.debug (fun f ->
+            f "decomposed global query: coordinator %s, %d shipped subqueries"
+              dp.Decompose.coordinator
+              (List.length dp.Decompose.shipped));
+        Plangen.plan_global t.ad q dp
+    | Expand.Transfer { tdb; tuse; ttable; tcolumns; gselect; grefs } ->
+        Plangen.plan_transfer t.ad ~tdb ~tuse ~ttable ~tcolumns
+          (Decompose.decompose ~gselect ~grefs))
+
+let run_query t (q : Ast.query) =
+  let q = effective_scope t q in
+  if q.Ast.scope = [] then
+    Error "empty query scope (no current scope established yet?)"
+  else
+  match plan_of_query t q with
+  | exception Expand.Error m -> Error m
+  | exception Decompose.Error m -> Error m
+  | exception Plangen.Error m -> Error m
+  | plan -> (
+      match
+        Engine.run ?on_event:t.trace ~directory:t.directory ~world:t.world
+          plan.Plangen.program
+      with
+      | Error m -> Error m
+      | Ok outcome ->
+          let details = report_of_bindings outcome plan.Plangen.task_bindings in
+          if Ast.is_retrieval q then
+            if outcome.Engine.dolstatus = 0 then
+              Ok (Multitable (build_multitable outcome plan.Plangen.task_bindings))
+            else
+              let failed =
+                List.filter
+                  (fun r -> r.rvital = Ast.Vital && not (committed r.rstatus))
+                  details
+              in
+              Error
+                (Printf.sprintf
+                   "multiple query aborted: vital subquery failed on %s"
+                   (String.concat ", " (List.map (fun r -> r.rdb) failed)))
+          else
+            Ok
+              (Update_report
+                 {
+                   outcome = classify_update details;
+                   details;
+                   dolstatus = outcome.Engine.dolstatus;
+                   elapsed_ms = outcome.Engine.elapsed_ms;
+                 }))
+
+(* ---- multitransactions --------------------------------------------------- *)
+
+let run_mtx t (mtx : Ast.multitransaction) =
+  let expand_one (q : Ast.query) =
+    let q = { q with Ast.scope = expand_virtual t q.Ast.scope } in
+    match Expand.expand t.gdd q with
+    | Expand.Replicated elems -> (q, elems)
+    | Expand.Global _ | Expand.Transfer _ ->
+        raise
+          (Expand.Error
+             "cross-database statements are not allowed inside a multitransaction")
+  in
+  match List.map expand_one mtx.Ast.queries with
+  | exception Expand.Error m -> Error m
+  | expanded -> (
+      match maybe_optimize t (Plangen.plan_mtx t.ad mtx expanded) with
+      | exception Plangen.Error m -> Error m
+      | plan -> (
+          match
+            Engine.run ?on_event:t.trace ~directory:t.directory ~world:t.world
+              plan.Plangen.program
+          with
+          | Error m -> Error m
+          | Ok outcome ->
+              let details = report_of_bindings outcome plan.Plangen.task_bindings in
+              let status_of db =
+                match
+                  List.find_opt (fun r -> Names.equal r.rdb db) details
+                with
+                | Some r -> r.rstatus
+                | None -> D.N
+              in
+              (* which databases does state i require? resolve aliases *)
+              let dbs_of_state state =
+                List.map
+                  (fun name ->
+                    match
+                      List.find_opt
+                        (fun ((q : Ast.query), _) ->
+                          Ast.find_in_scope q.Ast.scope name <> None)
+                        expanded
+                    with
+                    | Some (q, _) ->
+                        (Option.get (Ast.find_in_scope q.Ast.scope name)).Ast.db
+                    | None -> name)
+                  state
+              in
+              let satisfied state =
+                let dbs = dbs_of_state state in
+                let all_participants = List.map (fun r -> r.rdb) details in
+                List.for_all (fun db -> committed (status_of db)) dbs
+                && List.for_all
+                     (fun db ->
+                       List.exists (Names.equal db) dbs
+                       || undone (status_of db))
+                     all_participants
+              in
+              let chosen =
+                let rec find i = function
+                  | [] -> None
+                  | s :: rest -> if satisfied s then Some i else find (i + 1) rest
+                in
+                find 0 mtx.Ast.acceptable
+              in
+              let all_undone =
+                List.for_all (fun r -> undone r.rstatus) details
+              in
+              let incorrect = chosen = None && not all_undone in
+              Ok
+                (Mtx_report
+                   {
+                     chosen;
+                     incorrect;
+                     details;
+                     elapsed_ms = outcome.Engine.elapsed_ms;
+                   })))
+
+(* ---- interdatabase triggers -------------------------------------------------- *)
+
+let max_trigger_depth = 4
+
+(* databases whose state a successful execution changed *)
+let written_dbs = function
+  | Update_report { details; _ } | Mtx_report { details; _ } ->
+      List.filter_map
+        (fun r ->
+          match r.rstatus, r.raffected with
+          | D.C, Some n when n > 0 -> Some r.rdb
+          | _ -> None)
+        details
+  | Multitable _ | Info _ -> []
+
+(* Trigger conditions are evaluated by the monitored database's LAM
+   locally; here that is a direct read of the service's database. *)
+let condition_fires t (d : Ast.trigger_def) =
+  match Narada.Directory.find_opt t.directory d.Ast.trg_db with
+  | None -> Error (Printf.sprintf "service %s unknown" d.Ast.trg_db)
+  | Some svc -> (
+      match
+        Ldbms.Exec.run_select svc.Narada.Service.database d.Ast.trg_condition
+      with
+      | rel -> Ok (not (Sqlcore.Relation.is_empty rel))
+      | exception Ldbms.Exec.Error m -> Error m)
+
+(* ---- translation (no execution) --------------------------------------------- *)
+
+let rec translate_toplevel t = function
+  | Ast.Query q -> (
+      match plan_of_query t (effective_scope t q) with
+      | plan -> Ok plan.Plangen.program
+      | exception Expand.Error m -> Error m
+      | exception Decompose.Error m -> Error m
+      | exception Plangen.Error m -> Error m)
+  | Ast.Multitransaction mtx -> (
+      let expand_one (q : Ast.query) =
+        let q = { q with Ast.scope = expand_virtual t q.Ast.scope } in
+        match Expand.expand t.gdd q with
+        | Expand.Replicated elems -> (q, elems)
+        | Expand.Global _ | Expand.Transfer _ ->
+            raise
+              (Expand.Error
+                 "cross-database statements are not allowed inside a multitransaction")
+      in
+      match
+        Plangen.plan_mtx t.ad mtx (List.map expand_one mtx.Ast.queries)
+      with
+      | plan -> Ok plan.Plangen.program
+      | exception Expand.Error m -> Error m
+      | exception Plangen.Error m -> Error m)
+  | Ast.Explain inner -> translate_toplevel t inner
+  | Ast.Incorporate _ | Ast.Import _ | Ast.Create_trigger _ | Ast.Drop_trigger _
+  | Ast.Create_multidatabase _ | Ast.Drop_multidatabase _ ->
+      Error "dictionary and trigger statements have no DOL translation"
+
+(* ---- entry points ---------------------------------------------------------- *)
+
+let rec fire_triggers t result =
+  match written_dbs result with
+  | [] -> ()
+  | dbs when t.firing_depth >= max_trigger_depth ->
+      log_trigger t "cascade depth limit reached; triggers on %s not evaluated"
+        (String.concat ", " dbs)
+  | dbs ->
+      List.iter
+        (fun (name, (d : Ast.trigger_def)) ->
+          if List.exists (Names.equal d.Ast.trg_db) dbs then
+            match condition_fires t d with
+            | Error m -> log_trigger t "trigger %s: condition error: %s" name m
+            | Ok false -> ()
+            | Ok true -> (
+                log_trigger t "trigger %s fired (condition on %s)" name
+                  d.Ast.trg_db;
+                t.firing_depth <- t.firing_depth + 1;
+                let r =
+                  Fun.protect
+                    ~finally:(fun () -> t.firing_depth <- t.firing_depth - 1)
+                    (fun () -> exec_toplevel t (Ast.Query d.Ast.trg_action))
+                in
+                match r with
+                | Ok _ -> log_trigger t "trigger %s action completed" name
+                | Error m -> log_trigger t "trigger %s action failed: %s" name m))
+        (triggers t)
+
+and exec_toplevel t = function
+  | Ast.Query q -> (
+      match run_query t q with
+      | Ok r ->
+          fire_triggers t r;
+          Ok r
+      | Error _ as e -> e)
+  | Ast.Multitransaction mtx -> (
+      match run_mtx t mtx with
+      | Ok r ->
+          fire_triggers t r;
+          Ok r
+      | Error _ as e -> e)
+  | Ast.Create_trigger d ->
+      if Hashtbl.mem t.triggers d.Ast.trg_name then
+        Error (Printf.sprintf "trigger %s already exists" d.Ast.trg_name)
+      else if Narada.Directory.find_opt t.directory d.Ast.trg_db = None then
+        Error
+          (Printf.sprintf "trigger %s monitors unknown service %s"
+             d.Ast.trg_name d.Ast.trg_db)
+      else begin
+        Hashtbl.replace t.triggers d.Ast.trg_name d;
+        t.trigger_order <- t.trigger_order @ [ d.Ast.trg_name ];
+        Ok (Info (Printf.sprintf "trigger %s created on %s" d.Ast.trg_name d.Ast.trg_db))
+      end
+  | Ast.Drop_trigger name ->
+      if Hashtbl.mem t.triggers name then begin
+        Hashtbl.remove t.triggers name;
+        t.trigger_order <-
+          List.filter (fun n -> not (String.equal n name)) t.trigger_order;
+        Ok (Info (Printf.sprintf "trigger %s dropped" name))
+      end
+      else Error (Printf.sprintf "no trigger named %s" name)
+  | Ast.Explain inner -> (
+      match translate_toplevel t inner with
+      | Ok prog -> Ok (Info (Narada.Dol_pp.program_to_string prog))
+      | Error m -> Error m)
+  | Ast.Create_multidatabase { mdb_name; mdb_members } ->
+      if Hashtbl.mem t.virtual_dbs (Names.canon mdb_name) then
+        Error (Printf.sprintf "multidatabase %s already exists" mdb_name)
+      else if Gdd.has_database t.gdd mdb_name then
+        Error
+          (Printf.sprintf "%s already names an imported database" mdb_name)
+      else begin
+        (* members must be importable databases or other virtual dbs *)
+        match
+          List.find_opt
+            (fun (u : Ast.use_item) ->
+              (not (Gdd.has_database t.gdd u.Ast.db))
+              && not (Hashtbl.mem t.virtual_dbs (Names.canon u.Ast.db)))
+            mdb_members
+        with
+        | Some u ->
+            Error (Printf.sprintf "unknown member database %s" u.Ast.db)
+        | None ->
+            Hashtbl.replace t.virtual_dbs (Names.canon mdb_name)
+              (expand_virtual t mdb_members);
+            Ok (Info (Printf.sprintf "multidatabase %s created" mdb_name))
+      end
+  | Ast.Drop_multidatabase name ->
+      if Hashtbl.mem t.virtual_dbs (Names.canon name) then begin
+        Hashtbl.remove t.virtual_dbs (Names.canon name);
+        Ok (Info (Printf.sprintf "multidatabase %s dropped" name))
+      end
+      else Error (Printf.sprintf "no multidatabase named %s" name)
+  | Ast.Incorporate i -> (
+      match incorporate_stmt t i with
+      | Ok () -> Ok (Info (Printf.sprintf "service %s incorporated" i.Ast.inc_service))
+      | Error m -> Error m)
+  | Ast.Import imp -> (
+      match import_stmt t imp with
+      | Ok () ->
+          Ok
+            (Info
+               (Printf.sprintf "database %s imported from service %s"
+                  imp.Ast.imp_database imp.Ast.imp_service))
+      | Error m -> Error m)
+
+let exec t text =
+  match Mparser.parse_toplevel text with
+  | tl -> exec_toplevel t tl
+  | exception Mparser.Error (m, l, c) ->
+      Error (Printf.sprintf "MSQL parse error at %d:%d: %s" l c m)
+
+let exec_script t text =
+  match Mparser.parse_script text with
+  | exception Mparser.Error (m, l, c) ->
+      Error (Printf.sprintf "MSQL parse error at %d:%d: %s" l c m)
+  | tls ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | tl :: rest -> (
+            match exec_toplevel t tl with
+            | Ok r -> go (r :: acc) rest
+            | Error m -> Error m)
+      in
+      go [] tls
+
+let translate t text =
+  match Mparser.parse_toplevel text with
+  | exception Mparser.Error (m, l, c) ->
+      Error (Printf.sprintf "MSQL parse error at %d:%d: %s" l c m)
+  | tl -> translate_toplevel t tl
+
+(* ---- printing ---------------------------------------------------------------- *)
+
+let update_outcome_to_string = function
+  | Success -> "success"
+  | Aborted -> "aborted"
+  | Incorrect -> "INCORRECT"
+
+let db_report_to_string r =
+  Printf.sprintf "%s%s: %s%s" r.rdb
+    (match r.rvital with Ast.Vital -> " (vital)" | Ast.Non_vital -> "")
+    (D.status_to_string r.rstatus)
+    (match r.raffected with
+    | Some n -> Printf.sprintf " [%d row(s)]" n
+    | None -> "")
+
+let result_to_string = function
+  | Multitable mt -> Multitable.to_string mt
+  | Update_report { outcome; details; dolstatus; elapsed_ms } ->
+      Printf.sprintf "update %s (DOLSTATUS=%d, %.2f ms)\n%s"
+        (update_outcome_to_string outcome)
+        dolstatus elapsed_ms
+        (String.concat "\n" (List.map (fun r -> "  " ^ db_report_to_string r) details))
+  | Mtx_report { chosen; incorrect; details; elapsed_ms } ->
+      let headline =
+        match chosen, incorrect with
+        | Some i, _ -> Printf.sprintf "multitransaction committed acceptable state %d" (i + 1)
+        | None, false -> "multitransaction aborted (all subqueries undone)"
+        | None, true -> "multitransaction INCORRECT (unacceptable mixed state)"
+      in
+      Printf.sprintf "%s (%.2f ms)\n%s" headline elapsed_ms
+        (String.concat "\n" (List.map (fun r -> "  " ^ db_report_to_string r) details))
+  | Info m -> m

@@ -1,0 +1,98 @@
+(** The multidatabase session: the top of Figure 1.
+
+    A session owns the Auxiliary Dictionary, the Global Data Dictionary,
+    the Narada resource directory and the simulated network. [exec] runs
+    the full §4.3 pipeline on MSQL text: parse → multiple-identifier
+    substitution → disambiguation → decomposition → DOL plan generation →
+    execution by the DOL engine; [translate] stops after plan generation
+    and returns the DOL program, like the paper's translator. *)
+
+(** Outcome of a multiple update with respect to its vital set (§3.2.1):
+    [Success] — every VITAL subquery committed; [Aborted] — every VITAL
+    subquery was rolled back or compensated; [Incorrect] — the vital set
+    split (some committed, some not, or a state is unknown after a site
+    failure). *)
+type update_outcome = Success | Aborted | Incorrect
+
+type db_report = {
+  rdb : string;  (** database *)
+  rvital : Ast.vital;
+  rstatus : Narada.Dol_ast.status;  (** final task status *)
+  raffected : int option;  (** rows affected, when the task ran *)
+}
+
+type result =
+  | Multitable of Multitable.t  (** retrieval result *)
+  | Update_report of {
+      outcome : update_outcome;
+      details : db_report list;
+      dolstatus : int;
+      elapsed_ms : float;
+    }
+  | Mtx_report of {
+      chosen : int option;  (** 0-based index of the acceptable state
+                                 reached; [None] when the multitransaction
+                                 failed and was fully undone *)
+      incorrect : bool;  (** an unacceptable mixed state was reached *)
+      details : db_report list;
+      elapsed_ms : float;
+    }
+  | Info of string  (** INCORPORATE / IMPORT acknowledgement *)
+
+type t
+
+val create :
+  ?world:Netsim.World.t -> ?directory:Narada.Directory.t -> unit -> t
+
+val world : t -> Netsim.World.t
+
+val current_scope : t -> Ast.use_item list
+(** The session's current scope: the effective scope of the last executed
+    query. [USE CURRENT db ...] statements extend it; plain [USE]
+    statements replace it. *)
+
+val directory : t -> Narada.Directory.t
+val ad : t -> Ad.t
+val gdd : t -> Gdd.t
+
+val incorporate_auto : t -> service:string -> (unit, string) Stdlib.result
+(** Incorporate a service with an AD entry derived from its actual engine
+    capabilities (and its directory site). *)
+
+val import_all : t -> service:string -> (unit, string) Stdlib.result
+(** IMPORT DATABASE <service's db> FROM SERVICE <service>. *)
+
+val exec_toplevel : t -> Ast.toplevel -> (result, string) Stdlib.result
+val exec : t -> string -> (result, string) Stdlib.result
+(** Parse and execute one top-level MSQL statement. *)
+
+val exec_script : t -> string -> (result list, string) Stdlib.result
+
+val translate : t -> string -> (Narada.Dol_ast.program, string) Stdlib.result
+(** MSQL → DOL translation only (no execution); the paper's translator
+    output for the statement. *)
+
+val run_query : t -> Ast.query -> (result, string) Stdlib.result
+val run_mtx : t -> Ast.multitransaction -> (result, string) Stdlib.result
+
+val set_trace : t -> (string -> unit) option -> unit
+(** Install an execution-trace sink: every DOL engine coordination event
+    of subsequent queries is passed to it (see {!Narada.Engine.run}). *)
+
+val set_optimize : t -> bool -> unit
+(** Enable the DOL optimizer ({!Narada.Dol_opt}) on generated plans
+    (default: off, so that translated programs match the paper's shape;
+    the optimizer is §5's future-work direction and is benchmarked as an
+    ablation). *)
+
+val optimize_enabled : t -> bool
+
+val triggers : t -> (string * Ast.trigger_def) list
+(** Registered interdatabase triggers, in creation order. *)
+
+val trigger_log : t -> string list
+(** Firing log (oldest first): one entry per condition evaluation that
+    fired an action, plus entries for refused or failed actions. *)
+
+val update_outcome_to_string : update_outcome -> string
+val result_to_string : result -> string

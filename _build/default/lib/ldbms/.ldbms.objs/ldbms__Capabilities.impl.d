@@ -1,0 +1,1 @@
+lib/ldbms/capabilities.ml: Format

@@ -1,0 +1,1 @@
+lib/ldbms/capabilities.mli: Format

@@ -1,0 +1,1 @@
+lib/ldbms/database.ml: Hashtbl List Option Printf Sqlcore Sqlfront String Table

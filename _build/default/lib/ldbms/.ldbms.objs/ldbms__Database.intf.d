@@ -1,0 +1,1 @@
+lib/ldbms/database.mli: Sqlcore Sqlfront Table

@@ -1,0 +1,1 @@
+lib/ldbms/eval.ml: Array Like List Printf Relation Row Schema Sqlcore Sqlfront Value

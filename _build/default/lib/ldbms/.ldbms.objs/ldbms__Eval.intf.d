@@ -1,0 +1,1 @@
+lib/ldbms/eval.mli: Sqlcore Sqlfront

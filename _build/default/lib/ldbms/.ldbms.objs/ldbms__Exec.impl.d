@@ -1,0 +1,1 @@
+lib/ldbms/exec.ml: Array Database Eval Hashtbl List Names Option Printf Relation Row Schema Sqlcore Sqlfront String Table Txn Ty Value

@@ -1,0 +1,1 @@
+lib/ldbms/exec.mli: Database Eval Sqlcore Sqlfront Txn

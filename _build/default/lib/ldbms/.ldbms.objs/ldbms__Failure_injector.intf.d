@@ -1,0 +1,1 @@
+lib/ldbms/failure_injector.mli:

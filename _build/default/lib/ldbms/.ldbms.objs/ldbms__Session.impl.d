@@ -1,0 +1,1 @@
+lib/ldbms/session.ml: Capabilities Database Exec Failure_injector List Printf Sqlcore Sqlfront Txn

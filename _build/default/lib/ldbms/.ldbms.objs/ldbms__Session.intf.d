@@ -1,0 +1,1 @@
+lib/ldbms/session.mli: Capabilities Database Failure_injector Sqlcore Sqlfront Stdlib Txn

@@ -1,0 +1,1 @@
+lib/ldbms/table.ml: Array Hashtbl List Option Printf Sqlcore

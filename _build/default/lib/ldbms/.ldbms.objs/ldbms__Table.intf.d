@@ -1,0 +1,1 @@
+lib/ldbms/table.mli: Sqlcore

@@ -1,0 +1,1 @@
+lib/ldbms/txn.ml: Database List Table

@@ -1,0 +1,1 @@
+lib/ldbms/txn.mli: Database Sqlfront Table

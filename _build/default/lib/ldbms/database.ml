@@ -1,0 +1,106 @@
+type t = {
+  name : string;
+  tables : (string, Table.t) Hashtbl.t;
+  views : (string, string * Sqlfront.Ast.select) Hashtbl.t;
+  indexes : (string, string * string) Hashtbl.t;  (* index key -> table, column *)
+}
+
+exception No_such_table of string
+exception Table_exists of string
+exception View_exists of string
+exception No_such_view of string
+exception Index_exists of string
+exception No_such_index of string
+
+let create name =
+  {
+    name;
+    tables = Hashtbl.create 16;
+    views = Hashtbl.create 8;
+    indexes = Hashtbl.create 8;
+  }
+let name t = t.name
+let key n = Sqlcore.Names.canon n
+
+let table_names t =
+  Hashtbl.fold (fun _ tbl acc -> Table.name tbl :: acc) t.tables []
+  |> List.sort Sqlcore.Names.compare
+
+let find_table_opt t n = Hashtbl.find_opt t.tables (key n)
+
+let find_table t n =
+  match find_table_opt t n with
+  | Some tbl -> tbl
+  | None -> raise (No_such_table n)
+
+let create_table t ~name schema =
+  if Hashtbl.mem t.tables (key name) then raise (Table_exists name);
+  if Hashtbl.mem t.views (key name) then raise (View_exists name);
+  let tbl = Table.create ~name schema in
+  Hashtbl.add t.tables (key name) tbl;
+  tbl
+
+let drop_table t n =
+  match find_table_opt t n with
+  | Some tbl ->
+      Hashtbl.remove t.tables (key n);
+      tbl
+  | None -> raise (No_such_table n)
+
+let restore_table t tbl = Hashtbl.replace t.tables (key (Table.name tbl)) tbl
+
+let catalog t =
+  table_names t |> List.map (fun n -> (n, Table.schema (find_table t n)))
+
+let load t ~name schema rows =
+  Hashtbl.remove t.tables (key name);
+  let tbl = create_table t ~name schema in
+  List.iter (Table.insert tbl) rows
+
+let find_view_opt t n = Option.map snd (Hashtbl.find_opt t.views (key n))
+
+let create_view t ~name q =
+  if Hashtbl.mem t.tables (key name) then raise (Table_exists name);
+  if Hashtbl.mem t.views (key name) then raise (View_exists name);
+  Hashtbl.replace t.views (key name) (name, q)
+
+let drop_view t n =
+  match Hashtbl.find_opt t.views (key n) with
+  | Some (_, q) ->
+      Hashtbl.remove t.views (key n);
+      q
+  | None -> raise (No_such_view n)
+
+let restore_view t ~name q = Hashtbl.replace t.views (key name) (name, q)
+
+let view_names t =
+  Hashtbl.fold (fun _ (name, _) acc -> name :: acc) t.views []
+  |> List.sort Sqlcore.Names.compare
+
+let create_index t ~name ~table ~column =
+  if Hashtbl.mem t.indexes (key name) then raise (Index_exists name);
+  let tbl = find_table t table in
+  if not (Sqlcore.Schema.mem (Table.schema tbl) column) then
+    invalid_arg
+      (Printf.sprintf "Database.create_index: no column %s in %s" column table);
+  Hashtbl.replace t.indexes (key name) (Table.name tbl, column)
+
+let drop_index t name =
+  match Hashtbl.find_opt t.indexes (key name) with
+  | Some entry ->
+      Hashtbl.remove t.indexes (key name);
+      entry
+  | None -> raise (No_such_index name)
+
+let restore_index t ~name ~table ~column =
+  Hashtbl.replace t.indexes (key name) (table, column)
+
+let has_index t ~table ~column =
+  Hashtbl.fold
+    (fun _ (tb, col) acc ->
+      acc
+      || (Sqlcore.Names.equal tb table && Sqlcore.Names.equal col column))
+    t.indexes false
+
+let index_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.indexes [] |> List.sort String.compare

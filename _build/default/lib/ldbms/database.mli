@@ -1,0 +1,76 @@
+(** A local database: a named catalog of tables.
+
+    This plays the role of one LDBS behind a LAM. Its Local Conceptual
+    Schema — the table/column/type information the MSQL IMPORT statement
+    reads — is exactly {!catalog}. *)
+
+type t
+
+exception No_such_table of string
+exception Table_exists of string
+
+val create : string -> t
+val name : t -> string
+val table_names : t -> string list
+
+val find_table : t -> string -> Table.t
+(** Raises {!No_such_table}. Case-insensitive. *)
+
+val find_table_opt : t -> string -> Table.t option
+
+val create_table : t -> name:string -> Sqlcore.Schema.t -> Table.t
+(** Raises {!Table_exists} if the name is taken. *)
+
+val drop_table : t -> string -> Table.t
+(** Removes and returns the dropped table (for undo logs); raises
+    {!No_such_table}. *)
+
+val restore_table : t -> Table.t -> unit
+(** Puts a dropped table back (undo of drop). *)
+
+val catalog : t -> (string * Sqlcore.Schema.t) list
+(** Table name and schema pairs, sorted by table name — the database's
+    local conceptual schema. *)
+
+val load : t -> name:string -> Sqlcore.Schema.t -> Sqlcore.Row.t list -> unit
+(** Create a table and bulk-load rows; convenience for fixtures. Replaces
+    any existing table with that name. *)
+
+(** {2 Views}
+
+    A view is a named, stored SELECT, expanded when referenced in a FROM
+    clause. Views share the table namespace. *)
+
+exception View_exists of string
+exception No_such_view of string
+
+val create_view : t -> name:string -> Sqlfront.Ast.select -> unit
+(** Raises {!Table_exists} or {!View_exists} when the name is taken. *)
+
+val drop_view : t -> string -> Sqlfront.Ast.select
+(** Removes and returns the definition (for undo logs); raises
+    {!No_such_view}. *)
+
+val restore_view : t -> name:string -> Sqlfront.Ast.select -> unit
+val find_view_opt : t -> string -> Sqlfront.Ast.select option
+val view_names : t -> string list
+
+(** {2 Indexes}
+
+    A declared index enables the executor's hash-lookup fast path for
+    equality predicates on the column. Purely physical: no semantics. *)
+
+exception Index_exists of string
+exception No_such_index of string
+
+val create_index : t -> name:string -> table:string -> column:string -> unit
+(** Raises {!Index_exists}, {!No_such_table}, or [Invalid_argument] when
+    the column does not exist. *)
+
+val drop_index : t -> string -> string * string
+(** Removes the named index and returns its (table, column); raises
+    {!No_such_index}. *)
+
+val restore_index : t -> name:string -> table:string -> column:string -> unit
+val has_index : t -> table:string -> column:string -> bool
+val index_names : t -> string list

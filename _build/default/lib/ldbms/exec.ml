@@ -1,0 +1,589 @@
+module Ast = Sqlfront.Ast
+module Sql_pp = Sqlfront.Sql_pp
+open Sqlcore
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let wrap f =
+  try f () with
+  | Eval.Type_error m -> err "type error: %s" m
+  | Eval.Unknown_column c -> err "unknown column: %s" c
+  | Eval.Ambiguous_column c -> err "ambiguous column: %s" c
+  | Database.No_such_table t -> err "no such table: %s" t
+  | Database.Table_exists t -> err "table already exists: %s" t
+  | Database.No_such_view v -> err "no such view: %s" v
+  | Database.View_exists v -> err "view already exists: %s" v
+  | Database.No_such_index i -> err "no such index: %s" i
+  | Database.Index_exists i -> err "index already exists: %s" i
+
+(* ---- output-schema type inference ------------------------------------- *)
+
+let rec infer_expr_ty schema = function
+  | Ast.Lit v -> Option.value (Value.ty v) ~default:Ty.Str
+  | Ast.Col { qualifier; name } -> (
+      match Schema.find_index schema ?qualifier name with
+      | Some i -> (List.nth schema i).Schema.ty
+      | None -> Ty.Str)
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), a, b) -> (
+      match infer_expr_ty schema a, infer_expr_ty schema b with
+      | Ty.Int, Ty.Int -> Ty.Int
+      | _ -> Ty.Float)
+  | Ast.Binop (Ast.Concat, _, _) -> Ty.Str
+  | Ast.Binop
+      ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or), _, _)
+    ->
+      Ty.Bool
+  | Ast.Unop (Ast.Neg, a) -> infer_expr_ty schema a
+  | Ast.Unop (Ast.Not, _) -> Ty.Bool
+  | Ast.Is_null _ | Ast.Like _ | Ast.In_list _ | Ast.Between _ | Ast.In_subquery _
+  | Ast.Exists _ ->
+      Ty.Bool
+  | Ast.Agg { fn = Count_star | Count; _ } -> Ty.Int
+  | Ast.Agg { fn = Avg; _ } -> Ty.Float
+  | Ast.Agg { fn = Sum | Min | Max; arg; _ } -> (
+      match arg with Some a -> infer_expr_ty schema a | None -> Ty.Int)
+  | Ast.Scalar_subquery q -> (
+      match q.Ast.projections with
+      | [ Ast.Proj_expr (e, _) ] -> infer_expr_ty [] e
+      | _ -> Ty.Str)
+
+(* ---- projection naming ------------------------------------------------- *)
+
+let agg_fn_name = function
+  | Ast.Count_star | Ast.Count -> "count"
+  | Ast.Sum -> "sum"
+  | Ast.Avg -> "avg"
+  | Ast.Min -> "min"
+  | Ast.Max -> "max"
+
+let derived_name = function
+  | Ast.Col { name; _ } -> name
+  | Ast.Agg { fn; arg; _ } -> (
+      match arg with
+      | Some (Ast.Col { name; _ }) -> agg_fn_name fn ^ "_" ^ name
+      | Some _ | None -> agg_fn_name fn)
+  | e -> Sql_pp.expr_to_string e
+
+(* ---- FROM clause ------------------------------------------------------- *)
+
+(* Views expand to their evaluated definition; [depth] guards against
+   mutually recursive view definitions. *)
+let max_view_depth = 16
+
+let relation_of_from ~eval_select ~depth db (from : Ast.table_ref list) =
+  if from = [] then err "empty FROM clause";
+  let one (r : Ast.table_ref) =
+    let qualifier = Some (Option.value r.Ast.alias ~default:r.Ast.table) in
+    match Database.find_table_opt db r.Ast.table with
+    | Some tbl -> Relation.requalify qualifier (Table.to_relation tbl)
+    | None -> (
+        match Database.find_view_opt db r.Ast.table with
+        | Some q ->
+            if depth >= max_view_depth then
+              err "view expansion too deep (recursive views?) at %s" r.Ast.table
+            else Relation.requalify qualifier (eval_select q)
+        | None -> err "no such table: %s" r.Ast.table)
+  in
+  match List.map one from with
+  | [] -> assert false
+  | first :: rest -> List.fold_left Relation.product first rest
+
+(* ---- aggregates -------------------------------------------------------- *)
+
+let compute_agg ctx schema rows (fn, distinct, arg) =
+  let values_of e =
+    List.filter_map
+      (fun row ->
+        let v = Eval.eval ctx (Eval.env schema row) e in
+        if Value.is_null v then None else Some v)
+      rows
+  in
+  let dedup vs =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun v ->
+        let k = Value.to_literal v in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      vs
+  in
+  match fn, arg with
+  | Ast.Count_star, _ -> Value.Int (List.length rows)
+  | Ast.Count, Some e ->
+      let vs = values_of e in
+      Value.Int (List.length (if distinct then dedup vs else vs))
+  | (Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), Some e -> (
+      let vs = values_of e in
+      let vs = if distinct then dedup vs else vs in
+      match vs with
+      | [] -> Value.Null
+      | v0 :: _ -> (
+          match fn with
+          | Ast.Min ->
+              List.fold_left (fun a v -> if Value.compare v a < 0 then v else a) v0 vs
+          | Ast.Max ->
+              List.fold_left (fun a v -> if Value.compare v a > 0 then v else a) v0 vs
+          | Ast.Sum ->
+              if List.for_all (fun v -> Value.as_int v <> None) vs then
+                Value.Int
+                  (List.fold_left (fun a v -> a + Option.get (Value.as_int v)) 0 vs)
+              else
+                let total =
+                  List.fold_left
+                    (fun a v ->
+                      match Value.as_float v with
+                      | Some f -> a +. f
+                      | None -> raise (Eval.Type_error "SUM of non-numeric value"))
+                    0.0 vs
+                in
+                Value.Float total
+          | Ast.Avg ->
+              let total =
+                List.fold_left
+                  (fun a v ->
+                    match Value.as_float v with
+                    | Some f -> a +. f
+                    | None -> raise (Eval.Type_error "AVG of non-numeric value"))
+                  0.0 vs
+              in
+              Value.Float (total /. float_of_int (List.length vs))
+          | Ast.Count | Ast.Count_star -> assert false))
+  | (Ast.Count | Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), None ->
+      raise (Eval.Type_error "aggregate function needs an argument")
+
+(* ---- index fast path ----------------------------------------------------- *)
+
+(* When the FROM clause is a single base table and the WHERE clause contains
+   a top-level conjunct [col = literal] on a declared-indexed column, seed
+   the scan from the hash lookup instead of the full table. The complete
+   predicate is still applied afterwards, so this is purely a physical
+   optimization. *)
+let rec where_conjuncts = function
+  | Ast.Binop (Ast.And, a, b) -> where_conjuncts a @ where_conjuncts b
+  | e -> [ e ]
+
+let indexed_scan db (s : Ast.select) =
+  match s.Ast.from, s.Ast.where with
+  | [ { Ast.table; alias } ], Some pred -> (
+      match Database.find_table_opt db table with
+      | None -> None
+      | Some tbl ->
+          let schema = Table.schema tbl in
+          let label = Option.value alias ~default:table in
+          let col_matches q name =
+            (match q with
+            | Some q -> Sqlcore.Names.equal q label
+            | None -> true)
+            && Schema.mem schema name
+            && Database.has_index db ~table ~column:name
+          in
+          let candidate = function
+            | Ast.Binop (Ast.Eq, Ast.Col { qualifier; name }, Ast.Lit v)
+            | Ast.Binop (Ast.Eq, Ast.Lit v, Ast.Col { qualifier; name })
+              when col_matches qualifier name ->
+                Schema.find_index schema name
+                |> Option.map (fun i -> (i, v))
+            | _ -> None
+          in
+          List.find_map candidate (where_conjuncts pred)
+          |> Option.map (fun (col, v) ->
+                 Relation.requalify (Some label)
+                   (Relation.make schema (Table.lookup_eq tbl ~col v))))
+  | _ -> None
+
+(* ---- SELECT ------------------------------------------------------------ *)
+
+let rec run_select db ?outer (s : Ast.select) : Relation.t =
+  wrap (fun () -> select_unwrapped ~depth:0 db ?outer s)
+
+and select_unwrapped ~depth db ?outer (s : Ast.select) =
+  let ctx_plain =
+    { Eval.subquery = (fun env q -> subquery_eval ~depth db env q); agg = None }
+  in
+  let input =
+    match indexed_scan db s with
+    | Some rel -> rel
+    | None ->
+        relation_of_from
+          ~eval_select:(fun q -> select_unwrapped ~depth:(depth + 1) db q)
+          ~depth db s.Ast.from
+  in
+  let schema = Relation.schema input in
+  let mkenv row = { (Eval.env schema row) with Eval.outer } in
+  let filtered =
+    match s.Ast.where with
+    | None -> input
+    | Some pred ->
+        Relation.filter
+          (fun row -> Eval.truthy (Eval.eval ctx_plain (mkenv row) pred))
+          input
+  in
+  let result =
+    if Ast.is_aggregate_query s then
+      aggregate_select ~depth db ~outer schema filtered s
+    else plain_select ~depth db ~outer schema filtered s
+  in
+  if s.Ast.distinct then Relation.distinct result else result
+
+and subquery_eval ~depth db env q =
+  (* [env] is the enclosing row environment, which becomes the subquery's
+     outer scope for correlated references. *)
+  select_unwrapped ~depth db ?outer:env q
+
+and expand_projections schema (projections : Ast.projection list) =
+  (* -> (output column, value expr) list, where the expr is either a
+     concrete index (for stars) or an AST expression *)
+  List.concat_map
+    (fun p ->
+      match p with
+      | Ast.Star ->
+          List.mapi (fun i (c : Schema.column) -> (c, `Index i)) schema
+      | Ast.Qualified_star q ->
+          let cols =
+            List.mapi (fun i c -> (i, c)) schema
+            |> List.filter (fun (_, (c : Schema.column)) ->
+                   match c.Schema.qualifier with
+                   | Some cq -> Names.equal cq q
+                   | None -> false)
+          in
+          if cols = [] then err "unknown table or alias in %s.*" q
+          else List.map (fun (i, c) -> (c, `Index i)) cols
+      | Ast.Proj_expr (e, alias) ->
+          let name = match alias with Some a -> a | None -> derived_name e in
+          let ty = infer_expr_ty schema e in
+          ([ (Schema.column name ty, `Expr e) ] : (Schema.column * _) list))
+    projections
+
+and plain_select ~depth db ~outer schema input (s : Ast.select) =
+  let ctx =
+    { Eval.subquery = (fun env q -> subquery_eval ~depth db env q); agg = None }
+  in
+  let cols = expand_projections schema s.Ast.projections in
+  let out_schema = List.map fst cols in
+  let mkenv row = { (Eval.env schema row) with Eval.outer } in
+  let eval_row row =
+    Array.of_list
+      (List.map
+         (fun (_, src) ->
+           match src with
+           | `Index i -> Row.get row i
+           | `Expr e -> Eval.eval ctx (mkenv row) e)
+         cols)
+  in
+  (* ORDER BY keys are computed against the pre-projection row *)
+  let sorted =
+    match s.Ast.order_by with
+    | [] -> input
+    | items ->
+        let key row =
+          List.map (fun (o : Ast.order_item) -> Eval.eval ctx (mkenv row) o.Ast.sort_expr) items
+        in
+        let cmp ra rb =
+          let ka = key ra and kb = key rb in
+          let rec go ks items =
+            match ks, items with
+            | [], [] -> 0
+            | (a, b) :: rest, (o : Ast.order_item) :: orest ->
+                let c = Value.compare a b in
+                let c = if o.Ast.descending then -c else c in
+                if c <> 0 then c else go rest orest
+            | _ -> 0
+          in
+          go (List.combine ka kb) items
+        in
+        Relation.order_by cmp input
+  in
+  Relation.make out_schema (List.map eval_row (Relation.rows sorted))
+
+and aggregate_select ~depth db ~outer schema input (s : Ast.select) =
+  let plain_ctx =
+    { Eval.subquery = (fun env q -> subquery_eval ~depth db env q); agg = None }
+  in
+  let mkenv row = { (Eval.env schema row) with Eval.outer } in
+  (* partition rows into groups by the GROUP BY key *)
+  let groups =
+    match s.Ast.group_by with
+    | [] -> (
+        match Relation.rows input with [] -> [ [] ] | rows -> [ rows ])
+    | keys ->
+        let tbl = Hashtbl.create 16 in
+        let order = ref [] in
+        List.iter
+          (fun row ->
+            let k =
+              List.map
+                (fun e -> Value.to_literal (Eval.eval plain_ctx (mkenv row) e))
+                keys
+              |> String.concat "\x00"
+            in
+            (match Hashtbl.find_opt tbl k with
+            | Some rows -> Hashtbl.replace tbl k (row :: rows)
+            | None ->
+                order := k :: !order;
+                Hashtbl.add tbl k [ row ]);
+            ())
+          (Relation.rows input);
+        List.rev !order |> List.map (fun k -> List.rev (Hashtbl.find tbl k))
+  in
+  (* drop the synthetic empty group when grouping produced no rows at all *)
+  let groups =
+    match s.Ast.group_by, groups with
+    | _ :: _, _ -> groups
+    | [], gs -> gs
+  in
+  let group_ctx rows =
+    let agg_f = function
+      | Ast.Agg { fn; distinct; arg } ->
+          compute_agg plain_ctx schema rows (fn, distinct, arg)
+      | _ -> assert false
+    in
+    {
+      Eval.subquery = (fun env q -> subquery_eval ~depth db env q);
+      agg = Some agg_f;
+    }
+  in
+  let rep_env rows =
+    match rows with
+    | row :: _ -> mkenv row
+    | [] -> mkenv (Array.make (List.length schema) Value.Null)
+  in
+  let kept =
+    match s.Ast.having with
+    | None -> groups
+    | Some pred ->
+        List.filter
+          (fun rows -> Eval.truthy (Eval.eval (group_ctx rows) (rep_env rows) pred))
+          groups
+  in
+  let cols = expand_projections schema s.Ast.projections in
+  let out_schema = List.map fst cols in
+  let eval_group rows =
+    let ctx = group_ctx rows in
+    let env = rep_env rows in
+    Array.of_list
+      (List.map
+         (fun (_, src) ->
+           match src with
+           | `Index i -> Row.get env.Eval.row i
+           | `Expr e -> Eval.eval ctx env e)
+         cols)
+  in
+  let sorted_groups =
+    match s.Ast.order_by with
+    | [] -> kept
+    | items ->
+        let key rows =
+          let ctx = group_ctx rows in
+          let env = rep_env rows in
+          List.map (fun (o : Ast.order_item) -> Eval.eval ctx env o.Ast.sort_expr) items
+        in
+        let cmp ga gb =
+          let ka = key ga and kb = key gb in
+          let rec go ks items =
+            match ks, items with
+            | (a, b) :: rest, (o : Ast.order_item) :: orest ->
+                let c = Value.compare a b in
+                let c = if o.Ast.descending then -c else c in
+                if c <> 0 then c else go rest orest
+            | _, _ -> 0
+          in
+          go (List.combine ka kb) items
+        in
+        List.stable_sort cmp kept
+  in
+  Relation.make out_schema (List.map eval_group sorted_groups)
+
+(* ---- DML ---------------------------------------------------------------- *)
+
+(* constraint validation: the prospective full contents of a table *)
+let validate_constraints ~table schema rows =
+  List.iteri
+    (fun i (c : Schema.column) ->
+      if c.Schema.not_null then
+        List.iter
+          (fun row ->
+            if Value.is_null (Row.get row i) then
+              err "NOT NULL constraint on %s.%s violated" table c.Schema.name)
+          rows;
+      if c.Schema.unique then begin
+        let seen = Hashtbl.create 64 in
+        List.iter
+          (fun row ->
+            let v = Row.get row i in
+            if not (Value.is_null v) then begin
+              let k = Value.to_literal v in
+              if Hashtbl.mem seen k then
+                err "UNIQUE constraint on %s.%s violated by %s" table
+                  c.Schema.name (Value.to_string v);
+              Hashtbl.add seen k ()
+            end)
+          rows
+      end)
+    schema
+
+let coerce_for_column (c : Schema.column) v =
+  match v, c.Schema.ty with
+  | Value.Null, _ -> Value.Null
+  | Value.Int i, Ty.Float -> Value.Float (float_of_int i)
+  | Value.Int _, Ty.Int
+  | Value.Float _, Ty.Float
+  | Value.Str _, Ty.Str
+  | Value.Bool _, Ty.Bool ->
+      v
+  | _ ->
+      err "value %s does not fit column %s of type %s" (Value.to_string v)
+        c.Schema.name (Ty.to_string c.Schema.ty)
+
+let run_insert db ~txn ~table ~columns ~source =
+  wrap (fun () ->
+      let tbl = Database.find_table db table in
+      let schema = Table.schema tbl in
+      let ctx =
+        { Eval.subquery = (fun env q -> subquery_eval ~depth:0 db env q); agg = None }
+      in
+      let empty_env = Eval.env [] [||] in
+      let make_full_row provided_cols values =
+        match provided_cols with
+        | None ->
+            if List.length values <> Schema.arity schema then
+              err "INSERT arity mismatch on %s" table;
+            Array.of_list (List.map2 coerce_for_column schema values)
+        | Some cols ->
+            if List.length cols <> List.length values then
+              err "INSERT column/value count mismatch on %s" table;
+            let pairs = List.combine (List.map Names.canon cols) values in
+            Array.of_list
+              (List.map
+                 (fun (c : Schema.column) ->
+                   match List.assoc_opt (Names.canon c.Schema.name) pairs with
+                   | Some v -> coerce_for_column c v
+                   | None -> Value.Null)
+                 schema)
+      in
+      let rows =
+        match source with
+        | Ast.Values exprs ->
+            List.map
+              (fun row_exprs ->
+                make_full_row columns (List.map (Eval.eval ctx empty_env) row_exprs))
+              exprs
+        | Ast.Query q ->
+            let r = select_unwrapped ~depth:0 db q in
+            List.map
+              (fun row -> make_full_row columns (Row.to_list row))
+              (Relation.rows r)
+      in
+      validate_constraints ~table schema (Table.rows tbl @ rows);
+      Txn.touch_table txn tbl;
+      List.iter (Table.insert tbl) rows;
+      List.length rows)
+
+let run_update db ~txn ~table ~assignments ~where =
+  wrap (fun () ->
+      let tbl = Database.find_table db table in
+      let schema = Table.schema tbl in
+      let ctx =
+        { Eval.subquery = (fun env q -> subquery_eval ~depth:0 db env q); agg = None }
+      in
+      let targets =
+        List.map
+          (fun (cname, e) ->
+            match Schema.find_index schema cname with
+            | Some i -> (i, List.nth schema i, e)
+            | None -> err "unknown column %s in UPDATE %s" cname table)
+          assignments
+      in
+      let matches row =
+        match where with
+        | None -> true
+        | Some pred -> Eval.truthy (Eval.eval ctx (Eval.env schema row) pred)
+      in
+      (* Evaluate the row set (including subqueries in WHERE) against the
+         pre-update state, then apply. *)
+      let before = Table.rows tbl in
+      let planned =
+        List.map
+          (fun row ->
+            if matches row then begin
+              let updated = Array.copy row in
+              List.iter
+                (fun (i, col, e) ->
+                  updated.(i) <-
+                    coerce_for_column col (Eval.eval ctx (Eval.env schema row) e))
+                targets;
+              (updated, true)
+            end
+            else (row, false))
+          before
+      in
+      validate_constraints ~table schema (List.map fst planned);
+      Txn.touch_table txn tbl;
+      Table.set_rows tbl (List.map fst planned);
+      List.length (List.filter snd planned))
+
+let run_delete db ~txn ~table ~where =
+  wrap (fun () ->
+      let tbl = Database.find_table db table in
+      let schema = Table.schema tbl in
+      let ctx =
+        { Eval.subquery = (fun env q -> subquery_eval ~depth:0 db env q); agg = None }
+      in
+      let matches row =
+        match where with
+        | None -> true
+        | Some pred -> Eval.truthy (Eval.eval ctx (Eval.env schema row) pred)
+      in
+      let before = Table.rows tbl in
+      let kept = List.filter (fun r -> not (matches r)) before in
+      Txn.touch_table txn tbl;
+      Table.set_rows tbl kept;
+      List.length before - List.length kept)
+
+let run_create_table db ~txn ~table ~columns =
+  wrap (fun () ->
+      let schema =
+        List.map
+          (fun (c : Ast.column_def) ->
+            Schema.column ?width:c.Ast.col_width ~not_null:c.Ast.col_not_null
+              ~unique:c.Ast.col_unique c.Ast.col_name c.Ast.col_ty)
+          columns
+      in
+      ignore (Database.create_table db ~name:table schema);
+      Txn.log_create txn db table)
+
+let run_drop_table db ~txn ~table =
+  wrap (fun () ->
+      let tbl = Database.drop_table db table in
+      Txn.log_drop txn db tbl)
+
+let run_create_view db ~txn ~view ~query =
+  wrap (fun () ->
+      (* validate by evaluating once; errors surface before registration *)
+      ignore (select_unwrapped ~depth:0 db query);
+      Database.create_view db ~name:view query;
+      Txn.log_create_view txn db view)
+
+let run_drop_view db ~txn ~view =
+  wrap (fun () ->
+      let q = Database.drop_view db view in
+      Txn.log_drop_view txn db view q)
+
+let view_schema db query =
+  wrap (fun () -> Relation.schema (select_unwrapped ~depth:0 db query))
+
+let run_create_index db ~txn ~index ~table ~column =
+  wrap (fun () ->
+      (match Database.create_index db ~name:index ~table ~column with
+      | () -> ()
+      | exception Invalid_argument m -> err "%s" m);
+      Txn.log_create_index txn db index)
+
+let run_drop_index db ~txn ~index =
+  wrap (fun () ->
+      let table, column = Database.drop_index db index in
+      Txn.log_drop_index txn db index ~table ~column)

@@ -1,0 +1,54 @@
+(** Statement execution against one local database.
+
+    This module is the query processor of an LDBMS; transaction control
+    and capability enforcement live in {!Session}. DML callers must pass
+    the enclosing transaction so before-images are journalled. *)
+
+exception Error of string
+(** Semantic error: unknown table/column, ambiguity, type error. *)
+
+val run_select :
+  Database.t -> ?outer:Eval.env -> Sqlfront.Ast.select -> Sqlcore.Relation.t
+
+val run_insert :
+  Database.t ->
+  txn:Txn.t ->
+  table:string ->
+  columns:string list option ->
+  source:Sqlfront.Ast.insert_source ->
+  int
+(** Number of rows inserted. *)
+
+val run_update :
+  Database.t ->
+  txn:Txn.t ->
+  table:string ->
+  assignments:(string * Sqlfront.Ast.expr) list ->
+  where:Sqlfront.Ast.expr option ->
+  int
+(** Number of rows updated. *)
+
+val run_delete :
+  Database.t -> txn:Txn.t -> table:string -> where:Sqlfront.Ast.expr option -> int
+
+val run_create_table :
+  Database.t -> txn:Txn.t -> table:string -> columns:Sqlfront.Ast.column_def list -> unit
+
+val run_drop_table : Database.t -> txn:Txn.t -> table:string -> unit
+
+val run_create_view :
+  Database.t -> txn:Txn.t -> view:string -> query:Sqlfront.Ast.select -> unit
+(** The definition is validated by evaluating it once. *)
+
+val run_drop_view : Database.t -> txn:Txn.t -> view:string -> unit
+
+val view_schema : Database.t -> Sqlfront.Ast.select -> Sqlcore.Schema.t
+(** Result schema of a view definition (evaluates the view). *)
+
+val run_create_index :
+  Database.t -> txn:Txn.t -> index:string -> table:string -> column:string -> unit
+
+val run_drop_index : Database.t -> txn:Txn.t -> index:string -> unit
+
+val infer_expr_ty : Sqlcore.Schema.t -> Sqlfront.Ast.expr -> Sqlcore.Ty.t
+(** Static result-type approximation used to build output schemas. *)

@@ -1,0 +1,34 @@
+type point = At_execute | At_prepare | At_commit
+
+type t = {
+  mutable pending : point list;  (* oldest first *)
+  mutable random : (float * Random.State.t) option;
+}
+
+let create () = { pending = []; random = None }
+let fail_next t p = t.pending <- t.pending @ [ p ]
+let set_random t ~seed ~prob = t.random <- Some (prob, Random.State.make [| seed |])
+
+let clear t =
+  t.pending <- [];
+  t.random <- None
+
+let fires t p =
+  let rec remove_first = function
+    | [] -> None
+    | x :: rest when x = p -> Some rest
+    | x :: rest -> Option.map (fun r -> x :: r) (remove_first rest)
+  in
+  match remove_first t.pending with
+  | Some rest ->
+      t.pending <- rest;
+      true
+  | None -> (
+      match t.random with
+      | Some (prob, st) -> Random.State.float st 1.0 < prob
+      | None -> false)
+
+let point_to_string = function
+  | At_execute -> "execute"
+  | At_prepare -> "prepare"
+  | At_commit -> "commit"

@@ -1,0 +1,31 @@
+(** Deterministic failure injection.
+
+    Stands in for the paper's "local conflicts, failure, deadlock, etc."
+    (§3.2) that force an LDBMS to abort a subquery. Failures can be queued
+    one-shot at a named point, or drawn from a seeded random source for
+    benchmarks. *)
+
+type point =
+  | At_execute  (** while executing a statement (local conflict/deadlock) *)
+  | At_prepare  (** failing to reach the prepared-to-commit state *)
+  | At_commit  (** failing during commit of a prepared transaction *)
+
+type t
+
+val create : unit -> t
+(** No failures. *)
+
+val fail_next : t -> point -> unit
+(** Queue a one-shot failure for the next occurrence of [point]. Multiple
+    queued failures at the same point fire in order. *)
+
+val set_random : t -> seed:int -> prob:float -> unit
+(** Additionally fail each point check with probability [prob], drawn from
+    a private PRNG seeded with [seed]. *)
+
+val clear : t -> unit
+
+val fires : t -> point -> bool
+(** Check-and-consume: [true] when a failure should be injected here. *)
+
+val point_to_string : point -> string

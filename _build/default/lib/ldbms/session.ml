@@ -1,0 +1,230 @@
+module Ast = Sqlfront.Ast
+module Parser = Sqlfront.Parser
+type result = Rows of Sqlcore.Relation.t | Affected of int | Done
+
+type stats = {
+  mutable statements : int;
+  mutable commits : int;
+  mutable rollbacks : int;
+  mutable prepares : int;
+  mutable injected_failures : int;
+}
+
+type t = {
+  db : Database.t;
+  caps : Capabilities.t;
+  injector : Failure_injector.t;
+  mutable txn : Txn.t option;
+  stats : stats;
+}
+
+let connect ?injector db caps =
+  {
+    db;
+    caps;
+    injector =
+      (match injector with Some i -> i | None -> Failure_injector.create ());
+    txn = None;
+    stats =
+      { statements = 0; commits = 0; rollbacks = 0; prepares = 0; injected_failures = 0 };
+  }
+
+let database t = t.db
+let capabilities t = t.caps
+let injector t = t.injector
+let stats t = t.stats
+
+let txn_state t =
+  match t.txn with
+  | Some txn when not (Txn.is_finished txn) -> Some (Txn.state txn)
+  | Some _ | None -> None
+
+let in_transaction t = txn_state t <> None
+
+let current_txn t =
+  match t.txn with
+  | Some txn when not (Txn.is_finished txn) -> txn
+  | Some _ | None ->
+      let txn = Txn.begin_ () in
+      t.txn <- Some txn;
+      txn
+
+let abort_current t =
+  (match t.txn with
+  | Some txn when not (Txn.is_finished txn) ->
+      Txn.rollback txn;
+      t.stats.rollbacks <- t.stats.rollbacks + 1
+  | Some _ | None -> ());
+  t.txn <- None
+
+let injected t point =
+  if Failure_injector.fires t.injector point then begin
+    t.stats.injected_failures <- t.stats.injected_failures + 1;
+    abort_current t;
+    true
+  end
+  else false
+
+let do_commit t =
+  match t.txn with
+  | Some txn when not (Txn.is_finished txn) ->
+      if injected t Failure_injector.At_commit then
+        Error "injected failure at commit; transaction rolled back"
+      else begin
+        Txn.commit txn;
+        t.txn <- None;
+        t.stats.commits <- t.stats.commits + 1;
+        Ok ()
+      end
+  | Some _ | None -> Ok ()
+
+let do_rollback t =
+  match t.txn with
+  | Some txn when not (Txn.is_finished txn) ->
+      Txn.rollback txn;
+      t.txn <- None;
+      t.stats.rollbacks <- t.stats.rollbacks + 1;
+      Ok ()
+  | Some _ | None -> Ok ()
+
+let do_prepare t =
+  if not (Capabilities.supports_2pc t.caps) then
+    Error
+      (Printf.sprintf "engine %s is autocommit-only: no prepared-to-commit state"
+         t.caps.Capabilities.engine_name)
+  else
+    match t.txn with
+    | Some txn when Txn.state txn = Txn.Active ->
+        if injected t Failure_injector.At_prepare then
+          Error "injected failure at prepare; transaction rolled back"
+        else begin
+          Txn.prepare txn;
+          t.stats.prepares <- t.stats.prepares + 1;
+          Ok ()
+        end
+    | Some txn when Txn.state txn = Txn.Prepared -> Ok ()
+    | Some _ | None -> Error "no active transaction to prepare"
+
+(* Run a DML/DDL body inside the session's transaction discipline. *)
+let run_write t ~is_ddl ~forces_commit body =
+  if injected t Failure_injector.At_execute then
+    Error "injected local failure; transaction rolled back"
+  else begin
+    (* Oracle-style DDL: commit prior uncommitted work first. *)
+    (if is_ddl && t.caps.Capabilities.ddl_behavior = Capabilities.Ddl_autocommits
+     then
+       match do_commit t with
+       | Ok () -> ()
+       | Error _ -> ());
+    match txn_state t with
+    | Some Txn.Prepared ->
+        Error "cannot execute statements in a prepared transaction"
+    | Some _ | None -> (
+        let txn = current_txn t in
+        match body txn with
+        | exception Exec.Error m ->
+            abort_current t;
+            Error m
+        | r ->
+            let autocommit =
+              t.caps.Capabilities.commit_mode = Capabilities.Autocommit
+              || forces_commit
+              || (is_ddl
+                 && t.caps.Capabilities.ddl_behavior = Capabilities.Ddl_autocommits)
+            in
+            if autocommit then
+              match do_commit t with Ok () -> Ok r | Error m -> Error m
+            else Ok r)
+  end
+
+let exec t stmt =
+  t.stats.statements <- t.stats.statements + 1;
+  match (stmt : Ast.stmt) with
+  | Ast.Select s -> (
+      match Exec.run_select t.db s with
+      | r -> Ok (Rows r)
+      | exception Exec.Error m -> Error m)
+  | Ast.Begin_txn ->
+      if not (Capabilities.supports_2pc t.caps) then
+        Error
+          (Printf.sprintf "engine %s is autocommit-only: transactions not supported"
+             t.caps.Capabilities.engine_name)
+      else if in_transaction t then Error "transaction already in progress"
+      else begin
+        ignore (current_txn t);
+        Ok Done
+      end
+  | Ast.Commit_txn -> (
+      match do_commit t with Ok () -> Ok Done | Error m -> Error m)
+  | Ast.Rollback_txn -> (
+      match do_rollback t with Ok () -> Ok Done | Error m -> Error m)
+  | Ast.Prepare_txn -> (
+      match do_prepare t with Ok () -> Ok Done | Error m -> Error m)
+  | Ast.Insert { table; columns; source } ->
+      run_write t ~is_ddl:false ~forces_commit:t.caps.Capabilities.insert_commits
+        (fun txn ->
+          Affected (Exec.run_insert t.db ~txn ~table ~columns ~source))
+  | Ast.Update { table; assignments; where } ->
+      run_write t ~is_ddl:false ~forces_commit:false (fun txn ->
+          Affected (Exec.run_update t.db ~txn ~table ~assignments ~where))
+  | Ast.Delete { table; where } ->
+      run_write t ~is_ddl:false ~forces_commit:false (fun txn ->
+          Affected (Exec.run_delete t.db ~txn ~table ~where))
+  | Ast.Create_table { table; columns } ->
+      run_write t ~is_ddl:true ~forces_commit:t.caps.Capabilities.create_commits
+        (fun txn ->
+          Exec.run_create_table t.db ~txn ~table ~columns;
+          Done)
+  | Ast.Drop_table { table } ->
+      run_write t ~is_ddl:true ~forces_commit:t.caps.Capabilities.drop_commits
+        (fun txn ->
+          Exec.run_drop_table t.db ~txn ~table;
+          Done)
+  | Ast.Create_view { view; view_query } ->
+      run_write t ~is_ddl:true ~forces_commit:t.caps.Capabilities.create_commits
+        (fun txn ->
+          Exec.run_create_view t.db ~txn ~view ~query:view_query;
+          Done)
+  | Ast.Drop_view { view } ->
+      run_write t ~is_ddl:true ~forces_commit:t.caps.Capabilities.drop_commits
+        (fun txn ->
+          Exec.run_drop_view t.db ~txn ~view;
+          Done)
+  | Ast.Create_index { index; idx_table; idx_column } ->
+      run_write t ~is_ddl:true ~forces_commit:t.caps.Capabilities.create_commits
+        (fun txn ->
+          Exec.run_create_index t.db ~txn ~index ~table:idx_table
+            ~column:idx_column;
+          Done)
+  | Ast.Drop_index { index } ->
+      run_write t ~is_ddl:true ~forces_commit:t.caps.Capabilities.drop_commits
+        (fun txn ->
+          Exec.run_drop_index t.db ~txn ~index;
+          Done)
+
+let exec_sql t sql =
+  match Parser.parse_stmt sql with
+  | stmt -> exec t stmt
+  | exception Parser.Error (m, l, c) ->
+      Error (Printf.sprintf "parse error at %d:%d: %s" l c m)
+
+let exec_script t sql =
+  match Parser.parse_script sql with
+  | exception Parser.Error (m, l, c) ->
+      Error (Printf.sprintf "parse error at %d:%d: %s" l c m)
+  | stmts ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | s :: rest -> (
+            match exec t s with Ok r -> go (r :: acc) rest | Error m -> Error m)
+      in
+      go [] stmts
+
+let commit t = do_commit t
+let rollback t = do_rollback t
+let prepare t = do_prepare t
+
+let result_to_string = function
+  | Rows r -> Sqlcore.Relation.to_string r
+  | Affected n -> Printf.sprintf "%d row(s) affected" n
+  | Done -> "ok"

@@ -1,0 +1,57 @@
+(** A connection to a local DBMS, enforcing its commitment capabilities.
+
+    This is what a LAM drives. The session interprets transaction-control
+    statements according to the engine's {!Capabilities.t}: autocommit-only
+    engines commit every statement as it executes and reject PREPARE;
+    2PC engines accumulate work in a transaction with a visible
+    prepared-to-commit state. DDL follows the engine's
+    {!Capabilities.ddl_behavior} — on [Ddl_autocommits] engines a CREATE or
+    DROP silently commits all previously issued uncommitted statements
+    first, reproducing the paper's Oracle/Ingres discrepancy (§3.2.2). *)
+
+type result =
+  | Rows of Sqlcore.Relation.t
+  | Affected of int
+  | Done
+
+type stats = {
+  mutable statements : int;
+  mutable commits : int;
+  mutable rollbacks : int;
+  mutable prepares : int;
+  mutable injected_failures : int;
+}
+
+type t
+
+(** [connect ?injector db caps] opens a session. [injector] defaults to a
+    fresh, never-firing injector; passing a shared one lets a test or
+    benchmark harness inject failures into sessions it did not create
+    itself (e.g. those opened by LAMs). *)
+val connect : ?injector:Failure_injector.t -> Database.t -> Capabilities.t -> t
+val database : t -> Database.t
+val capabilities : t -> Capabilities.t
+val injector : t -> Failure_injector.t
+val stats : t -> stats
+
+val txn_state : t -> Txn.state option
+(** State of the current transaction, if one is open. *)
+
+val in_transaction : t -> bool
+
+val exec : t -> Sqlfront.Ast.stmt -> (result, string) Stdlib.result
+(** Execute one statement. [Error] covers semantic errors, capability
+    violations and injected failures; any open transaction is rolled back
+    on error, as a local DBMS would abort the victim. *)
+
+val exec_sql : t -> string -> (result, string) Stdlib.result
+(** Parse and execute; parse errors are reported as [Error]. *)
+
+val exec_script : t -> string -> (result list, string) Stdlib.result
+(** Execute a [;]-separated script, stopping at the first error. *)
+
+val commit : t -> (unit, string) Stdlib.result
+val rollback : t -> (unit, string) Stdlib.result
+val prepare : t -> (unit, string) Stdlib.result
+
+val result_to_string : result -> string

@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  schema : Sqlcore.Schema.t;
+  mutable rows : Sqlcore.Row.t list;  (* newest last *)
+  mutable version : int;
+  (* lazy equality-lookup cache: column -> (version built at, hash map) *)
+  lookup_cache : (int, int * (string, Sqlcore.Row.t list) Hashtbl.t) Hashtbl.t;
+}
+
+let create ~name schema =
+  { name; schema; rows = []; version = 0; lookup_cache = Hashtbl.create 4 }
+let name t = t.name
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = List.length t.rows
+let touch t = t.version <- t.version + 1
+
+let set_rows t rows =
+  t.rows <- rows;
+  touch t
+
+let insert t row =
+  if Array.length row <> Sqlcore.Schema.arity t.schema then
+    invalid_arg (Printf.sprintf "Table.insert(%s): arity mismatch" t.name);
+  t.rows <- t.rows @ [ row ];
+  touch t
+
+let to_relation t = Sqlcore.Relation.make t.schema t.rows
+let copy t = { t with rows = t.rows; lookup_cache = Hashtbl.create 4 }
+
+let version t = t.version
+
+let lookup_eq t ~col v =
+  if Sqlcore.Value.is_null v then []
+  else begin
+    let map =
+      match Hashtbl.find_opt t.lookup_cache col with
+      | Some (built_at, map) when built_at = t.version -> map
+      | Some _ | None ->
+          let map = Hashtbl.create (List.length t.rows) in
+          List.iter
+            (fun row ->
+              let key = Sqlcore.Value.to_literal row.(col) in
+              let prev = Option.value (Hashtbl.find_opt map key) ~default:[] in
+              Hashtbl.replace map key (row :: prev))
+            t.rows;
+          Hashtbl.replace t.lookup_cache col (t.version, map);
+          map
+    in
+    match Hashtbl.find_opt map (Sqlcore.Value.to_literal v) with
+    | Some rows -> List.rev rows
+    | None -> []
+  end

@@ -1,0 +1,27 @@
+(** Mutable stored tables. Row order is insertion order. *)
+
+type t
+
+val create : name:string -> Sqlcore.Schema.t -> t
+val name : t -> string
+val schema : t -> Sqlcore.Schema.t
+val rows : t -> Sqlcore.Row.t list
+val cardinality : t -> int
+
+val set_rows : t -> Sqlcore.Row.t list -> unit
+(** Wholesale replacement; transaction rollback restores before-images this
+    way. *)
+
+val insert : t -> Sqlcore.Row.t -> unit
+(** Appends; raises [Invalid_argument] on arity mismatch. *)
+
+val to_relation : t -> Sqlcore.Relation.t
+val copy : t -> t
+
+val version : t -> int
+(** Bumped on every mutation; lets caches detect staleness. *)
+
+val lookup_eq : t -> col:int -> Sqlcore.Value.t -> Sqlcore.Row.t list
+(** Rows whose [col]-th field equals the value (never matches NULL), via a
+    lazily built hash map that is rebuilt when the table changes. Row
+    order is preserved. *)

@@ -1,0 +1,79 @@
+type state = Active | Prepared | Committed | Aborted
+
+type t = {
+  mutable state : state;
+  mutable undo : (unit -> unit) list;  (* newest first *)
+  mutable touched : Table.t list;
+}
+
+let begin_ () = { state = Active; undo = []; touched = [] }
+let state t = t.state
+
+let check_modifiable t =
+  match t.state with
+  | Active -> ()
+  | Prepared -> invalid_arg "Txn: cannot modify a prepared transaction"
+  | Committed | Aborted -> invalid_arg "Txn: transaction already finished"
+
+let touch_table t tbl =
+  check_modifiable t;
+  if not (List.memq tbl t.touched) then begin
+    t.touched <- tbl :: t.touched;
+    let before = Table.rows tbl in
+    t.undo <- (fun () -> Table.set_rows tbl before) :: t.undo
+  end
+
+let log_create t db name =
+  check_modifiable t;
+  t.undo <- (fun () -> ignore (Database.drop_table db name)) :: t.undo
+
+let log_drop t db tbl =
+  check_modifiable t;
+  t.undo <- (fun () -> Database.restore_table db tbl) :: t.undo
+
+let log_create_view t db name =
+  check_modifiable t;
+  t.undo <- (fun () -> ignore (Database.drop_view db name)) :: t.undo
+
+let log_drop_view t db name q =
+  check_modifiable t;
+  t.undo <- (fun () -> Database.restore_view db ~name q) :: t.undo
+
+let log_create_index t db name =
+  check_modifiable t;
+  t.undo <- (fun () -> ignore (Database.drop_index db name)) :: t.undo
+
+let log_drop_index t db name ~table ~column =
+  check_modifiable t;
+  t.undo <- (fun () -> Database.restore_index db ~name ~table ~column) :: t.undo
+
+let prepare t =
+  match t.state with
+  | Active -> t.state <- Prepared
+  | Prepared | Committed | Aborted ->
+      invalid_arg "Txn.prepare: transaction not active"
+
+let commit t =
+  match t.state with
+  | Active | Prepared ->
+      t.state <- Committed;
+      t.undo <- [];
+      t.touched <- []
+  | Committed | Aborted -> invalid_arg "Txn.commit: transaction already finished"
+
+let rollback t =
+  match t.state with
+  | Active | Prepared ->
+      List.iter (fun undo -> undo ()) t.undo;
+      t.state <- Aborted;
+      t.undo <- [];
+      t.touched <- []
+  | Committed | Aborted -> invalid_arg "Txn.rollback: transaction already finished"
+
+let is_finished t = match t.state with Committed | Aborted -> true | Active | Prepared -> false
+
+let state_to_string = function
+  | Active -> "active"
+  | Prepared -> "prepared"
+  | Committed -> "committed"
+  | Aborted -> "aborted"

@@ -1,0 +1,38 @@
+(** Local transactions with before-image undo logging and a visible
+    prepared-to-commit state (the first phase of 2PC, §3.2.1). *)
+
+type state = Active | Prepared | Committed | Aborted
+
+type t
+
+val begin_ : unit -> t
+val state : t -> state
+
+val touch_table : t -> Table.t -> unit
+(** Record the table's before-image on first touch; later touches are
+    no-ops. Must be called before any modification of the table inside the
+    transaction. *)
+
+val log_create : t -> Database.t -> string -> unit
+(** Record that the transaction created the named table. *)
+
+val log_drop : t -> Database.t -> Table.t -> unit
+(** Record that the transaction dropped the given table. *)
+
+val log_create_view : t -> Database.t -> string -> unit
+val log_drop_view : t -> Database.t -> string -> Sqlfront.Ast.select -> unit
+val log_create_index : t -> Database.t -> string -> unit
+val log_drop_index : t -> Database.t -> string -> table:string -> column:string -> unit
+
+val prepare : t -> unit
+(** Active -> Prepared. Raises [Invalid_argument] from any other state. *)
+
+val commit : t -> unit
+(** Active or Prepared -> Committed; discards the undo log. *)
+
+val rollback : t -> unit
+(** Active or Prepared -> Aborted; undoes all logged changes in reverse
+    order. *)
+
+val is_finished : t -> bool
+val state_to_string : state -> string

@@ -1,0 +1,1 @@
+lib/narada/directory.ml: Hashtbl List Service String

@@ -1,0 +1,1 @@
+lib/narada/directory.mli: Service

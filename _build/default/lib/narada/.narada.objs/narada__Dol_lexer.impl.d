@@ -1,0 +1,1 @@
+lib/narada/dol_lexer.ml: Buffer List Printf Sqlcore String

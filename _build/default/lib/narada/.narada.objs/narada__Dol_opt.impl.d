@@ -1,0 +1,1 @@
+lib/narada/dol_opt.ml: Dol_ast List Option String

@@ -1,0 +1,1 @@
+lib/narada/dol_opt.mli: Dol_ast

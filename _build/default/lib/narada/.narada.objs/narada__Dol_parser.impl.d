@@ -1,0 +1,1 @@
+lib/narada/dol_parser.ml: Dol_ast Dol_lexer List Printf Sqlcore String

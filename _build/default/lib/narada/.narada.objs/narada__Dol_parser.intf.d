@@ -1,0 +1,1 @@
+lib/narada/dol_parser.mli: Dol_ast

@@ -1,0 +1,1 @@
+lib/narada/dol_pp.ml: Buffer Dol_ast Format List Printf String

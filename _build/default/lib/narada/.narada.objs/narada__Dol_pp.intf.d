@@ -1,0 +1,1 @@
+lib/narada/dol_pp.mli: Dol_ast Format

@@ -1,0 +1,1 @@
+lib/narada/engine.ml: Directory Dol_ast Dol_parser Dol_pp Hashtbl Lam Ldbms List Logs Netsim Option Printf Service Sqlcore String

@@ -1,0 +1,1 @@
+lib/narada/engine.mli: Directory Dol_ast Netsim Sqlcore

@@ -1,0 +1,1 @@
+lib/narada/lam.ml: Ldbms List Netsim Printf Service Sqlcore String

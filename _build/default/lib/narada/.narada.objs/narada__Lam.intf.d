@@ -1,0 +1,1 @@
+lib/narada/lam.mli: Ldbms Netsim Service Sqlcore

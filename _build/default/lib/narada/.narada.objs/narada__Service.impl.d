@@ -1,0 +1,1 @@
+lib/narada/service.ml: Format Ldbms

@@ -1,0 +1,15 @@
+type t = (string, Service.t) Hashtbl.t
+
+exception Unknown_service of string
+
+let create () = Hashtbl.create 16
+let key = String.lowercase_ascii
+let register t s = Hashtbl.replace t (key s.Service.service_name) s
+let find_opt t name = Hashtbl.find_opt t (key name)
+
+let find t name =
+  match find_opt t name with Some s -> s | None -> raise (Unknown_service name)
+
+let names t =
+  Hashtbl.fold (fun _ s acc -> s.Service.service_name :: acc) t []
+  |> List.sort String.compare

@@ -1,0 +1,13 @@
+(** The Narada resource directory: services by name (case-insensitive). *)
+
+type t
+
+exception Unknown_service of string
+
+val create : unit -> t
+val register : t -> Service.t -> unit
+(** Replaces any previous registration under the same name. *)
+
+val find : t -> string -> Service.t
+val find_opt : t -> string -> Service.t option
+val names : t -> string list

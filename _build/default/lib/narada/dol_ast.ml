@@ -1,0 +1,63 @@
+type mode = With_commit | No_commit
+type status = P | C | A | E | N | X
+
+type cond =
+  | Status_is of string * status
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+type task = { tname : string; mode : mode; target : string; commands : string }
+
+type stmt =
+  | Open of { service : string; open_site : string option; alias : string }
+  | Close of string list
+  | Task of task
+  | Parallel of stmt list
+  | If of cond * stmt list * stmt list
+  | Commit_tasks of string list
+  | Abort_tasks of string list
+  | Comp of {
+      cname : string;
+      compensates : string option;
+      target : string;
+      commands : string;
+    }
+  | Move of {
+      mname : string;
+      src : string;
+      dst : string;
+      dest_table : string;
+      query : string;
+    }
+  | Set_status of int
+
+type program = stmt list
+
+let status_to_string = function
+  | P -> "P"
+  | C -> "C"
+  | A -> "A"
+  | E -> "E"
+  | N -> "N"
+  | X -> "X"
+
+let status_of_string s =
+  match String.uppercase_ascii s with
+  | "P" -> Some P
+  | "C" -> Some C
+  | "A" -> Some A
+  | "E" -> Some E
+  | "N" -> Some N
+  | "X" -> Some X
+  | _ -> None
+
+let rec stmt_task_names = function
+  | Task t -> [ t.tname ]
+  | Move m -> [ m.mname ]
+  | Comp c -> [ c.cname ]
+  | Parallel stmts -> List.concat_map stmt_task_names stmts
+  | If (_, a, b) -> List.concat_map stmt_task_names a @ List.concat_map stmt_task_names b
+  | Open _ | Close _ | Commit_tasks _ | Abort_tasks _ | Set_status _ -> []
+
+let task_names p = List.concat_map stmt_task_names p

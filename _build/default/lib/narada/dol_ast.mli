@@ -1,0 +1,62 @@
+(** Abstract syntax of DOL, Narada's task specification language.
+
+    The constructs follow the program listing in §4.3 of the paper
+    (OPEN/TASK/NOCOMMIT/IF on task statuses/COMMIT/ABORT/DOLSTATUS/CLOSE),
+    plus the facilities the paper attributes to DOL without showing
+    syntax: parallel task execution ([PARBEGIN]/[PAREND]), direct
+    LAM-to-LAM data transfer ([MOVE]) and compensation tasks ([COMP]). *)
+
+type mode =
+  | With_commit  (** commit as soon as the task's commands succeed *)
+  | No_commit  (** leave the task in the prepared-to-commit state *)
+
+(** Runtime status of a task; the letters are the ones DOL conditions
+    use: [P]repared, [C]ommitted, [A]borted, [E]rror (infrastructure
+    failure, e.g. site down), [N]ot run, [X] compensated. *)
+type status = P | C | A | E | N | X
+
+type cond =
+  | Status_is of string * status  (** [(T1 = P)] *)
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+type task = {
+  tname : string;
+  mode : mode;
+  target : string;  (** alias bound by OPEN *)
+  commands : string;  (** raw SQL script shipped to the LAM *)
+}
+
+type stmt =
+  | Open of { service : string; open_site : string option; alias : string }
+  | Close of string list
+  | Task of task
+  | Parallel of stmt list
+      (** branches execute logically concurrently; only [Task] and [Move]
+          are allowed inside *)
+  | If of cond * stmt list * stmt list
+  | Commit_tasks of string list
+  | Abort_tasks of string list
+  | Comp of {
+      cname : string;
+      compensates : string option;  (** task whose effects this undoes *)
+      target : string;
+      commands : string;
+    }
+  | Move of {
+      mname : string;
+      src : string;
+      dst : string;
+      dest_table : string;
+      query : string;
+    }
+  | Set_status of int  (** [DOLSTATUS = n] *)
+
+type program = stmt list
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+val task_names : program -> string list
+(** Names of all tasks, moves and compensations, in order of appearance. *)

@@ -1,0 +1,74 @@
+module Scan = Sqlcore.Scan
+
+type token =
+  | Ident of string
+  | Int of int
+  | Sym of string
+  | Block of string
+  | Eof
+
+type located = { tok : token; tline : int; tcol : int }
+
+exception Error of string * int * int
+
+let token_to_string = function
+  | Ident s -> s
+  | Int i -> string_of_int i
+  | Sym s -> s
+  | Block b -> "{ " ^ b ^ " }"
+  | Eof -> "<eof>"
+
+let block sc =
+  (* opening '{' already consumed *)
+  let buf = Buffer.create 64 in
+  let rec go depth =
+    match Scan.peek sc with
+    | None -> Scan.error sc "unterminated { block"
+    | Some '{' ->
+        Buffer.add_char buf '{';
+        Scan.advance sc;
+        go (depth + 1)
+    | Some '}' ->
+        Scan.advance sc;
+        if depth = 0 then ()
+        else begin
+          Buffer.add_char buf '}';
+          go (depth - 1)
+        end
+    | Some c ->
+        Buffer.add_char buf c;
+        Scan.advance sc;
+        go depth
+  in
+  go 0;
+  String.trim (Buffer.contents buf)
+
+let tokenize input =
+  let sc = Scan.create input in
+  let out = ref [] in
+  let emit tok tline tcol = out := { tok; tline; tcol } :: !out in
+  (try
+     let rec loop () =
+       Scan.skip_ws_and_comments sc;
+       let tline = Scan.line sc and tcol = Scan.column sc in
+       match Scan.peek sc with
+       | None -> emit Eof tline tcol
+       | Some c when Scan.is_ident_start c ->
+           emit (Ident (Scan.take_while sc Scan.is_ident_char)) tline tcol;
+           loop ()
+       | Some c when Scan.is_digit c ->
+           emit (Int (int_of_string (Scan.take_while sc Scan.is_digit))) tline tcol;
+           loop ()
+       | Some '{' ->
+           Scan.advance sc;
+           emit (Block (block sc)) tline tcol;
+           loop ()
+       | Some ((';' | ',' | '=' | '(' | ')') as c) ->
+           Scan.advance sc;
+           emit (Sym (String.make 1 c)) tline tcol;
+           loop ()
+       | Some c -> Scan.error sc (Printf.sprintf "unexpected character %C" c)
+     in
+     loop ()
+   with Scan.Error (m, l, c) -> raise (Error (m, l, c)));
+  List.rev !out

@@ -1,0 +1,19 @@
+(** Lexer for DOL program text.
+
+    Like the SQL lexer, but [{ ... }] brace blocks are captured verbatim
+    as single tokens: they carry the SQL scripts embedded in TASK, COMP
+    and MOVE statements. Braces nest. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Sym of string  (** [;], [,], [=], [(], [)] *)
+  | Block of string  (** contents of a [{ ... }] block, trimmed *)
+  | Eof
+
+type located = { tok : token; tline : int; tcol : int }
+
+exception Error of string * int * int
+
+val tokenize : string -> located list
+val token_to_string : token -> string

@@ -1,0 +1,27 @@
+(** DOL program optimizer — the paper's §5 future-work direction: "The
+    resulting DOL programs may also be optimized. ... The optimization
+    will be related more to data flow control and parallelism in execution
+    of queries at different sites than to individual database operations."
+
+    Passes (all semantics-preserving):
+
+    - {b parallel opens/closes}: maximal runs of consecutive OPEN
+      statements are wrapped in a [PARBEGIN] block, so connection
+      handshakes overlap instead of accumulating; likewise CLOSE lists are
+      merged;
+    - {b task merging}: consecutive committing tasks against the same
+      alias are fused into one task script (one command round trip instead
+      of several), provided the dropped task names are never read by a
+      status condition or a COMMIT/ABORT list elsewhere in the program;
+    - {b trivial unwrapping}: singleton [PARBEGIN] blocks and empty IF
+      branches are flattened. *)
+
+val optimize : Dol_ast.program -> Dol_ast.program
+
+type stats = {
+  opens_parallelized : int;  (** OPEN statements moved into parallel blocks *)
+  tasks_merged : int;  (** tasks fused away *)
+  closes_merged : int;  (** CLOSE statements merged away *)
+}
+
+val optimize_with_stats : Dol_ast.program -> Dol_ast.program * stats

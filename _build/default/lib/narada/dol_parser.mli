@@ -1,0 +1,7 @@
+(** Parser for DOL program text (see {!Dol_pp} for the concrete syntax,
+    which follows the paper's §4.3 listing). *)
+
+exception Error of string * int * int
+
+val parse : string -> Dol_ast.program
+(** Parses a full [DOLBEGIN ... DOLEND] program. *)

@@ -1,0 +1,311 @@
+module World = Netsim.World
+open Dol_ast
+
+let log_src = Logs.Src.create "narada.engine" ~doc:"DOL engine execution"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type outcome = {
+  dolstatus : int;
+  statuses : (string * status) list;
+  results : (string * Sqlcore.Relation.t) list;
+  rowcounts : (string * int) list;
+  elapsed_ms : float;
+}
+
+exception Program_error of string
+
+type conn = Available of Lam.t | Unavailable of string
+
+type state = {
+  directory : Directory.t;
+  world : World.t;
+  aliases : (string, conn) Hashtbl.t;
+  statuses : (string, status) Hashtbl.t;
+  mutable status_order : string list;  (* newest first *)
+  task_target : (string, string) Hashtbl.t;  (* task -> alias *)
+  results : (string, Sqlcore.Relation.t) Hashtbl.t;
+  rowcounts : (string, int) Hashtbl.t;
+  mutable dolstatus : int;
+  on_event : string -> unit;
+}
+
+let err fmt = Printf.ksprintf (fun m -> raise (Program_error m)) fmt
+let akey = String.lowercase_ascii
+
+let emit st fmt =
+  Printf.ksprintf
+    (fun m ->
+      Log.debug (fun f -> f "%.2fms %s" (World.now_ms st.world) m);
+      st.on_event (Printf.sprintf "[%8.2f ms] %s" (World.now_ms st.world) m))
+    fmt
+
+let declare st name target =
+  let k = akey name in
+  if Hashtbl.mem st.statuses k then err "duplicate task name %s" name;
+  Hashtbl.replace st.statuses k N;
+  st.status_order <- k :: st.status_order;
+  Hashtbl.replace st.task_target k (akey target)
+
+let set_status st name s =
+  emit st "%s -> %s" name (status_to_string s);
+  Hashtbl.replace st.statuses (akey name) s
+
+let get_status st name =
+  match Hashtbl.find_opt st.statuses (akey name) with Some s -> s | None -> N
+
+let conn_of st alias =
+  match Hashtbl.find_opt st.aliases (akey alias) with
+  | Some c -> c
+  | None -> err "unknown alias %s (missing OPEN?)" alias
+
+let lam_of_task st tname =
+  match Hashtbl.find_opt st.task_target (akey tname) with
+  | None -> err "unknown task %s" tname
+  | Some alias -> conn_of st alias
+
+let rec eval_cond st = function
+  | Status_is (t, s) -> get_status st t = s
+  | Not c -> not (eval_cond st c)
+  | And (a, b) -> eval_cond st a && eval_cond st b
+  | Or (a, b) -> eval_cond st a || eval_cond st b
+
+let exec_task st (task : task) =
+  declare st task.tname task.target;
+  match conn_of st task.target with
+  | Unavailable reason ->
+      (* the service was never reached: the task did not run at all, which
+         is safely excludable (unlike E, whose local state is unknown) *)
+      ignore reason;
+      set_status st task.tname N
+  | Available lam -> (
+      match Lam.exec_script lam task.commands with
+      | Error (Lam.Local _) -> set_status st task.tname A
+      | Error (Lam.Network _) -> set_status st task.tname E
+      | Ok results -> (
+          (match Lam.last_relation results with
+          | Some rel -> Hashtbl.replace st.results (akey task.tname) rel
+          | None -> ());
+          let affected =
+            List.fold_left
+              (fun acc r ->
+                match r with Ldbms.Session.Affected n -> acc + n | _ -> acc)
+              0 results
+          in
+          Hashtbl.replace st.rowcounts (akey task.tname) affected;
+          match task.mode with
+          | No_commit ->
+              if
+                Ldbms.Capabilities.supports_2pc
+                  (Lam.service lam).Service.caps
+              then
+                (match Lam.prepare lam with
+                | Ok () -> set_status st task.tname P
+                | Error (Lam.Local _) -> set_status st task.tname A
+                | Error (Lam.Network _) -> set_status st task.tname E)
+              else
+                (* a NOCOMMIT task on an autocommit-only engine is a plan
+                   inconsistency: its effects are already committed *)
+                set_status st task.tname E
+          | With_commit -> (
+              if
+                not
+                  (Ldbms.Capabilities.supports_2pc
+                     (Lam.service lam).Service.caps)
+              then (* autocommit engine: already durable *)
+                set_status st task.tname C
+              else
+                match Lam.commit lam with
+                | Ok () -> set_status st task.tname C
+                | Error (Lam.Local _) -> set_status st task.tname A
+                | Error (Lam.Network _) -> set_status st task.tname E)))
+
+let commit_task st tname =
+  match get_status st tname with
+  | P -> (
+      match lam_of_task st tname with
+      | Unavailable _ -> set_status st tname E
+      | Available lam -> (
+          match Lam.commit lam with
+          | Ok () -> set_status st tname C
+          | Error (Lam.Local _) -> set_status st tname A
+          | Error (Lam.Network _) -> set_status st tname E))
+  | C | A | E | N | X -> ()
+
+let abort_task st tname =
+  match get_status st tname with
+  | P -> (
+      match lam_of_task st tname with
+      | Unavailable _ -> set_status st tname E
+      | Available lam -> (
+          match Lam.rollback lam with
+          | Ok () -> set_status st tname A
+          | Error (Lam.Local _) -> set_status st tname A
+          | Error (Lam.Network _) -> set_status st tname E))
+  | C | A | E | N | X -> ()
+
+let exec_comp st ~cname ~compensates ~target ~commands =
+  declare st cname target;
+  match conn_of st target with
+  | Unavailable _ -> set_status st cname E
+  | Available lam -> (
+      match Lam.exec_script lam commands with
+      | Error (Lam.Local _) -> set_status st cname A
+      | Error (Lam.Network _) -> set_status st cname E
+      | Ok _ -> (
+          let finish () =
+            set_status st cname C;
+            match compensates with
+            | Some t -> set_status st t X
+            | None -> ()
+          in
+          if
+            Ldbms.Capabilities.supports_2pc (Lam.service lam).Service.caps
+          then
+            match Lam.commit lam with
+            | Ok () -> finish ()
+            | Error (Lam.Local _) -> set_status st cname A
+            | Error (Lam.Network _) -> set_status st cname E
+          else finish ()))
+
+let exec_move st ~mname ~src ~dst ~dest_table ~query =
+  declare st mname src;
+  match conn_of st src, conn_of st dst with
+  | Unavailable _, _ | _, Unavailable _ -> set_status st mname E
+  | Available src_lam, Available dst_lam -> (
+      match Lam.transfer ~src:src_lam ~dst:dst_lam ~query ~dest_table with
+      | Ok _ -> set_status st mname C
+      | Error (Lam.Local _) -> set_status st mname A
+      | Error (Lam.Network _) -> set_status st mname E)
+
+let rec exec_stmt st = function
+  | Open { service; open_site; alias } -> (
+      let k = akey alias in
+      if Hashtbl.mem st.aliases k then err "alias %s already open" alias;
+      match Directory.find_opt st.directory service with
+      | None ->
+          Hashtbl.replace st.aliases k
+            (Unavailable (Printf.sprintf "unknown service %s" service))
+      | Some svc ->
+          (* The AT clause is informative: the directory knows the real
+             site; a mismatch is a program error. *)
+          (match open_site with
+          | Some s when not (Sqlcore.Names.equal s svc.Service.site) ->
+              err "service %s is at site %s, not %s" service svc.Service.site s
+          | Some _ | None -> ());
+          let conn =
+            match Lam.connect st.world svc with
+            | lam ->
+                emit st "OPEN %s AT %s AS %s" service svc.Service.site alias;
+                Available lam
+            | exception World.Site_down _ ->
+                emit st "OPEN %s failed: site %s is down" service
+                  svc.Service.site;
+                Unavailable (Printf.sprintf "site %s is down" svc.Service.site)
+          in
+          Hashtbl.replace st.aliases k conn)
+  | Close aliases ->
+      List.iter
+        (fun alias ->
+          match Hashtbl.find_opt st.aliases (akey alias) with
+          | Some (Available lam) ->
+              Lam.disconnect lam;
+              Hashtbl.remove st.aliases (akey alias)
+          | Some (Unavailable _) -> Hashtbl.remove st.aliases (akey alias)
+          | None -> err "CLOSE of unopened alias %s" alias)
+        aliases
+  | Task task -> exec_task st task
+  | Parallel stmts ->
+      (* Declarations must be deterministic regardless of branch timing, so
+         run branches under the world's parallel combinator, which
+         serializes effects but accounts time concurrently. *)
+      ignore
+        (World.parallel st.world
+           (List.map (fun s () -> exec_stmt st s) stmts))
+  | If (cond, then_b, else_b) ->
+      let taken = eval_cond st cond in
+      emit st "IF %s => %s" (Dol_pp.cond_to_string cond)
+        (if taken then "THEN" else "ELSE");
+      if taken then List.iter (exec_stmt st) then_b
+      else List.iter (exec_stmt st) else_b
+  | Commit_tasks names -> List.iter (commit_task st) names
+  | Abort_tasks names -> List.iter (abort_task st) names
+  | Comp { cname; compensates; target; commands } ->
+      exec_comp st ~cname ~compensates ~target ~commands
+  | Move { mname; src; dst; dest_table; query } ->
+      exec_move st ~mname ~src ~dst ~dest_table ~query
+  | Set_status n ->
+      emit st "DOLSTATUS = %d" n;
+      st.dolstatus <- n
+
+let run ?(on_event = fun _ -> ()) ~directory ~world program =
+  let st =
+    {
+      directory;
+      world;
+      aliases = Hashtbl.create 8;
+      statuses = Hashtbl.create 8;
+      status_order = [];
+      task_target = Hashtbl.create 8;
+      results = Hashtbl.create 8;
+      rowcounts = Hashtbl.create 8;
+      dolstatus = -1;
+      on_event;
+    }
+  in
+  let t0 = World.now_ms world in
+  Log.info (fun f ->
+      f "running DOL program: %d statements, %d tasks" (List.length program)
+        (List.length (task_names program)));
+  match List.iter (exec_stmt st) program with
+  | exception Program_error m -> Error m
+  | () ->
+      (* close any aliases the program forgot *)
+      Hashtbl.iter
+        (fun _ conn ->
+          match conn with Available lam -> Lam.disconnect lam | Unavailable _ -> ())
+        st.aliases;
+      let statuses =
+        List.rev_map (fun k -> (k, Hashtbl.find st.statuses k)) st.status_order
+      in
+      let results =
+        List.filter_map
+          (fun (k, _) ->
+            Option.map (fun r -> (k, r)) (Hashtbl.find_opt st.results k))
+          statuses
+      in
+      let rowcounts =
+        List.filter_map
+          (fun (k, _) ->
+            Option.map (fun n -> (k, n)) (Hashtbl.find_opt st.rowcounts k))
+          statuses
+      in
+      Ok
+        {
+          dolstatus = st.dolstatus;
+          statuses;
+          results;
+          rowcounts;
+          elapsed_ms = World.now_ms world -. t0;
+        }
+
+let run_text ?on_event ~directory ~world text =
+  match Dol_parser.parse text with
+  | program -> run ?on_event ~directory ~world program
+  | exception Dol_parser.Error (m, l, c) ->
+      Error (Printf.sprintf "DOL parse error at %d:%d: %s" l c m)
+
+let status_of (outcome : outcome) name =
+  match
+    List.find_opt
+      (fun (n, _) -> String.equal n (String.lowercase_ascii name))
+      outcome.statuses
+  with
+  | Some (_, s) -> s
+  | None -> N
+
+let result_of (outcome : outcome) name =
+  List.find_map
+    (fun (n, r) ->
+      if String.equal n (String.lowercase_ascii name) then Some r else None)
+    outcome.results

@@ -1,0 +1,46 @@
+(** The DOL engine: executes DOL programs, coordinating LAMs (§4.1).
+
+    Task statuses evolve as in the paper: a NOCOMMIT task that executes
+    without error reaches the prepared-to-commit state [P]; a committing
+    task reaches [C]; a local abort gives [A]; an unreachable site gives
+    [E]; compensation gives the compensated task [X]. COMMIT and ABORT
+    drive prepared tasks to [C]/[A]. IF conditions read these letters.
+
+    An [Error] result means the {e program} was malformed (unknown alias,
+    duplicate task name, ...) — execution failures are normal outcomes,
+    reported in the statuses. *)
+
+type outcome = {
+  dolstatus : int;  (** return code set by [DOLSTATUS = n]; -1 if never set *)
+  statuses : (string * Dol_ast.status) list;
+      (** every declared task/move/comp, in order of appearance *)
+  results : (string * Sqlcore.Relation.t) list;
+      (** partial results: task name -> last rows produced *)
+  rowcounts : (string * int) list;
+      (** task name -> rows affected by its DML statements *)
+  elapsed_ms : float;  (** virtual time consumed by the program *)
+}
+
+val run :
+  ?on_event:(string -> unit) ->
+  directory:Directory.t ->
+  world:Netsim.World.t ->
+  Dol_ast.program ->
+  (outcome, string) result
+(** [on_event] receives one line per coordination step (opens, task
+    status transitions, branch decisions, commits/aborts/compensations,
+    data moves), prefixed with the virtual-clock time — the engine's
+    execution trace. *)
+
+val run_text :
+  ?on_event:(string -> unit) ->
+  directory:Directory.t ->
+  world:Netsim.World.t ->
+  string ->
+  (outcome, string) result
+(** Parse and run DOL program text. *)
+
+val status_of : outcome -> string -> Dol_ast.status
+(** Status of a named task; [N] if unknown. *)
+
+val result_of : outcome -> string -> Sqlcore.Relation.t option

@@ -1,0 +1,113 @@
+module World = Netsim.World
+
+type t = {
+  service : Service.t;
+  session : Ldbms.Session.t;
+  world : World.t;
+}
+
+type failure = Local of string | Network of string
+
+let failure_message = function Local m -> m | Network m -> m
+
+let handshake_bytes = 64
+let ack_bytes = 16
+
+let connect world service =
+  World.send world ~src:"mdbs" ~dst:service.Service.site ~bytes:handshake_bytes;
+  {
+    service;
+    session =
+      Ldbms.Session.connect ~injector:service.Service.injector
+        service.Service.database service.Service.caps;
+    world;
+  }
+
+let service t = t.service
+let session t = t.session
+let site t = t.service.Service.site
+
+let result_bytes = function
+  | Ldbms.Session.Rows r -> Sqlcore.Relation.size_bytes r + ack_bytes
+  | Ldbms.Session.Affected _ | Ldbms.Session.Done -> ack_bytes
+
+let guard_site f =
+  match f () with
+  | r -> r
+  | exception World.Site_down s -> Error (Network (Printf.sprintf "site %s is down" s))
+  | exception World.Unknown_site s ->
+      Error (Network (Printf.sprintf "unknown site %s" s))
+
+let exec_script t script =
+  guard_site (fun () ->
+      World.send t.world ~src:"mdbs" ~dst:(site t) ~bytes:(String.length script);
+      match Ldbms.Session.exec_script t.session script with
+      | Ok results ->
+          let bytes = List.fold_left (fun a r -> a + result_bytes r) 0 results in
+          World.send t.world ~src:(site t) ~dst:"mdbs" ~bytes;
+          Ok results
+      | Error m ->
+          World.send t.world ~src:(site t) ~dst:"mdbs" ~bytes:ack_bytes;
+          Error (Local m))
+
+let last_relation results =
+  List.fold_left
+    (fun acc r ->
+      match r with Ldbms.Session.Rows rel -> Some rel | _ -> acc)
+    None results
+
+let round_trip t f =
+  guard_site (fun () ->
+      World.send t.world ~src:"mdbs" ~dst:(site t) ~bytes:ack_bytes;
+      let r = f () in
+      World.send t.world ~src:(site t) ~dst:"mdbs" ~bytes:ack_bytes;
+      match r with Ok () -> Ok () | Error m -> Error (Local m))
+
+let prepare t = round_trip t (fun () -> Ldbms.Session.prepare t.session)
+let commit t = round_trip t (fun () -> Ldbms.Session.commit t.session)
+let rollback t = round_trip t (fun () -> Ldbms.Session.rollback t.session)
+
+let fetch t query =
+  match exec_script t query with
+  | Error f -> Error f
+  | Ok results -> (
+      match last_relation results with
+      | Some rel -> Ok rel
+      | None -> Error (Local "query did not produce rows"))
+
+let transfer ~src ~dst ~query ~dest_table =
+  (* command goes engine -> src; data goes src -> dst directly *)
+  match
+    guard_site (fun () ->
+        World.send src.world ~src:"mdbs" ~dst:(site src)
+          ~bytes:(String.length query);
+        match Ldbms.Session.exec_sql src.session query with
+        | Ok (Ldbms.Session.Rows rel) -> Ok rel
+        | Ok _ -> Error (Local "MOVE query did not produce rows")
+        | Error m -> Error (Local m))
+  with
+  | Error f -> Error f
+  | Ok rel -> (
+      match
+        guard_site (fun () ->
+            World.send dst.world ~src:(site src) ~dst:(site dst)
+              ~bytes:(Sqlcore.Relation.size_bytes rel + ack_bytes);
+            Ok ())
+      with
+      | Error f -> Error f
+      | Ok () ->
+          Ldbms.Database.load
+            dst.service.Service.database
+            ~name:dest_table
+            (Sqlcore.Relation.schema rel)
+            (Sqlcore.Relation.rows rel);
+          Ok (Sqlcore.Relation.cardinality rel))
+
+let disconnect t =
+  ignore (Ldbms.Session.rollback t.session);
+  match
+    guard_site (fun () ->
+        World.send t.world ~src:"mdbs" ~dst:(site t) ~bytes:ack_bytes;
+        Ok ())
+  with
+  | Ok () | Error _ -> ()

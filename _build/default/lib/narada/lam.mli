@@ -1,0 +1,51 @@
+(** Local Access Manager: the per-service agent that executes local
+    commands on behalf of the DOL engine and ships partial results
+    (Figure 1).
+
+    Every interaction charges the simulated network: commands travel
+    engine→site, results site→engine, and relation transfers go directly
+    site→site as the paper allows LAMs to exchange data with each other. *)
+
+type t
+
+val connect : Netsim.World.t -> Service.t -> t
+(** Opens the service: establishes the session and charges a handshake
+    message. Raises {!Netsim.World.Site_down} if the site is unreachable. *)
+
+val service : t -> Service.t
+val session : t -> Ldbms.Session.t
+val site : t -> string
+
+(** How an operation failed: [Local] failures are aborts raised by the
+    database itself (semantic errors, injected local failures) — the
+    session has rolled back; [Network] failures mean the site could not be
+    reached and nothing is known about the local state. *)
+type failure = Local of string | Network of string
+
+val failure_message : failure -> string
+
+val exec_script : t -> string -> (Ldbms.Session.result list, failure) result
+(** Ship a SQL script to the LAM and execute it statement by statement.
+    Charges the command bytes out and the result bytes back. *)
+
+val last_relation : Ldbms.Session.result list -> Sqlcore.Relation.t option
+(** The last [Rows] result of a script, if any. *)
+
+val prepare : t -> (unit, failure) result
+(** First phase of 2PC: one round trip. *)
+
+val commit : t -> (unit, failure) result
+val rollback : t -> (unit, failure) result
+
+val fetch : t -> string -> (Sqlcore.Relation.t, failure) result
+(** Execute a SELECT and return its result (command out, data back). *)
+
+val transfer : src:t -> dst:t -> query:string -> dest_table:string ->
+  (int, failure) result
+(** Run [query] at [src] and materialize the result at [dst] under
+    [dest_table] (replacing it), shipping the data directly between the
+    two sites. Returns the number of rows moved. *)
+
+val disconnect : t -> unit
+(** Rolls back any open transaction and charges a goodbye message (best
+    effort: a down site is ignored). *)

@@ -1,0 +1,27 @@
+type t = {
+  service_name : string;
+  site : string;
+  database : Ldbms.Database.t;
+  caps : Ldbms.Capabilities.t;
+  protocol : string;
+  login : string;
+  transfer_method : string;
+  injector : Ldbms.Failure_injector.t;
+}
+
+let make ?(protocol = "tcp/ip") ?(login = "guest") ?(transfer_method = "stream")
+    ~site ~caps database =
+  {
+    service_name = Ldbms.Database.name database;
+    site;
+    database;
+    caps;
+    protocol;
+    login;
+    transfer_method;
+    injector = Ldbms.Failure_injector.create ();
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s@%s via %s (%a)" t.service_name t.site t.protocol
+    Ldbms.Capabilities.pp t.caps

@@ -1,0 +1,32 @@
+(** A database service known to the Narada resource directory.
+
+    Corresponds to one entry of the paper's resource directory: "physical
+    addresses, communication protocols, login information and the data
+    transfer methods used for all nodes" (§4.1), plus the live database it
+    fronts in this in-process simulation. *)
+
+type t = {
+  service_name : string;
+  site : string;  (** site name registered in the {!Netsim.World} *)
+  database : Ldbms.Database.t;
+  caps : Ldbms.Capabilities.t;
+  protocol : string;  (** e.g. "tcp/ip", "isode" — descriptive only *)
+  login : string;
+  transfer_method : string;  (** e.g. "ftp", "stream" — descriptive only *)
+  injector : Ldbms.Failure_injector.t;
+      (** shared by every session opened against this service, so failures
+          can be scripted from outside (stands in for the paper's local
+          conflicts, deadlocks and crashes) *)
+}
+
+val make :
+  ?protocol:string ->
+  ?login:string ->
+  ?transfer_method:string ->
+  site:string ->
+  caps:Ldbms.Capabilities.t ->
+  Ldbms.Database.t ->
+  t
+(** Service name defaults to the database name. *)
+
+val pp : Format.formatter -> t -> unit

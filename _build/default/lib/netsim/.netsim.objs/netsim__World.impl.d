@@ -1,0 +1,1 @@
+lib/netsim/world.ml: Hashtbl List Site String

@@ -1,0 +1,1 @@
+lib/netsim/world.mli: Site

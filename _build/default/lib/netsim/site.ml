@@ -1,0 +1,6 @@
+type t = { site_name : string; latency_ms : float; per_byte_ms : float }
+
+let make ?(latency_ms = 5.0) ?(per_byte_ms = 0.0001) site_name =
+  { site_name; latency_ms; per_byte_ms }
+
+let message_cost_ms t ~bytes = t.latency_ms +. (float_of_int bytes *. t.per_byte_ms)

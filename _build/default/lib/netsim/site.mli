@@ -1,0 +1,16 @@
+(** A node of the simulated multi-system environment.
+
+    The cost model is deliberately simple and deterministic: delivering a
+    message of [n] bytes to or from a site costs the site's fixed latency
+    plus [n] times its per-byte cost. *)
+
+type t = {
+  site_name : string;
+  latency_ms : float;  (** one-way fixed cost per message *)
+  per_byte_ms : float;  (** transfer cost per payload byte *)
+}
+
+val make : ?latency_ms:float -> ?per_byte_ms:float -> string -> t
+(** Defaults: 5.0 ms latency, 0.0001 ms/byte (≈10 MB/s). *)
+
+val message_cost_ms : t -> bytes:int -> float

@@ -1,0 +1,76 @@
+type t = {
+  sites : (string, Site.t) Hashtbl.t;
+  down : (string, unit) Hashtbl.t;
+  mutable clock_ms : float;
+  stats : stats;
+}
+
+and stats = { mutable messages : int; mutable bytes_moved : int }
+
+exception Unknown_site of string
+exception Site_down of string
+
+let key = String.lowercase_ascii
+
+let create () =
+  let t =
+    {
+      sites = Hashtbl.create 16;
+      down = Hashtbl.create 4;
+      clock_ms = 0.0;
+      stats = { messages = 0; bytes_moved = 0 };
+    }
+  in
+  Hashtbl.replace t.sites (key "mdbs")
+    (Site.make ~latency_ms:0.0 ~per_byte_ms:0.0 "mdbs");
+  t
+
+let add_site t site = Hashtbl.replace t.sites (key site.Site.site_name) site
+
+let find_site t name =
+  match Hashtbl.find_opt t.sites (key name) with
+  | Some s -> s
+  | None -> raise (Unknown_site name)
+
+let site_names t =
+  Hashtbl.fold (fun _ s acc -> s.Site.site_name :: acc) t.sites []
+  |> List.sort String.compare
+
+let now_ms t = t.clock_ms
+let advance_ms t d = t.clock_ms <- t.clock_ms +. d
+let reset_clock t = t.clock_ms <- 0.0
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.messages <- 0;
+  t.stats.bytes_moved <- 0
+
+let set_down t name down =
+  ignore (find_site t name);
+  if down then Hashtbl.replace t.down (key name) ()
+  else Hashtbl.remove t.down (key name)
+
+let is_down t name = Hashtbl.mem t.down (key name)
+
+let send t ~src ~dst ~bytes =
+  let s = find_site t src and d = find_site t dst in
+  if is_down t src then raise (Site_down src);
+  if is_down t dst then raise (Site_down dst);
+  advance_ms t (Site.message_cost_ms s ~bytes +. Site.message_cost_ms d ~bytes);
+  t.stats.messages <- t.stats.messages + 1;
+  t.stats.bytes_moved <- t.stats.bytes_moved + bytes
+
+let parallel t thunks =
+  let t0 = t.clock_ms in
+  let finishes = ref [] in
+  let results =
+    List.map
+      (fun thunk ->
+        t.clock_ms <- t0;
+        let r = thunk () in
+        finishes := t.clock_ms :: !finishes;
+        r)
+      thunks
+  in
+  t.clock_ms <- List.fold_left max t0 !finishes;
+  results

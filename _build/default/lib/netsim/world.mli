@@ -1,0 +1,47 @@
+(** The simulated distributed environment: a set of sites, a virtual clock
+    and message accounting.
+
+    Everything runs in one OS process; "remote" execution means charging
+    this clock. {!parallel} models concurrent task execution: each branch
+    starts from the same virtual instant and the clock ends at the latest
+    branch finish — the quantity the paper says loosely coupled execution
+    should optimize (§4.3, §5). *)
+
+type t
+
+exception Unknown_site of string
+exception Site_down of string
+
+type stats = {
+  mutable messages : int;
+  mutable bytes_moved : int;
+}
+
+val create : unit -> t
+(** Contains one built-in site ["mdbs"] (latency 0): the multidatabase
+    engine's own node. *)
+
+val add_site : t -> Site.t -> unit
+val find_site : t -> string -> Site.t
+val site_names : t -> string list
+
+val now_ms : t -> float
+val advance_ms : t -> float -> unit
+val reset_clock : t -> unit
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val set_down : t -> string -> bool -> unit
+(** Mark a site unreachable; messages to it raise {!Site_down}. *)
+
+val is_down : t -> string -> bool
+
+val send : t -> src:string -> dst:string -> bytes:int -> unit
+(** Charge one message from [src] to [dst]: advances the clock by both
+    sites' message costs and updates the statistics. Raises
+    {!Unknown_site} or {!Site_down}. *)
+
+val parallel : t -> (unit -> 'a) list -> 'a list
+(** Run the thunks as logically concurrent branches: each starts at the
+    current virtual time; afterwards the clock is the maximum finish time.
+    Results are returned in order. *)

@@ -1,0 +1,1 @@
+lib/sqlcore/names.mli:

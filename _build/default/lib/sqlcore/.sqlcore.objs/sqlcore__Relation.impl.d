@@ -1,0 +1,1 @@
+lib/sqlcore/relation.ml: Array Format Hashtbl List Printf Row Schema String Value

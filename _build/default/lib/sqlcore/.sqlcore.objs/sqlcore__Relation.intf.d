@@ -1,0 +1,1 @@
+lib/sqlcore/relation.mli: Format Row Schema

@@ -1,0 +1,1 @@
+lib/sqlcore/row.ml: Array Format List Value

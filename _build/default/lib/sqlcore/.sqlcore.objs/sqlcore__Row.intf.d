@@ -1,0 +1,1 @@
+lib/sqlcore/row.mli: Format Value

@@ -1,0 +1,1 @@
+lib/sqlcore/scan.ml: Buffer String

@@ -1,0 +1,1 @@
+lib/sqlcore/schema.ml: Format List Names Ty

@@ -1,0 +1,1 @@
+lib/sqlcore/schema.mli: Format Ty

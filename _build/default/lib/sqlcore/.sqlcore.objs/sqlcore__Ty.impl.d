@@ -1,0 +1,1 @@
+lib/sqlcore/ty.ml: Format Stdlib String

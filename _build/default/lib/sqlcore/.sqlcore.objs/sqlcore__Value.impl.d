@@ -1,0 +1,1 @@
+lib/sqlcore/value.ml: Bool Buffer Float Format Printf Stdlib String Ty

@@ -1,0 +1,1 @@
+lib/sqlcore/value.mli: Format Ty

@@ -1,0 +1,31 @@
+(* Backtracking matcher over two wildcard kinds. [any_one] selects whether
+   '_' is a single-character wildcard (SQL LIKE) or a literal (MSQL). *)
+let matches ~any_one ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* memoized on (i, j) to keep worst cases linear-ish *)
+  let seen = Hashtbl.create 16 in
+  let rec go i j =
+    match Hashtbl.find_opt seen (i, j) with
+    | Some r -> r
+    | None ->
+        let r =
+          if i = np then j = ns
+          else
+            match pattern.[i] with
+            | '%' -> go (i + 1) j || (j < ns && go i (j + 1))
+            | '_' when any_one -> j < ns && go (i + 1) (j + 1)
+            | c -> j < ns && Char.equal c s.[j] && go (i + 1) (j + 1)
+        in
+        Hashtbl.add seen (i, j) r;
+        r
+  in
+  go 0 0
+
+let sql_like ~pattern s = matches ~any_one:true ~pattern s
+
+let identifier ~pattern s =
+  matches ~any_one:false
+    ~pattern:(String.lowercase_ascii pattern)
+    (String.lowercase_ascii s)
+
+let has_wildcard s = String.contains s '%'

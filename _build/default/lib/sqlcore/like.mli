@@ -1,0 +1,17 @@
+(** Wildcard pattern matching.
+
+    Two pattern dialects share one matcher:
+    - SQL [LIKE]: [%] matches any sequence, [_] matches one character;
+    - MSQL {e multiple identifiers} (paper §2): [%] matches any sequence of
+      zero or more characters inside an identifier (e.g. [rate%] matches
+      both [rate] and [rates]); [_] is an ordinary character because it is
+      legal in identifiers. *)
+
+val sql_like : pattern:string -> string -> bool
+(** Case-sensitive SQL LIKE match ([%] and [_] wildcards). *)
+
+val identifier : pattern:string -> string -> bool
+(** Case-insensitive MSQL identifier match ([%] wildcard only). *)
+
+val has_wildcard : string -> bool
+(** [true] iff the string contains the MSQL [%] wildcard. *)

@@ -1,0 +1,7 @@
+let canon = String.lowercase_ascii
+let equal a b = String.equal (canon a) (canon b)
+let compare a b = String.compare (canon a) (canon b)
+let mem x l = List.exists (equal x) l
+
+let assoc_opt x l =
+  List.find_map (fun (k, v) -> if equal k x then Some v else None) l

@@ -1,0 +1,19 @@
+(** Case-insensitive identifier handling.
+
+    SQL identifiers (database, table and column names) are case-insensitive
+    in this system; the canonical form is lowercase. *)
+
+val canon : string -> string
+(** Canonical (lowercase) form of an identifier. *)
+
+val equal : string -> string -> bool
+(** Case-insensitive equality. *)
+
+val compare : string -> string -> int
+(** Case-insensitive total order. *)
+
+val mem : string -> string list -> bool
+(** Case-insensitive membership. *)
+
+val assoc_opt : string -> (string * 'a) list -> 'a option
+(** Case-insensitive association lookup. *)

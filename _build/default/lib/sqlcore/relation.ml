@@ -1,0 +1,105 @@
+type t = { schema : Schema.t; rows : Row.t list }
+
+let make schema rows =
+  let arity = Schema.arity schema in
+  List.iter
+    (fun r ->
+      if Array.length r <> arity then
+        invalid_arg
+          (Printf.sprintf "Relation.make: row arity %d, schema arity %d"
+             (Array.length r) arity))
+    rows;
+  { schema; rows }
+
+let empty schema = { schema; rows = [] }
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = List.length t.rows
+let is_empty t = t.rows = []
+
+let size_bytes t =
+  List.fold_left (fun acc r -> acc + Row.size_bytes r) 0 t.rows
+
+let equal a b =
+  Schema.equal a.schema b.schema
+  && List.length a.rows = List.length b.rows
+  && List.for_all2 Row.equal a.rows b.rows
+
+let equal_unordered a b =
+  Schema.equal a.schema b.schema
+  && List.length a.rows = List.length b.rows
+  &&
+  let sort rows = List.sort Row.compare rows in
+  List.for_all2 Row.equal (sort a.rows) (sort b.rows)
+
+let add_row t row =
+  if Array.length row <> Schema.arity t.schema then
+    invalid_arg "Relation.add_row: arity mismatch";
+  { t with rows = t.rows @ [ row ] }
+
+let filter p t = { t with rows = List.filter p t.rows }
+let map_rows f schema t = make schema (List.map f t.rows)
+
+let project t idxs schema = make schema (List.map (Row.project idxs) t.rows)
+
+let distinct t =
+  let seen = Hashtbl.create 64 in
+  let keep r =
+    let key = List.map Value.to_literal (Row.to_list r) |> String.concat "\x00" in
+    if Hashtbl.mem seen key then false
+    else begin
+      Hashtbl.add seen key ();
+      true
+    end
+  in
+  { t with rows = List.filter keep t.rows }
+
+let union a b =
+  if not (Schema.union_compatible a.schema b.schema) then
+    invalid_arg "Relation.union: schemas not union-compatible";
+  { schema = a.schema; rows = a.rows @ b.rows }
+
+let product a b =
+  let schema = a.schema @ b.schema in
+  let rows =
+    List.concat_map (fun ra -> List.map (fun rb -> Row.append ra rb) b.rows) a.rows
+  in
+  { schema; rows }
+
+let order_by cmp t = { t with rows = List.stable_sort cmp t.rows }
+
+let limit n t =
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  { t with rows = take n t.rows }
+
+let requalify q t = { t with schema = Schema.requalify q t.schema }
+
+let pp ppf t =
+  let headers = Schema.names t.schema in
+  let cells = List.map (fun r -> List.map Value.to_string (Row.to_list r)) t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) cells)
+      headers
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let line cells =
+    "|"
+    ^ String.concat "|" (List.map2 (fun c w -> " " ^ pad c w ^ " ") cells widths)
+    ^ "|"
+  in
+  Format.fprintf ppf "%s@\n%s@\n%s@\n" rule (line headers) rule;
+  List.iter (fun row -> Format.fprintf ppf "%s@\n" (line row)) cells;
+  Format.fprintf ppf "%s" rule
+
+let to_string t = Format.asprintf "%a" pp t

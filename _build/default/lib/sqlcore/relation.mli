@@ -1,0 +1,51 @@
+(** Immutable relations and the relational-algebra operators the executors
+    are built from.
+
+    Rows are kept in insertion order; [distinct], [union] and friends
+    preserve the order of first occurrence so that results are
+    deterministic. *)
+
+type t
+
+val make : Schema.t -> Row.t list -> t
+(** Raises [Invalid_argument] if any row's arity differs from the schema's. *)
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val rows : t -> Row.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+val size_bytes : t -> int
+
+val equal : t -> t -> bool
+(** Schema equality (names/types) and row-list equality in order. *)
+
+val equal_unordered : t -> t -> bool
+(** Schema equality and multiset equality of rows. *)
+
+val add_row : t -> Row.t -> t
+val filter : (Row.t -> bool) -> t -> t
+val map_rows : (Row.t -> Row.t) -> Schema.t -> t -> t
+
+val project : t -> int list -> Schema.t -> t
+(** [project r idxs schema] keeps the fields at [idxs], in that order. *)
+
+val distinct : t -> t
+val union : t -> t -> t
+(** Raises [Invalid_argument] if not union-compatible. Keeps duplicates
+    (UNION ALL); compose with {!distinct} for set union. *)
+
+val product : t -> t -> t
+(** Cartesian product; schemas are concatenated. *)
+
+val order_by : (Row.t -> Row.t -> int) -> t -> t
+(** Stable sort. *)
+
+val limit : int -> t -> t
+val requalify : string option -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** ASCII table with a header, the display format of the shell and the
+    examples. *)
+
+val to_string : t -> string

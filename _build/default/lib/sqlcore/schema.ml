@@ -1,0 +1,59 @@
+type column = {
+  name : string;
+  ty : Ty.t;
+  width : int option;
+  qualifier : string option;
+  not_null : bool;
+  unique : bool;
+}
+
+type t = column list
+
+let column ?width ?qualifier ?(not_null = false) ?(unique = false) name ty =
+  { name; ty; width; qualifier; not_null; unique }
+let names t = List.map (fun c -> c.name) t
+let arity = List.length
+
+let matches ?qualifier name c =
+  Names.equal c.name name
+  &&
+  match qualifier with
+  | None -> true
+  | Some q -> ( match c.qualifier with Some cq -> Names.equal cq q | None -> false)
+
+let find_indices t ?qualifier name =
+  let rec go i = function
+    | [] -> []
+    | c :: rest ->
+        if matches ?qualifier name c then i :: go (i + 1) rest else go (i + 1) rest
+  in
+  go 0 t
+
+let find_index t ?qualifier name =
+  match find_indices t ?qualifier name with [] -> None | i :: _ -> Some i
+
+let mem t name = find_index t name <> None
+let requalify q t = List.map (fun c -> { c with qualifier = q }) t
+
+let union_compatible a b =
+  arity a = arity b
+  && List.for_all2 (fun ca cb -> Ty.equal ca.ty cb.ty) a b
+
+let equal a b =
+  arity a = arity b
+  && List.for_all2
+       (fun ca cb -> Names.equal ca.name cb.name && Ty.equal ca.ty cb.ty)
+       a b
+
+let pp ppf t =
+  let pp_col ppf c =
+    (match c.qualifier with
+    | Some q -> Format.fprintf ppf "%s." q
+    | None -> ());
+    Format.fprintf ppf "%s %a" c.name Ty.pp c.ty
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_col)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,53 @@
+(** Relation schemas: ordered lists of named, typed columns.
+
+    Columns carry an optional [width] (character width for strings), which
+    the paper's Global Data Dictionary records, and an optional [qualifier]
+    used when a derived relation keeps track of the table (or table alias)
+    each column came from. *)
+
+type column = {
+  name : string;
+  ty : Ty.t;
+  width : int option;  (** declared width, when known (GDD metadata) *)
+  qualifier : string option;
+      (** source table or alias, for qualified-name resolution *)
+  not_null : bool;  (** NOT NULL constraint *)
+  unique : bool;  (** UNIQUE constraint *)
+}
+
+type t = column list
+
+val column :
+  ?width:int ->
+  ?qualifier:string ->
+  ?not_null:bool ->
+  ?unique:bool ->
+  string ->
+  Ty.t ->
+  column
+
+val names : t -> string list
+val arity : t -> int
+
+val find_index : t -> ?qualifier:string -> string -> int option
+(** Position of the column with the given (case-insensitive) name, and, if
+    [qualifier] is given, the matching qualifier. Returns the first match. *)
+
+val find_indices : t -> ?qualifier:string -> string -> int list
+(** All matching positions — used to detect ambiguous column references. *)
+
+val mem : t -> string -> bool
+
+val requalify : string option -> t -> t
+(** Replace every column's qualifier. *)
+
+val union_compatible : t -> t -> bool
+(** Same arity and pairwise compatible column types (names may differ), the
+    condition for multitable merging and UNION. *)
+
+val equal : t -> t -> bool
+(** Name (case-insensitive) and type equality, ignoring widths and
+    qualifiers. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

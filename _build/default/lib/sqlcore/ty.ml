@@ -1,0 +1,29 @@
+type t =
+  | Int
+  | Float
+  | Str
+  | Bool
+
+let equal a b =
+  match a, b with
+  | Int, Int | Float, Float | Str, Str | Bool, Bool -> true
+  | (Int | Float | Str | Bool), _ -> false
+
+let rank = function Int -> 0 | Float -> 1 | Str -> 2 | Bool -> 3
+let compare a b = Stdlib.compare (rank a) (rank b)
+
+let to_string = function
+  | Int -> "INT"
+  | Float -> "FLOAT"
+  | Str -> "CHAR"
+  | Bool -> "BOOL"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "SMALLINT" | "BIGINT" -> Some Int
+  | "FLOAT" | "REAL" | "DOUBLE" | "NUMERIC" | "DECIMAL" -> Some Float
+  | "CHAR" | "VARCHAR" | "STRING" | "TEXT" | "DATE" -> Some Str
+  | "BOOL" | "BOOLEAN" -> Some Bool
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,23 @@
+(** Column types of the relational kernel.
+
+    The value domain follows the paper's example schemas: integers for
+    seat/flight numbers, floats for rates, strings for names, dates as
+    strings, plus booleans for completeness. *)
+
+type t =
+  | Int
+  | Float
+  | Str
+  | Bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** SQL-ish spelling: [INT], [FLOAT], [CHAR], [BOOL]. *)
+
+val of_string : string -> t option
+(** Case-insensitive parse accepting common synonyms
+    ([INTEGER], [REAL], [VARCHAR], [CHAR], [STRING], [BOOLEAN], ...). *)
+
+val pp : Format.formatter -> t -> unit

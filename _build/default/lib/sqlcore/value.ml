@@ -1,0 +1,119 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Int a, Int b -> a = b
+  | Float a, Float b -> Float.equal a b
+  | Str a, Str b -> String.equal a b
+  | Bool a, Bool b -> a = b
+  | (Null | Int _ | Float _ | Str _ | Bool _), _ -> false
+
+(* Null < numbers < strings < bools; ints and floats interleave numerically *)
+let class_rank = function
+  | Null -> 0
+  | Int _ | Float _ -> 1
+  | Str _ -> 2
+  | Bool _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int a, Int b -> Stdlib.compare a b
+  | Float a, Float b -> Float.compare a b
+  | Int a, Float b -> Float.compare (float_of_int a) b
+  | Float a, Int b -> Float.compare a (float_of_int b)
+  | Str a, Str b -> String.compare a b
+  | Bool a, Bool b -> Bool.compare a b
+  | _, _ -> Stdlib.compare (class_rank a) (class_rank b)
+
+let ty = function
+  | Null -> None
+  | Int _ -> Some Ty.Int
+  | Float _ -> Some Ty.Float
+  | Str _ -> Some Ty.Str
+  | Bool _ -> Some Ty.Bool
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ -> false
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%g" f
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> float_to_string f
+  | Str s -> s
+  | Bool b -> if b then "TRUE" else "FALSE"
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let to_literal = function
+  | Str s -> quote s
+  | (Null | Int _ | Float _ | Bool _) as v -> to_string v
+
+let of_literal_exn s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Value.of_literal_exn: empty"
+  else if String.uppercase_ascii s = "NULL" then Null
+  else if String.uppercase_ascii s = "TRUE" then Bool true
+  else if String.uppercase_ascii s = "FALSE" then Bool false
+  else if s.[0] = '\'' then
+    if n >= 2 && s.[n - 1] = '\'' then
+      let body = String.sub s 1 (n - 2) in
+      let buf = Buffer.create (String.length body) in
+      let rec loop i =
+        if i < String.length body then begin
+          if body.[i] = '\'' && i + 1 < String.length body && body.[i + 1] = '\''
+          then begin
+            Buffer.add_char buf '\'';
+            loop (i + 2)
+          end
+          else begin
+            Buffer.add_char buf body.[i];
+            loop (i + 1)
+          end
+        end
+      in
+      loop 0;
+      Str (Buffer.contents buf)
+    else invalid_arg "Value.of_literal_exn: unterminated string"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> invalid_arg ("Value.of_literal_exn: " ^ s))
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let as_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Str _ | Bool _ -> None
+
+let as_int = function Int i -> Some i | Null | Float _ | Str _ | Bool _ -> None
+let as_string = function Str s -> Some s | Null | Int _ | Float _ | Bool _ -> None
+let as_bool = function Bool b -> Some b | Null | Int _ | Float _ | Str _ -> None
+
+let size_bytes = function
+  | Null -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | Bool _ -> 1
+  | Str s -> String.length s

@@ -1,0 +1,47 @@
+(** Atomic values stored in relations.
+
+    SQL three-valued logic is handled at the expression-evaluation level;
+    here [Null] is an ordinary bottom element that compares lowest. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+val equal : t -> t -> bool
+(** Structural equality; [Int 1] and [Float 1.0] are {e not} equal here
+    (numeric coercion lives in the evaluator). *)
+
+val compare : t -> t -> int
+(** Total order used for ORDER BY, MIN/MAX and index lookups. [Null] sorts
+    first; ints and floats compare numerically across the two types. *)
+
+val ty : t -> Ty.t option
+(** Type of a non-null value; [None] for [Null]. *)
+
+val is_null : t -> bool
+
+val to_string : t -> string
+(** Display form: [NULL], bare numbers, unquoted strings. *)
+
+val to_literal : t -> string
+(** SQL literal form: strings quoted with ['] and embedded quotes doubled. *)
+
+val of_literal_exn : string -> t
+(** Inverse of {!to_literal} for the simple literal forms; raises
+    [Invalid_argument] on malformed input. Used by tests. *)
+
+val pp : Format.formatter -> t -> unit
+
+val as_float : t -> float option
+(** Numeric view of [Int] and [Float]; [None] otherwise. *)
+
+val as_int : t -> int option
+val as_string : t -> string option
+val as_bool : t -> bool option
+
+val size_bytes : t -> int
+(** Approximate wire size of the value; used by the network simulator to
+    charge data-shipping costs. *)

@@ -1,0 +1,1 @@
+lib/sqlfront/ast.ml: Float List Option Sqlcore

@@ -1,0 +1,1 @@
+lib/sqlfront/ast.mli: Sqlcore

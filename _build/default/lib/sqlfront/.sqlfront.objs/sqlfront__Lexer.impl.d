@@ -1,0 +1,1 @@
+lib/sqlfront/lexer.ml: List Printf Sqlcore String Token

@@ -1,0 +1,1 @@
+lib/sqlfront/parser.ml: Ast Lexer List Printf Sqlcore Token Tstream

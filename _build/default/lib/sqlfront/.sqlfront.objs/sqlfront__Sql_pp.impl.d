@@ -1,0 +1,1 @@
+lib/sqlfront/sql_pp.ml: Ast Buffer Format List Printf Sqlcore String

@@ -1,0 +1,1 @@
+lib/sqlfront/sql_pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/sqlfront/token.mli: Format

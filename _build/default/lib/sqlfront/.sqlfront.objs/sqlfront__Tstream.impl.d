@@ -1,0 +1,1 @@
+lib/sqlfront/tstream.ml: Printf String Token

@@ -1,0 +1,1 @@
+lib/sqlfront/tstream.mli: Token

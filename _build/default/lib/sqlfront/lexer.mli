@@ -1,0 +1,11 @@
+(** Lexer for the SQL subset.
+
+    Identifiers are [[A-Za-z_][A-Za-z0-9_]*]. Numbers are integer or
+    decimal. Strings use single quotes with [''] escaping. Comments are
+    [--] to end of line and [/* ... */]. *)
+
+exception Error of string * int * int
+(** Lexical error with 1-based line and column. *)
+
+val tokenize : string -> Token.located list
+(** The resulting list always ends with an [Eof] token. *)

@@ -1,0 +1,23 @@
+(** Tokens shared by the SQL parser (and reused, with a different lexer, by
+    the MSQL parser). Keywords are not distinguished lexically: the parsers
+    match [Ident] payloads case-insensitively, which lets keyword-like
+    identifiers (e.g. a column named [day]) appear where the grammar allows
+    them. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Str of string  (** ['...'] literal, quotes stripped *)
+  | Sym of string  (** punctuation / operator, e.g. ["("], ["<="], ["||"] *)
+  | Eof
+
+type located = { tok : t; tline : int; tcol : int }
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val is_keyword : t -> string -> bool
+(** [is_keyword tok kw] — [tok] is an identifier equal to [kw]
+    case-insensitively. *)

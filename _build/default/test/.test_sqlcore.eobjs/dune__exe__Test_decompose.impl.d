@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Astring_contains List Msql Schema Sqlcore Sqlfront Ty Value

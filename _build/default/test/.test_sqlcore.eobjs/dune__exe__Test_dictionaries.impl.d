@@ -1,0 +1,1 @@
+test/test_dictionaries.ml: Alcotest Ldbms List Msql Schema Sqlcore Ty

@@ -1,0 +1,1 @@
+test/test_dol.ml: Alcotest Array Astring_contains Format Ldbms List Narada Netsim Printf QCheck QCheck_alcotest Relation Schema Sqlcore String Ty Value

@@ -1,0 +1,1 @@
+test/test_dol_opt.ml: Alcotest List Msql Narada Printf Relation Row Sqlcore

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Gen Ldbms List QCheck QCheck_alcotest Schema Sqlcore Sqlfront Ty Value

@@ -1,0 +1,1 @@
+test/test_expand.ml: Alcotest Ldbms List Msql Printf QCheck QCheck_alcotest Schema Sqlcore Sqlfront String Ty

@@ -1,0 +1,1 @@
+test/test_indexes.ml: Alcotest Ldbms List Printf QCheck QCheck_alcotest Relation Row Schema Sqlcore Ty Value

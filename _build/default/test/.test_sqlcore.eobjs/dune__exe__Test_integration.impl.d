@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Astring_contains Format Ldbms List Msql Netsim Option Relation Row Schema Sqlcore String Value

@@ -1,0 +1,1 @@
+test/test_ldbms.ml: Alcotest Ldbms List Printf QCheck QCheck_alcotest Relation Result Row Schema Sqlcore Ty Value

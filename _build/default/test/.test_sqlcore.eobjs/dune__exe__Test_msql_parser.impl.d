@@ -1,0 +1,1 @@
+test/test_msql_parser.ml: Alcotest List Msql Sqlfront

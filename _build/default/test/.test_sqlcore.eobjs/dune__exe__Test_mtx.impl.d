@@ -1,0 +1,1 @@
+test/test_mtx.ml: Alcotest Array Astring_contains Ldbms List Msql Narada Relation Sqlcore Value

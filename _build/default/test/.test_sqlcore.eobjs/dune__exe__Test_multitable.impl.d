@@ -1,0 +1,1 @@
+test/test_multitable.ml: Alcotest Array Ldbms List Msql Narada QCheck QCheck_alcotest Relation Row Schema Sqlcore Ty Value

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest List Netsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array Astring_contains Ldbms List Msql Narada Netsim Option Relation Schema Sqlcore Value

@@ -1,0 +1,1 @@
+test/test_plangen.ml: Alcotest Astring_contains Ldbms List Msql Narada Option Sqlcore

@@ -1,0 +1,1 @@
+test/test_sqlcore.ml: Alcotest Array Like List Names Printf QCheck QCheck_alcotest Relation Row Scan Schema Sqlcore String Ty Value

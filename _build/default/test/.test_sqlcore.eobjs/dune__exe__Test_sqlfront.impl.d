@@ -1,0 +1,1 @@
+test/test_sqlfront.ml: Alcotest List Printf QCheck QCheck_alcotest Sqlcore Sqlfront

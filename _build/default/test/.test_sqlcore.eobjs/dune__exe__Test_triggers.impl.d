@@ -1,0 +1,1 @@
+test/test_triggers.ml: Alcotest Array Astring_contains List Msql Relation Sqlcore Value

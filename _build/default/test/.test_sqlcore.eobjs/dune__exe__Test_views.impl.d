@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Ldbms List Msql Option Relation Schema Sqlcore Ty Value

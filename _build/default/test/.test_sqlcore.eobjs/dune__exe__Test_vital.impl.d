@@ -1,0 +1,1 @@
+test/test_vital.ml: Alcotest Array Astring_contains Ldbms List Msql Narada Netsim Option Relation Sqlcore Value

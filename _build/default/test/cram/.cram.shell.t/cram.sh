@@ -1,0 +1,3 @@
+  $ ../../bin/msql_shell.exe --script demo.msql
+  $ ../../bin/msql_shell.exe --script mtx.msql --stats
+  $ ../../bin/msql_shell.exe --script admin.msql

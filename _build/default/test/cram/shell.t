@@ -1,0 +1,89 @@
+The MSQL shell runs scripts against the demo federation. The demo script
+exercises IMPORT, the paper's multiple SELECT and UPDATE, and EXPLAIN:
+
+  $ ../../bin/msql_shell.exe --script demo.msql
+  database avis imported from service avis
+  -- avis --
+  +------+---------+------+
+  | code | cartype | rate |
+  +------+---------+------+
+  | 1    | sedan   | 45.0 |
+  | 3    | compact | 35.0 |
+  | 4    | sedan   | 50.0 |
+  +------+---------+------+
+  -- national --
+  +-------+---------+
+  | vcode | vty     |
+  +-------+---------+
+  | 11    | sedan   |
+  | 13    | compact |
+  +-------+---------+
+  update success (DOLSTATUS=0, 50.04 ms)
+    continental: C [2 row(s)]
+    delta: C [2 row(s)]
+    united: C [2 row(s)]
+  DOLBEGIN
+    OPEN continental AT site1 AS continental;
+    OPEN united AT site3 AS united;
+    PARBEGIN
+      TASK t_continental NOCOMMIT FOR continental
+        { UPDATE flights SET rate = (rate * 2) }
+      ENDTASK;
+      TASK t_united NOCOMMIT FOR united
+        { UPDATE flight SET rates = (rates * 2) }
+      ENDTASK;
+    PAREND;
+    IF (t_continental=P) AND (t_united=P) THEN
+    BEGIN
+      COMMIT t_continental, t_united;
+      DOLSTATUS = 0; -- return code
+    END;
+    ELSE
+    BEGIN
+      ABORT t_continental, t_united;
+      DOLSTATUS = 1; -- return code
+    END;
+    CLOSE continental united;
+  DOLEND
+  
+
+A multitransaction through the shell, with network statistics:
+
+  $ ../../bin/msql_shell.exe --script mtx.msql --stats
+  multitransaction committed acceptable state 1 (60.04 ms)
+    continental: C [1 row(s)]
+    delta: A [1 row(s)]
+  [net: 16 messages, 574 bytes, clock 60.04 ms]
+
+Virtual databases and an interdatabase trigger (the trigger's action frees
+national's rented vehicle once avis prices exceed 100):
+
+  $ ../../bin/msql_shell.exe --script admin.msql
+  multidatabase rentals created
+  -- avis --
+  +------+
+  | code |
+  +------+
+  | 1    |
+  | 3    |
+  | 4    |
+  +------+
+  -- national --
+  +-------+
+  | vcode |
+  +-------+
+  | 11    |
+  | 13    |
+  +-------+
+  trigger pricewatch created on avis
+  update success (DOLSTATUS=0, 30.02 ms)
+    avis: C [3 row(s)]
+  -- national --
+  +-------+-----------+
+  | vcode | vstat     |
+  +-------+-----------+
+  | 11    | available |
+  | 12    | available |
+  | 13    | available |
+  +-------+-----------+
+

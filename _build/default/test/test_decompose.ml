@@ -1,0 +1,159 @@
+module E = Msql.Expand
+module Dc = Msql.Decompose
+module G = Msql.Gdd
+module S = Sqlfront.Ast
+open Sqlcore
+
+let gdd () =
+  let g = G.create () in
+  let col = Schema.column in
+  G.import_database g ~db:"avis"
+    [ ("cars",
+       [ col "code" Ty.Int; col "cartype" Ty.Str; col "rate" Ty.Float;
+         col "carst" Ty.Str ]) ];
+  G.import_database g ~db:"national"
+    [ ("vehicle", [ col "vcode" Ty.Int; col "vty" Ty.Str; col "vstat" Ty.Str ]) ];
+  G.import_database g ~db:"hertz"
+    [ ("autos", [ col "aid" Ty.Int; col "aty" Ty.Str ]);
+      ("branches", [ col "bid" Ty.Int; col "city" Ty.Str ]) ];
+  g
+
+let plan_of sql =
+  match E.expand (gdd ()) (Msql.Mparser.parse_query sql) with
+  | E.Global { gselect; grefs } -> Dc.decompose ~gselect ~grefs
+  | E.Replicated _ | E.Transfer _ -> Alcotest.fail "expected global query"
+
+let select_str s = Sqlfront.Sql_pp.select_to_string s
+
+let test_coordinator_is_biggest_group () =
+  let p =
+    plan_of
+      "USE avis national hertz SELECT a.aid FROM hertz.autos a, \
+       hertz.branches b, avis.cars c WHERE a.aid = b.bid AND c.code = a.aid"
+  in
+  Alcotest.(check string) "hertz coordinates" "hertz" p.Dc.coordinator;
+  Alcotest.(check int) "one shipped" 1 (List.length p.Dc.shipped)
+
+let test_local_conjuncts_pushed () =
+  let p =
+    plan_of
+      "USE avis national SELECT c.code, v.vcode FROM avis.cars c, \
+       national.vehicle v WHERE c.carst = 'available' AND v.vstat = 'free' \
+       AND c.cartype = v.vty"
+  in
+  (* coordinator avis (first, tie): national's subquery carries its local filter *)
+  Alcotest.(check string) "coordinator" "avis" p.Dc.coordinator;
+  (match p.Dc.shipped with
+  | [ s ] ->
+      Alcotest.(check string) "shipped db" "national" s.Dc.sdb;
+      let sub = select_str s.Dc.subquery in
+      Alcotest.(check bool) "local filter shipped" true
+        (Astring_contains.contains sub "vstat");
+      Alcotest.(check bool) "cross filter not shipped" false
+        (Astring_contains.contains sub "cartype")
+  | _ -> Alcotest.fail "one shipped expected");
+  (* modified query applies the cross-database join and the coordinator filter *)
+  let q' = select_str p.Dc.modified in
+  Alcotest.(check bool) "join in Q'" true (Astring_contains.contains q' "v__vty");
+  Alcotest.(check bool) "coord filter in Q'" true
+    (Astring_contains.contains q' "carst");
+  Alcotest.(check bool) "shipped filter gone from Q'" false
+    (Astring_contains.contains q' "vstat")
+
+let test_shipped_projects_only_used_columns () =
+  let p =
+    plan_of
+      "USE avis national SELECT c.code FROM avis.cars c, national.vehicle v \
+       WHERE c.cartype = v.vty"
+  in
+  match p.Dc.shipped with
+  | [ s ] -> (
+      match s.Dc.subquery.S.projections with
+      | [ S.Proj_expr (S.Col { name = "vty"; _ }, Some "v__vty") ] -> ()
+      | _ -> Alcotest.fail "only vty should ship")
+  | _ -> Alcotest.fail "one shipped expected"
+
+let test_unused_table_ships_constant () =
+  let p =
+    plan_of "USE avis national SELECT c.code FROM avis.cars c, national.vehicle v"
+  in
+  match p.Dc.shipped with
+  | [ s ] -> (
+      match s.Dc.subquery.S.projections with
+      | [ S.Proj_expr (S.Lit (Value.Int 1), Some _) ] -> ()
+      | _ -> Alcotest.fail "constant column expected")
+  | _ -> Alcotest.fail "one shipped expected"
+
+let test_single_db_no_shipping () =
+  let p = plan_of "USE avis SELECT c.code FROM avis.cars c WHERE c.rate > 1" in
+  Alcotest.(check int) "nothing shipped" 0 (List.length p.Dc.shipped);
+  Alcotest.(check (list string)) "no cleanup" [] p.Dc.cleanup
+
+let test_star_expansion () =
+  let p =
+    plan_of "USE avis national SELECT * FROM avis.cars c, national.vehicle v"
+  in
+  Alcotest.(check int) "all columns projected" 7
+    (List.length p.Dc.modified.S.projections)
+
+let test_subquery_rejected () =
+  match
+    plan_of
+      "USE avis national SELECT c.code FROM avis.cars c, national.vehicle v \
+       WHERE c.code = (SELECT MIN(vcode) FROM vehicle)"
+  with
+  | exception Dc.Error _ -> ()
+  | _ -> Alcotest.fail "nested subquery must be rejected"
+
+let test_duplicate_labels_rejected () =
+  match
+    plan_of "USE avis national SELECT x.code FROM avis.cars x, national.vehicle x"
+  with
+  | exception Dc.Error _ -> ()
+  | _ -> Alcotest.fail "duplicate labels"
+
+let test_ambiguous_column_rejected () =
+  let g = gdd () in
+  G.import_table g ~db:"national" ~table:"cars2"
+    [ Schema.column "code" Ty.Int ];
+  match
+    (match
+       E.expand g
+         (Msql.Mparser.parse_query
+            "USE avis national SELECT code FROM avis.cars, national.cars2")
+     with
+    | E.Global { gselect; grefs } -> Dc.decompose ~gselect ~grefs
+    | E.Replicated _ | E.Transfer _ -> Alcotest.fail "expected global")
+  with
+  | exception Dc.Error _ -> ()
+  | _ -> Alcotest.fail "ambiguous unqualified column"
+
+let test_cleanup_lists_tmp_tables () =
+  let p =
+    plan_of
+      "USE avis national hertz SELECT c.code FROM avis.cars c, \
+       national.vehicle v, hertz.autos a WHERE c.code = v.vcode AND \
+       v.vcode = a.aid"
+  in
+  Alcotest.(check int) "two temporaries" 2 (List.length p.Dc.cleanup)
+
+let () =
+  Alcotest.run "decompose"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "coordinator choice" `Quick test_coordinator_is_biggest_group;
+          Alcotest.test_case "conjunct placement" `Quick test_local_conjuncts_pushed;
+          Alcotest.test_case "needed columns only" `Quick test_shipped_projects_only_used_columns;
+          Alcotest.test_case "unused table constant" `Quick test_unused_table_ships_constant;
+          Alcotest.test_case "single db" `Quick test_single_db_no_shipping;
+          Alcotest.test_case "star expansion" `Quick test_star_expansion;
+          Alcotest.test_case "cleanup" `Quick test_cleanup_lists_tmp_tables;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "subquery rejected" `Quick test_subquery_rejected;
+          Alcotest.test_case "duplicate labels" `Quick test_duplicate_labels_rejected;
+          Alcotest.test_case "ambiguous column" `Quick test_ambiguous_column_rejected;
+        ] );
+    ]

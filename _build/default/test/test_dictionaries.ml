@@ -1,0 +1,135 @@
+(* Unit tests for the two dictionaries of §3.1: the Auxiliary Dictionary
+   (service capabilities) and the Global Data Dictionary (imported
+   schemas), independent of any live database. *)
+open Sqlcore
+module Ad = Msql.Ad
+module Gdd = Msql.Gdd
+module A = Msql.Ast
+
+let col = Schema.column
+
+(* ---- AD -------------------------------------------------------------------- *)
+
+let incorporate_stmt =
+  {
+    A.inc_service = "oracle1";
+    inc_site = Some "siteX";
+    inc_connectmode = A.Connect_many;
+    inc_commitmode = A.Supports_prepare;
+    inc_create_commit = false;
+    inc_insert_commit = false;
+    inc_drop_commit = true;
+  }
+
+let test_ad_roundtrip () =
+  let ad = Ad.create () in
+  Ad.incorporate ad incorporate_stmt;
+  (match Ad.find ad "ORACLE1" with
+  | Some e ->
+      Alcotest.(check bool) "2pc" true (Ad.supports_2pc e);
+      Alcotest.(check (option string)) "site" (Some "siteX") e.Ad.site;
+      Alcotest.(check bool) "drop commit" true e.Ad.drop_commit
+  | None -> Alcotest.fail "entry missing");
+  Alcotest.(check (list string)) "services" [ "oracle1" ] (Ad.services ad)
+
+let test_ad_replace () =
+  let ad = Ad.create () in
+  Ad.incorporate ad incorporate_stmt;
+  Ad.incorporate ad
+    { incorporate_stmt with A.inc_commitmode = A.Commits_automatically };
+  (match Ad.find ad "oracle1" with
+  | Some e -> Alcotest.(check bool) "replaced" false (Ad.supports_2pc e)
+  | None -> Alcotest.fail "entry missing");
+  Alcotest.(check int) "still one" 1 (List.length (Ad.services ad))
+
+let test_ad_of_capabilities () =
+  let e =
+    Ad.of_capabilities ~service:"s" ~site:"x" Ldbms.Capabilities.sybase_like
+  in
+  Alcotest.(check bool) "autocommit engine" false (Ad.supports_2pc e);
+  Alcotest.(check bool) "insert commits" true e.Ad.insert_commit;
+  let e2 = Ad.of_capabilities ~service:"s" Ldbms.Capabilities.ingres_like in
+  Alcotest.(check bool) "2pc engine" true (Ad.supports_2pc e2);
+  Alcotest.(check (option string)) "no site" None e2.Ad.site
+
+(* ---- GDD ------------------------------------------------------------------- *)
+
+let sample_gdd () =
+  let g = Gdd.create () in
+  Gdd.import_database g ~db:"avis"
+    [ ("cars", [ col ~width:8 "code" Ty.Int; col "rate" Ty.Float ]);
+      ("staff", [ col "sid" Ty.Int ]) ];
+  g
+
+let test_gdd_import_and_lookup () =
+  let g = sample_gdd () in
+  Alcotest.(check bool) "has db" true (Gdd.has_database g "AVIS");
+  Alcotest.(check bool) "no other" false (Gdd.has_database g "hertz");
+  (match Gdd.find_table g ~db:"avis" "CARS" with
+  | Some schema ->
+      Alcotest.(check int) "arity" 2 (Schema.arity schema);
+      (* widths survive the import *)
+      (match schema with
+      | { Schema.width = Some 8; _ } :: _ -> ()
+      | _ -> Alcotest.fail "width lost")
+  | None -> Alcotest.fail "cars missing");
+  Alcotest.(check (list string)) "tables sorted" [ "cars"; "staff" ]
+    (List.map fst (Gdd.tables g ~db:"avis"))
+
+let test_gdd_replace_and_forget () =
+  let g = sample_gdd () in
+  Gdd.import_table g ~db:"avis" ~table:"cars" [ col "only" Ty.Str ];
+  (match Gdd.find_table g ~db:"avis" "cars" with
+  | Some [ { Schema.name = "only"; _ } ] -> ()
+  | _ -> Alcotest.fail "replace failed");
+  Gdd.forget_database g "avis";
+  Alcotest.(check bool) "forgotten" false (Gdd.has_database g "avis")
+
+let test_gdd_partial_import () =
+  let g = Gdd.create () in
+  let schema = [ col "a" Ty.Int; col "b" Ty.Str; col "c" Ty.Float ] in
+  Gdd.import_columns g ~db:"d" ~table:"t" schema [ "c"; "a" ];
+  (match Gdd.find_table g ~db:"d" "t" with
+  | Some s -> Alcotest.(check (list string)) "order kept" [ "c"; "a" ] (Schema.names s)
+  | None -> Alcotest.fail "missing");
+  match Gdd.import_columns g ~db:"d" ~table:"t" schema [ "nope" ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "bad column must fail"
+
+let test_gdd_pattern_matching () =
+  let g = sample_gdd () in
+  Alcotest.(check int) "all tables" 2
+    (List.length (Gdd.match_tables g ~db:"avis" ~pattern:"%"));
+  Alcotest.(check int) "prefix" 1
+    (List.length (Gdd.match_tables g ~db:"avis" ~pattern:"ca%"));
+  Alcotest.(check int) "none" 0
+    (List.length (Gdd.match_tables g ~db:"avis" ~pattern:"x%"));
+  let schema = [ col "code" Ty.Int; col "vcode" Ty.Int; col "name" Ty.Str ] in
+  Alcotest.(check (list string)) "column pattern" [ "code"; "vcode" ]
+    (Gdd.match_columns schema ~pattern:"%code")
+
+let test_gdd_unknown_db_empty () =
+  let g = sample_gdd () in
+  Alcotest.(check (list string)) "no tables" []
+    (List.map fst (Gdd.tables g ~db:"hertz"));
+  Alcotest.(check bool) "no match" true
+    (Gdd.match_tables g ~db:"hertz" ~pattern:"%" = [])
+
+let () =
+  Alcotest.run "dictionaries"
+    [
+      ( "auxiliary dictionary",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ad_roundtrip;
+          Alcotest.test_case "replace" `Quick test_ad_replace;
+          Alcotest.test_case "of capabilities" `Quick test_ad_of_capabilities;
+        ] );
+      ( "global data dictionary",
+        [
+          Alcotest.test_case "import/lookup" `Quick test_gdd_import_and_lookup;
+          Alcotest.test_case "replace/forget" `Quick test_gdd_replace_and_forget;
+          Alcotest.test_case "partial import" `Quick test_gdd_partial_import;
+          Alcotest.test_case "patterns" `Quick test_gdd_pattern_matching;
+          Alcotest.test_case "unknown db" `Quick test_gdd_unknown_db_empty;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* The DOL optimizer (§5 future work): structure of the rewrites and,
+   crucially, semantic equivalence — an optimized program must produce the
+   same task statuses, return code and database states as the original. *)
+open Sqlcore
+module D = Narada.Dol_ast
+module Opt = Narada.Dol_opt
+module Engine = Narada.Engine
+module F = Msql.Fixtures
+module M = Msql.Msession
+
+let parse = Narada.Dol_parser.parse
+
+(* ---- structural tests -------------------------------------------------------- *)
+
+let test_opens_parallelized () =
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  OPEN b AS bb;
+  OPEN c AS cc;
+  DOLSTATUS = 0;
+DOLEND
+|} in
+  let opt, stats = Opt.optimize_with_stats prog in
+  Alcotest.(check int) "three moved" 3 stats.Opt.opens_parallelized;
+  match opt with
+  | [ D.Parallel [ D.Open _; D.Open _; D.Open _ ]; D.Set_status 0 ] -> ()
+  | _ -> Alcotest.fail "expected one parallel block of opens"
+
+let test_single_open_untouched () =
+  let prog = parse "DOLBEGIN OPEN a AS aa; DOLSTATUS = 0; DOLEND" in
+  let opt, stats = Opt.optimize_with_stats prog in
+  Alcotest.(check int) "none moved" 0 stats.Opt.opens_parallelized;
+  Alcotest.(check bool) "unchanged" true (opt = prog)
+
+let test_tasks_merged_when_unread () =
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  TASK T1 FOR aa { UPDATE t SET x = 1 } ENDTASK;
+  TASK T2 FOR aa { UPDATE t SET y = 2 } ENDTASK;
+  DOLSTATUS = 0;
+DOLEND
+|} in
+  let opt, stats = Opt.optimize_with_stats prog in
+  Alcotest.(check int) "one merged" 1 stats.Opt.tasks_merged;
+  Alcotest.(check int) "one task left" 1 (List.length (D.task_names opt))
+
+let test_tasks_not_merged_when_status_read () =
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  TASK T1 FOR aa { UPDATE t SET x = 1 } ENDTASK;
+  TASK T2 FOR aa { UPDATE t SET y = 2 } ENDTASK;
+  IF (T2=C) THEN BEGIN DOLSTATUS = 0; END;
+DOLEND
+|} in
+  let _, stats = Opt.optimize_with_stats prog in
+  Alcotest.(check int) "protected" 0 stats.Opt.tasks_merged
+
+let test_nocommit_tasks_never_merged () =
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  TASK T1 NOCOMMIT FOR aa { UPDATE t SET x = 1 } ENDTASK;
+  TASK T2 NOCOMMIT FOR aa { UPDATE t SET y = 2 } ENDTASK;
+  DOLSTATUS = 0;
+DOLEND
+|} in
+  let _, stats = Opt.optimize_with_stats prog in
+  Alcotest.(check int) "prepared tasks untouched" 0 stats.Opt.tasks_merged
+
+let test_closes_merged () =
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  CLOSE aa;
+  CLOSE;
+DOLEND
+|} in
+  (* CLOSE with no aliases parses as empty close; two closes merge *)
+  let _, stats = Opt.optimize_with_stats prog in
+  Alcotest.(check int) "merged" 1 stats.Opt.closes_merged
+
+let test_singleton_parallel_unwrapped () =
+  let prog =
+    [ D.Parallel
+        [ D.Task { D.tname = "t"; mode = D.With_commit; target = "x"; commands = "SELECT 1 FROM t" } ];
+      D.Set_status 0 ]
+  in
+  match Opt.optimize prog with
+  | [ D.Task _; D.Set_status 0 ] -> ()
+  | _ -> Alcotest.fail "singleton parallel should unwrap"
+
+(* ---- semantic equivalence ------------------------------------------------------ *)
+
+let outcomes_equal (a : Engine.outcome) (b : Engine.outcome) =
+  a.Engine.dolstatus = b.Engine.dolstatus
+  && List.sort compare a.Engine.statuses = List.sort compare b.Engine.statuses
+
+let db_state fx db table = Relation.rows (F.scan fx ~db ~table)
+
+let run_with fx prog =
+  match Engine.run ~directory:fx.F.directory ~world:fx.F.world prog with
+  | Ok o -> o
+  | Error m -> Alcotest.fail m
+
+let equivalence_on sql =
+  let fx1 = F.make () in
+  let prog =
+    match M.translate fx1.F.session sql with Ok p -> p | Error m -> Alcotest.fail m
+  in
+  let o1 = run_with fx1 prog in
+  let fx2 = F.make () in
+  let o2 = run_with fx2 (Narada.Dol_opt.optimize prog) in
+  Alcotest.(check bool) "same outcome" true (outcomes_equal o1 o2);
+  List.iter
+    (fun (db, table) ->
+      let r1 = db_state fx1 db table and r2 = db_state fx2 db table in
+      Alcotest.(check bool)
+        (Printf.sprintf "same state of %s.%s" db table)
+        true
+        (List.length r1 = List.length r2 && List.for_all2 Row.equal r1 r2))
+    [ ("continental", "flights"); ("delta", "flight"); ("united", "flight");
+      ("avis", "cars"); ("national", "vehicle") ]
+
+let test_equivalence_vital_update () =
+  equivalence_on
+    {|USE continental VITAL delta united VITAL
+      UPDATE flight% SET rate% = rate% * 1.1
+      WHERE sour% = 'Houston' AND dest% = 'San Antonio'|}
+
+let test_equivalence_select () =
+  equivalence_on
+    {|USE avis national
+      LET car.status BE cars.carst vehicle.vstat
+      SELECT %code FROM car WHERE status = 'available'|}
+
+let test_equivalence_mtx () =
+  equivalence_on
+    {|USE avis national
+      LET cartab.cstat BE cars.carst vehicle.vstat
+      UPDATE cartab SET cstat = 'HOLD' WHERE cstat = 'available'|}
+
+let test_equivalence_data_transfer () =
+  (* transfer plans mix moves, inserts and cleanup tasks; the optimizer
+     must preserve the inserted rows and the cleanup *)
+  let sql =
+    {|USE avis national
+      INSERT INTO avis.cars (code, cartype, carst)
+      SELECT v.vcode, v.vty, v.vstat FROM national.vehicle v|}
+  in
+  let run optimize =
+    let fx = F.make () in
+    M.set_optimize fx.F.session optimize;
+    (match M.exec fx.F.session sql with
+    | Ok (M.Update_report { outcome = M.Success; _ }) -> ()
+    | Ok r -> Alcotest.fail (M.result_to_string r)
+    | Error m -> Alcotest.fail m);
+    F.scan fx ~db:"avis" ~table:"cars"
+  in
+  let plain = run false and optimized = run true in
+  Alcotest.(check bool) "same fleet" true
+    (Relation.equal_unordered plain optimized)
+
+let test_optimized_is_faster () =
+  (* the whole point: fewer sequential handshakes, lower virtual latency *)
+  let sql =
+    {|USE continental delta united avis national
+      SELECT %nu FROM flight%|}
+  in
+  let fx1 = F.make () in
+  let prog =
+    match M.translate fx1.F.session sql with Ok p -> p | Error m -> Alcotest.fail m
+  in
+  let o1 = run_with fx1 prog in
+  let fx2 = F.make () in
+  let o2 = run_with fx2 (Narada.Dol_opt.optimize prog) in
+  Alcotest.(check bool) "optimized faster" true
+    (o2.Engine.elapsed_ms < o1.Engine.elapsed_ms)
+
+let test_session_flag () =
+  let fx = F.make () in
+  Alcotest.(check bool) "default off" false (M.optimize_enabled fx.F.session);
+  M.set_optimize fx.F.session true;
+  match
+    M.exec fx.F.session
+      {|USE continental delta UPDATE flight% SET rate% = rate% * 1.1|}
+  with
+  | Ok (M.Update_report { outcome = M.Success; _ }) -> ()
+  | Ok r -> Alcotest.fail (M.result_to_string r)
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "dol-opt"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "parallel opens" `Quick test_opens_parallelized;
+          Alcotest.test_case "single open" `Quick test_single_open_untouched;
+          Alcotest.test_case "merge tasks" `Quick test_tasks_merged_when_unread;
+          Alcotest.test_case "protect read statuses" `Quick test_tasks_not_merged_when_status_read;
+          Alcotest.test_case "protect nocommit" `Quick test_nocommit_tasks_never_merged;
+          Alcotest.test_case "merge closes" `Quick test_closes_merged;
+          Alcotest.test_case "unwrap singleton" `Quick test_singleton_parallel_unwrapped;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "vital update" `Quick test_equivalence_vital_update;
+          Alcotest.test_case "select" `Quick test_equivalence_select;
+          Alcotest.test_case "update" `Quick test_equivalence_mtx;
+          Alcotest.test_case "faster" `Quick test_optimized_is_faster;
+          Alcotest.test_case "data transfer" `Quick test_equivalence_data_transfer;
+          Alcotest.test_case "session flag" `Quick test_session_flag;
+        ] );
+    ]

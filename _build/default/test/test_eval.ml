@@ -1,0 +1,209 @@
+(* The expression evaluator in isolation: exhaustive Kleene truth tables,
+   comparison/arithmetic NULL propagation, LIKE/IN/BETWEEN corner cases,
+   and correlated lookup through environment chains. *)
+open Sqlcore
+module Eval = Ldbms.Eval
+module Ast = Sqlfront.Ast
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let no_subquery _ _ = Alcotest.fail "unexpected subquery"
+let ctx = { Eval.subquery = no_subquery; agg = None }
+let empty = Eval.env [] [||]
+let eval e = Eval.eval ctx empty e
+let eval_sql s = eval (Sqlfront.Parser.parse_expr s)
+
+let t3 = Value.Bool true
+let f3 = Value.Bool false
+let u3 = Value.Null
+
+let test_and_truth_table () =
+  let cases =
+    [ (t3, t3, t3); (t3, f3, f3); (t3, u3, u3);
+      (f3, t3, f3); (f3, f3, f3); (f3, u3, f3);
+      (u3, t3, u3); (u3, f3, f3); (u3, u3, u3) ]
+  in
+  List.iter
+    (fun (a, b, expected) ->
+      Alcotest.check value "and"
+        expected
+        (eval (Ast.Binop (Ast.And, Ast.Lit a, Ast.Lit b))))
+    cases
+
+let test_or_truth_table () =
+  let cases =
+    [ (t3, t3, t3); (t3, f3, t3); (t3, u3, t3);
+      (f3, t3, t3); (f3, f3, f3); (f3, u3, u3);
+      (u3, t3, t3); (u3, f3, u3); (u3, u3, u3) ]
+  in
+  List.iter
+    (fun (a, b, expected) ->
+      Alcotest.check value "or" expected
+        (eval (Ast.Binop (Ast.Or, Ast.Lit a, Ast.Lit b))))
+    cases
+
+let test_not_truth_table () =
+  Alcotest.check value "not true" f3 (eval_sql "NOT TRUE");
+  Alcotest.check value "not false" t3 (eval_sql "NOT FALSE");
+  Alcotest.check value "not null" u3 (eval_sql "NOT NULL")
+
+let test_comparison_nulls () =
+  List.iter
+    (fun sql -> Alcotest.check value sql u3 (eval_sql sql))
+    [ "1 = NULL"; "NULL = 1"; "NULL <> NULL"; "NULL < 1"; "'a' >= NULL" ]
+
+let test_numeric_comparisons () =
+  Alcotest.check value "int lt float" t3 (eval_sql "1 < 1.5");
+  Alcotest.check value "float eq int" t3 (eval_sql "2.0 = 2");
+  Alcotest.check value "neg" t3 (eval_sql "-3 < -2")
+
+let test_cross_class_comparison_errors () =
+  (match eval_sql "1 = 'x'" with
+  | exception Eval.Type_error _ -> ()
+  | _ -> Alcotest.fail "int vs string must be a type error");
+  match eval_sql "TRUE > 0" with
+  | exception Eval.Type_error _ -> ()
+  | _ -> Alcotest.fail "bool vs int must be a type error"
+
+let test_arithmetic () =
+  Alcotest.check value "int div truncates" (Value.Int 2) (eval_sql "7 / 3");
+  Alcotest.check value "mixed promotes" (Value.Float 3.5) (eval_sql "7 / 2.0");
+  Alcotest.check value "mod" (Value.Int 1) (eval_sql "7 % 3");
+  Alcotest.check value "null propagates" u3 (eval_sql "1 + NULL");
+  Alcotest.check value "precedence" (Value.Int 7) (eval_sql "1 + 2 * 3");
+  (match eval_sql "1 / 0" with
+  | exception Eval.Type_error _ -> ()
+  | _ -> Alcotest.fail "div by zero");
+  match eval_sql "1.0 % 2.0" with
+  | exception Eval.Type_error _ -> ()
+  | _ -> Alcotest.fail "float mod"
+
+let test_concat () =
+  Alcotest.check value "strings" (Value.Str "ab") (eval_sql "'a' || 'b'");
+  Alcotest.check value "number coerces" (Value.Str "x1") (eval_sql "'x' || 1");
+  Alcotest.check value "null" u3 (eval_sql "'x' || NULL")
+
+let test_like_cases () =
+  Alcotest.check value "match" t3 (eval_sql "'sedan' LIKE 's%n'");
+  Alcotest.check value "no match" f3 (eval_sql "'suv' LIKE 's%n'");
+  Alcotest.check value "underscore" t3 (eval_sql "'cat' LIKE 'c_t'");
+  Alcotest.check value "not like" f3 (eval_sql "'sedan' NOT LIKE 's%'");
+  Alcotest.check value "null arg" u3 (eval_sql "NULL LIKE 'a%'");
+  match eval_sql "1 LIKE 'a'" with
+  | exception Eval.Type_error _ -> ()
+  | _ -> Alcotest.fail "LIKE on int"
+
+let test_in_matrix () =
+  Alcotest.check value "hit" t3 (eval_sql "2 IN (1, 2, 3)");
+  Alcotest.check value "miss" f3 (eval_sql "9 IN (1, 2, 3)");
+  Alcotest.check value "miss with null" u3 (eval_sql "9 IN (1, NULL)");
+  Alcotest.check value "hit despite null" t3 (eval_sql "1 IN (NULL, 1)");
+  Alcotest.check value "null needle" u3 (eval_sql "NULL IN (1, 2)");
+  Alcotest.check value "not in hit" f3 (eval_sql "2 NOT IN (1, 2)");
+  Alcotest.check value "not in with null" u3 (eval_sql "9 NOT IN (1, NULL)")
+
+let test_between () =
+  Alcotest.check value "inside" t3 (eval_sql "2 BETWEEN 1 AND 3");
+  Alcotest.check value "boundary" t3 (eval_sql "3 BETWEEN 1 AND 3");
+  Alcotest.check value "outside" f3 (eval_sql "4 BETWEEN 1 AND 3");
+  Alcotest.check value "null bound unknown" u3 (eval_sql "2 BETWEEN NULL AND 3");
+  Alcotest.check value "definitely out despite null" f3
+    (eval_sql "9 BETWEEN NULL AND 3")
+
+let test_is_null () =
+  Alcotest.check value "null is null" t3 (eval_sql "NULL IS NULL");
+  Alcotest.check value "value is not null" t3 (eval_sql "1 IS NOT NULL");
+  Alcotest.check value "value is null" f3 (eval_sql "1 IS NULL")
+
+let test_env_lookup_and_outer () =
+  let inner_schema = Schema.requalify (Some "i") [ Schema.column "x" Ty.Int ] in
+  let outer_schema = Schema.requalify (Some "o") [ Schema.column "y" Ty.Int ] in
+  let outer = Eval.env outer_schema [| Value.Int 10 |] in
+  let env = { (Eval.env inner_schema [| Value.Int 1 |]) with Eval.outer = Some outer } in
+  Alcotest.check value "inner" (Value.Int 1) (Eval.lookup env "x");
+  Alcotest.check value "outer fallback" (Value.Int 10) (Eval.lookup env "y");
+  Alcotest.check value "qualified outer" (Value.Int 10)
+    (Eval.lookup env ~qualifier:"o" "y");
+  (match Eval.lookup env "z" with
+  | exception Eval.Unknown_column _ -> ()
+  | _ -> Alcotest.fail "unknown column");
+  (* inner shadows outer for same name *)
+  let shadow_outer = Eval.env (Schema.requalify (Some "o") [ Schema.column "x" Ty.Int ]) [| Value.Int 99 |] in
+  let env2 = { (Eval.env inner_schema [| Value.Int 1 |]) with Eval.outer = Some shadow_outer } in
+  Alcotest.check value "shadowing" (Value.Int 1) (Eval.lookup env2 "x")
+
+let test_ambiguous_lookup () =
+  let schema =
+    Schema.requalify (Some "a") [ Schema.column "x" Ty.Int ]
+    @ Schema.requalify (Some "b") [ Schema.column "x" Ty.Int ]
+  in
+  let env = Eval.env schema [| Value.Int 1; Value.Int 2 |] in
+  (match Eval.lookup env "x" with
+  | exception Eval.Ambiguous_column _ -> ()
+  | _ -> Alcotest.fail "ambiguity expected");
+  Alcotest.check value "qualified resolves" (Value.Int 2)
+    (Eval.lookup env ~qualifier:"b" "x")
+
+let test_agg_outside_context () =
+  match eval (Ast.Agg { fn = Ast.Count_star; distinct = false; arg = None }) with
+  | exception Eval.Type_error _ -> ()
+  | _ -> Alcotest.fail "aggregate without context"
+
+let prop_not_involutive_on_booleans =
+  QCheck.Test.make ~name:"NOT . NOT = id on booleans" ~count:50
+    QCheck.(make Gen.bool) (fun b ->
+      eval (Ast.Unop (Ast.Not, Ast.Unop (Ast.Not, Ast.Lit (Value.Bool b))))
+      = Value.Bool b)
+
+let prop_and_commutes =
+  let tv = QCheck.Gen.oneofl [ t3; f3; u3 ] in
+  QCheck.Test.make ~name:"AND commutes in 3VL" ~count:100
+    (QCheck.make QCheck.Gen.(pair tv tv)) (fun (a, b) ->
+      eval (Ast.Binop (Ast.And, Ast.Lit a, Ast.Lit b))
+      = eval (Ast.Binop (Ast.And, Ast.Lit b, Ast.Lit a)))
+
+let prop_de_morgan =
+  let tv = QCheck.Gen.oneofl [ t3; f3; u3 ] in
+  QCheck.Test.make ~name:"De Morgan holds in 3VL" ~count:100
+    (QCheck.make QCheck.Gen.(pair tv tv)) (fun (a, b) ->
+      let nand =
+        eval (Ast.Unop (Ast.Not, Ast.Binop (Ast.And, Ast.Lit a, Ast.Lit b)))
+      in
+      let or_nots =
+        eval
+          (Ast.Binop
+             (Ast.Or, Ast.Unop (Ast.Not, Ast.Lit a), Ast.Unop (Ast.Not, Ast.Lit b)))
+      in
+      nand = or_nots)
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "three-valued logic",
+        [
+          Alcotest.test_case "AND table" `Quick test_and_truth_table;
+          Alcotest.test_case "OR table" `Quick test_or_truth_table;
+          Alcotest.test_case "NOT table" `Quick test_not_truth_table;
+          Alcotest.test_case "comparisons with NULL" `Quick test_comparison_nulls;
+          Alcotest.test_case "is null" `Quick test_is_null;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "numeric comparisons" `Quick test_numeric_comparisons;
+          Alcotest.test_case "cross-class errors" `Quick test_cross_class_comparison_errors;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "like" `Quick test_like_cases;
+          Alcotest.test_case "in" `Quick test_in_matrix;
+          Alcotest.test_case "between" `Quick test_between;
+        ] );
+      ( "environments",
+        [
+          Alcotest.test_case "lookup and outer" `Quick test_env_lookup_and_outer;
+          Alcotest.test_case "ambiguity" `Quick test_ambiguous_lookup;
+          Alcotest.test_case "agg context" `Quick test_agg_outside_context;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_not_involutive_on_booleans; prop_and_commutes; prop_de_morgan ] );
+    ]

@@ -1,0 +1,130 @@
+(* Declared indexes: lifecycle, the equality fast path's correctness, and
+   its interaction with transactions. *)
+open Sqlcore
+module Session = Ldbms.Session
+module Caps = Ldbms.Capabilities
+
+let big_db n =
+  let db = Ldbms.Database.create "warehouse" in
+  Ldbms.Database.load db ~name:"stock"
+    [ Schema.column "sku" Ty.Int; Schema.column "bin" Ty.Str;
+      Schema.column "qty" Ty.Int ]
+    (List.init n (fun i ->
+         [| Value.Int i; Value.Str (Printf.sprintf "bin%d" (i mod 17));
+            Value.Int (i mod 5) |]));
+  db
+
+let connect ?(n = 500) () = Session.connect (big_db n) Caps.ingres_like
+let q s sql = Session.exec_sql s sql
+
+let rows_of = function
+  | Ok (Session.Rows r) -> Relation.rows r
+  | Ok _ -> Alcotest.fail "expected rows"
+  | Error m -> Alcotest.fail ("error: " ^ m)
+
+let expect_error = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_lifecycle () =
+  let s = connect () in
+  (match q s "CREATE INDEX by_sku ON stock (sku)" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (* commit: a failed statement aborts the transaction, which would undo
+     the CREATE INDEX too *)
+  (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+  expect_error (q s "CREATE INDEX by_sku ON stock (bin)");
+  expect_error (q s "CREATE INDEX broken ON stock (nonexistent)");
+  expect_error (q s "CREATE INDEX broken ON nonexistent (sku)");
+  (match q s "DROP INDEX by_sku" with Ok _ -> () | Error m -> Alcotest.fail m);
+  expect_error (q s "DROP INDEX by_sku")
+
+let test_lookup_correctness () =
+  (* indexed and unindexed runs must agree, including after updates *)
+  let s_idx = connect () in
+  ignore (q s_idx "CREATE INDEX by_bin ON stock (bin)");
+  let s_plain = connect () in
+  let compare_on sql =
+    let a = rows_of (q s_idx sql) and b = rows_of (q s_plain sql) in
+    Alcotest.(check int) ("cardinality: " ^ sql) (List.length b) (List.length a);
+    List.iter2
+      (fun x y -> Alcotest.(check bool) "row" true (Row.equal x y))
+      a b
+  in
+  compare_on "SELECT sku FROM stock WHERE bin = 'bin3'";
+  compare_on "SELECT sku FROM stock WHERE bin = 'bin3' AND qty > 2";
+  compare_on "SELECT sku FROM stock WHERE 'bin3' = bin ORDER BY sku DESC";
+  compare_on "SELECT COUNT(*) FROM stock WHERE bin = 'nope'";
+  (* mutate both identically; caches must refresh *)
+  ignore (q s_idx "UPDATE stock SET bin = 'bin3' WHERE sku = 1");
+  ignore (q s_plain "UPDATE stock SET bin = 'bin3' WHERE sku = 1");
+  compare_on "SELECT sku FROM stock WHERE bin = 'bin3'";
+  ignore (q s_idx "DELETE FROM stock WHERE bin = 'bin3'");
+  ignore (q s_plain "DELETE FROM stock WHERE bin = 'bin3'");
+  compare_on "SELECT sku FROM stock WHERE bin = 'bin3'"
+
+let test_alias_and_qualified () =
+  let s = connect () in
+  ignore (q s "CREATE INDEX by_bin ON stock (bin)");
+  Alcotest.(check int) "qualified through alias"
+    (List.length (rows_of (q s "SELECT sku FROM stock WHERE bin = 'bin1'")))
+    (List.length (rows_of (q s "SELECT t.sku FROM stock t WHERE t.bin = 'bin1'")))
+
+let test_index_does_not_match_null () =
+  let s = connect ~n:3 () in
+  ignore (q s "INSERT INTO stock VALUES (99, NULL, 1)");
+  ignore (q s "CREATE INDEX by_bin ON stock (bin)");
+  Alcotest.(check int) "NULL = NULL never matches" 0
+    (List.length (rows_of (q s "SELECT sku FROM stock WHERE bin = NULL")))
+
+let test_create_index_rollback () =
+  let s = connect () in
+  ignore (q s "CREATE INDEX by_bin ON stock (bin)");
+  (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+  (* ingres-like: rolled back; creating it again must succeed *)
+  match q s "CREATE INDEX by_bin ON stock (bin)" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let test_lookup_eq_directly () =
+  let db = big_db 50 in
+  let tbl = Ldbms.Database.find_table db "stock" in
+  let hits = Ldbms.Table.lookup_eq tbl ~col:1 (Value.Str "bin4") in
+  Alcotest.(check int) "hash hits" 3 (List.length hits);
+  (* preserves insertion order *)
+  (match hits with
+  | [| Value.Int a; _; _ |] :: [| Value.Int b; _; _ |] :: _ ->
+      Alcotest.(check bool) "ascending skus" true (a < b)
+  | _ -> Alcotest.fail "shape");
+  Alcotest.(check int) "null never matches" 0
+    (List.length (Ldbms.Table.lookup_eq tbl ~col:1 Value.Null))
+
+let prop_indexed_equals_scan =
+  let gen = QCheck.Gen.(pair (int_bound 20) (int_bound 6)) in
+  QCheck.Test.make ~name:"indexed select equals scan" ~count:100
+    (QCheck.make gen) (fun (bin, qty) ->
+      let sql =
+        Printf.sprintf
+          "SELECT sku FROM stock WHERE bin = 'bin%d' AND qty <> %d" bin qty
+      in
+      let s1 = connect ~n:120 () in
+      ignore (q s1 "CREATE INDEX i ON stock (bin)");
+      let s2 = connect ~n:120 () in
+      rows_of (q s1 sql) = rows_of (q s2 sql))
+
+let () =
+  Alcotest.run "indexes"
+    [
+      ( "index",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_lifecycle;
+          Alcotest.test_case "correctness" `Quick test_lookup_correctness;
+          Alcotest.test_case "alias" `Quick test_alias_and_qualified;
+          Alcotest.test_case "null" `Quick test_index_does_not_match_null;
+          Alcotest.test_case "rollback" `Quick test_create_index_rollback;
+          Alcotest.test_case "lookup_eq" `Quick test_lookup_eq_directly;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_indexed_equals_scan ] );
+    ]

@@ -1,0 +1,420 @@
+open Sqlcore
+module Session = Ldbms.Session
+module Caps = Ldbms.Capabilities
+module Inject = Ldbms.Failure_injector
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* ---- shared fixture -------------------------------------------------------- *)
+
+let cars_schema =
+  [ Schema.column "code" Ty.Int; Schema.column "cartype" Ty.Str;
+    Schema.column "rate" Ty.Float; Schema.column "carst" Ty.Str ]
+
+let fresh_db () =
+  let db = Ldbms.Database.create "avis" in
+  Ldbms.Database.load db ~name:"cars" cars_schema
+    [
+      [| Value.Int 1; Value.Str "sedan"; Value.Float 45.0; Value.Str "available" |];
+      [| Value.Int 2; Value.Str "suv"; Value.Float 65.0; Value.Str "rented" |];
+      [| Value.Int 3; Value.Str "compact"; Value.Null; Value.Str "available" |];
+    ];
+  db
+
+let connect ?(caps = Caps.ingres_like) () = Session.connect (fresh_db ()) caps
+
+let rows_of = function
+  | Ok (Session.Rows r) -> Relation.rows r
+  | Ok _ -> Alcotest.fail "expected rows"
+  | Error m -> Alcotest.fail ("error: " ^ m)
+
+let affected = function
+  | Ok (Session.Affected n) -> n
+  | Ok _ -> Alcotest.fail "expected affected count"
+  | Error m -> Alcotest.fail ("error: " ^ m)
+
+let expect_error = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let q s sql = Session.exec_sql s sql
+let scalar s sql = match rows_of (q s sql) with
+  | [ [| v |] ] -> v
+  | _ -> Alcotest.fail "expected a single scalar"
+
+(* ---- SELECT ---------------------------------------------------------------- *)
+
+let test_select_where () =
+  let s = connect () in
+  Alcotest.(check int) "two available" 2
+    (List.length (rows_of (q s "SELECT code FROM cars WHERE carst = 'available'")))
+
+let test_select_null_semantics () =
+  let s = connect () in
+  (* NULL rate must not satisfy rate > 0, nor rate <= 0 *)
+  Alcotest.(check int) "gt" 2 (List.length (rows_of (q s "SELECT code FROM cars WHERE rate > 0")));
+  Alcotest.(check int) "le" 0 (List.length (rows_of (q s "SELECT code FROM cars WHERE rate <= 0")));
+  Alcotest.(check int) "is null" 1
+    (List.length (rows_of (q s "SELECT code FROM cars WHERE rate IS NULL")));
+  (* NOT (NULL comparison) stays unknown *)
+  Alcotest.(check int) "not of unknown" 0
+    (List.length (rows_of (q s "SELECT code FROM cars WHERE NOT rate > 0")))
+
+let test_select_in_and_between () =
+  let s = connect () in
+  Alcotest.(check int) "in list" 2
+    (List.length (rows_of (q s "SELECT code FROM cars WHERE code IN (1, 2, 9)")));
+  Alcotest.(check int) "between" 2
+    (List.length (rows_of (q s "SELECT code FROM cars WHERE code BETWEEN 1 AND 2")));
+  (* x NOT IN (... NULL ...) is never true when no match *)
+  Alcotest.(check int) "not in with null" 0
+    (List.length (rows_of (q s "SELECT code FROM cars WHERE code NOT IN (9, NULL)")))
+
+let test_select_like () =
+  let s = connect () in
+  Alcotest.(check int) "like s%" 2
+    (List.length (rows_of (q s "SELECT code FROM cars WHERE cartype LIKE 's%'")))
+
+let test_select_order_distinct () =
+  let s = connect () in
+  (match rows_of (q s "SELECT code FROM cars ORDER BY code DESC") with
+  | [| Value.Int 3 |] :: _ -> ()
+  | _ -> Alcotest.fail "desc order");
+  Alcotest.(check int) "distinct status" 2
+    (List.length (rows_of (q s "SELECT DISTINCT carst FROM cars")))
+
+let test_select_aggregates () =
+  let s = connect () in
+  Alcotest.check value "count star" (Value.Int 3) (scalar s "SELECT COUNT(*) FROM cars");
+  Alcotest.check value "count rate skips null" (Value.Int 2)
+    (scalar s "SELECT COUNT(rate) FROM cars");
+  Alcotest.check value "sum" (Value.Float 110.0) (scalar s "SELECT SUM(rate) FROM cars");
+  Alcotest.check value "avg" (Value.Float 55.0) (scalar s "SELECT AVG(rate) FROM cars");
+  Alcotest.check value "min" (Value.Float 45.0) (scalar s "SELECT MIN(rate) FROM cars");
+  Alcotest.check value "max over empty is null" Value.Null
+    (scalar s "SELECT MAX(rate) FROM cars WHERE code > 99")
+
+let test_group_by_having () =
+  let s = connect () in
+  let rows = rows_of (q s "SELECT carst, COUNT(*) FROM cars GROUP BY carst HAVING COUNT(*) > 1") in
+  (match rows with
+  | [ [| Value.Str "available"; Value.Int 2 |] ] -> ()
+  | _ -> Alcotest.fail "group/having result")
+
+let test_join_product () =
+  let s = connect () in
+  Alcotest.(check int) "self product" 9
+    (List.length (rows_of (q s "SELECT a.code FROM cars a, cars b")));
+  Alcotest.(check int) "self join" 3
+    (List.length (rows_of (q s "SELECT a.code FROM cars a, cars b WHERE a.code = b.code")))
+
+let test_subqueries () =
+  let s = connect () in
+  Alcotest.check value "scalar min" (Value.Int 1)
+    (scalar s "SELECT code FROM cars WHERE code = (SELECT MIN(code) FROM cars)");
+  Alcotest.(check int) "correlated exists" 3
+    (List.length
+       (rows_of (q s "SELECT code FROM cars c WHERE EXISTS (SELECT * FROM cars d WHERE d.code = c.code)")));
+  expect_error (q s "SELECT code FROM cars WHERE code = (SELECT code FROM cars)")
+
+let test_ambiguous_column () =
+  let s = connect () in
+  expect_error (q s "SELECT code FROM cars a, cars b")
+
+let test_unknown_objects () =
+  let s = connect () in
+  expect_error (q s "SELECT nope FROM cars");
+  expect_error (q s "SELECT code FROM nope")
+
+(* ---- DML -------------------------------------------------------------------- *)
+
+let test_insert_variants () =
+  let s = connect () in
+  Alcotest.(check int) "plain" 1
+    (affected (q s "INSERT INTO cars VALUES (4, 'van', 80.0, 'available')"));
+  Alcotest.(check int) "columns reordered" 1
+    (affected (q s "INSERT INTO cars (carst, code, cartype) VALUES ('rented', 5, 'bus')"));
+  Alcotest.check value "missing column null" Value.Null
+    (scalar s "SELECT rate FROM cars WHERE code = 5");
+  Alcotest.(check int) "insert select" 5
+    (affected (q s "INSERT INTO cars SELECT code + 100, cartype, rate, carst FROM cars"));
+  Alcotest.check value "total" (Value.Int 10) (scalar s "SELECT COUNT(*) FROM cars")
+
+let test_insert_type_checking () =
+  let s = connect () in
+  expect_error (q s "INSERT INTO cars VALUES ('x', 'y', 1.0, 'z')");
+  (* int coerces into float column *)
+  Alcotest.(check int) "int to float" 1
+    (affected (q s "INSERT INTO cars VALUES (9, 'van', 80, 'free')"));
+  Alcotest.check value "coerced" (Value.Float 80.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 9")
+
+let test_update_delete () =
+  let s = connect () in
+  Alcotest.(check int) "update" 2
+    (affected (q s "UPDATE cars SET rate = rate * 2 WHERE rate IS NOT NULL"));
+  Alcotest.check value "doubled" (Value.Float 90.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1");
+  Alcotest.(check int) "delete" 1 (affected (q s "DELETE FROM cars WHERE code = 2"));
+  Alcotest.check value "left" (Value.Int 2) (scalar s "SELECT COUNT(*) FROM cars")
+
+let test_update_uses_pre_state () =
+  (* the paper's seat reservation: subquery in WHERE sees the pre-update state *)
+  let s = connect () in
+  Alcotest.(check int) "reserve one" 1
+    (affected
+       (q s "UPDATE cars SET carst = 'TAKEN' WHERE code = (SELECT MIN(code) FROM cars WHERE carst = 'available')"));
+  Alcotest.check value "car 1 taken" (Value.Str "TAKEN")
+    (scalar s "SELECT carst FROM cars WHERE code = 1");
+  Alcotest.check value "car 3 untouched" (Value.Str "available")
+    (scalar s "SELECT carst FROM cars WHERE code = 3")
+
+let test_create_drop () =
+  let s = connect () in
+  (match q s "CREATE TABLE extras (id INT, note CHAR(40))" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "insert into new" 1
+    (affected (q s "INSERT INTO extras VALUES (1, 'hi')"));
+  (match q s "DROP TABLE extras" with Ok _ -> () | Error m -> Alcotest.fail m);
+  expect_error (q s "SELECT * FROM extras");
+  expect_error (q s "DROP TABLE extras")
+
+(* ---- transactions ------------------------------------------------------------ *)
+
+let test_rollback_restores () =
+  let s = connect () in
+  ignore (affected (q s "UPDATE cars SET rate = 0 WHERE code = 1"));
+  ignore (affected (q s "DELETE FROM cars WHERE code = 2"));
+  (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.check value "rate restored" (Value.Float 45.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1");
+  Alcotest.check value "row restored" (Value.Int 3) (scalar s "SELECT COUNT(*) FROM cars")
+
+let test_commit_makes_durable () =
+  let s = connect () in
+  ignore (affected (q s "UPDATE cars SET rate = 0 WHERE code = 1"));
+  (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+  (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.check value "still zero" (Value.Float 0.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1")
+
+let test_prepare_then_commit () =
+  let s = connect () in
+  ignore (affected (q s "UPDATE cars SET rate = 1 WHERE code = 1"));
+  (match Session.prepare s with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "prepared" true (Session.txn_state s = Some Ldbms.Txn.Prepared);
+  (* no statements allowed while prepared; the transaction survives,
+     since its fate belongs to the coordinator *)
+  expect_error (q s "UPDATE cars SET rate = 2 WHERE code = 1");
+  Alcotest.(check bool) "still prepared" true
+    (Session.txn_state s = Some Ldbms.Txn.Prepared);
+  (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.check value "committed" (Value.Float 1.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1")
+
+let test_prepare_rollback () =
+  let s = connect () in
+  ignore (affected (q s "UPDATE cars SET rate = 1 WHERE code = 1"));
+  (match Session.prepare s with Ok () -> () | Error m -> Alcotest.fail m);
+  (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.check value "restored" (Value.Float 45.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1")
+
+let test_ddl_rollback_ingres_like () =
+  let s = connect () in
+  (* Ingres-like: DDL joins the transaction *)
+  (match q s "CREATE TABLE tmp (a INT)" with Ok _ -> () | Error m -> Alcotest.fail m);
+  (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+  expect_error (q s "SELECT * FROM tmp")
+
+let test_ddl_autocommit_oracle_like () =
+  let s = connect ~caps:Caps.oracle_like () in
+  (* the paper's trap: DDL commits all previously issued uncommitted work *)
+  ignore (affected (q s "UPDATE cars SET rate = 0 WHERE code = 1"));
+  (match q s "CREATE TABLE tmp (a INT)" with Ok _ -> () | Error m -> Alcotest.fail m);
+  (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+  (* rollback had nothing to undo: the CREATE committed the UPDATE *)
+  Alcotest.check value "update survived rollback" (Value.Float 0.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1");
+  Alcotest.check value "table survived" (Value.Int 0) (scalar s "SELECT COUNT(*) FROM tmp")
+
+let test_autocommit_engine () =
+  let s = connect ~caps:Caps.sybase_like () in
+  ignore (affected (q s "UPDATE cars SET rate = 0 WHERE code = 1"));
+  (* autocommit: a later rollback is a no-op *)
+  (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.check value "committed at once" (Value.Float 0.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1");
+  expect_error (Session.prepare s |> Result.map (fun () -> Session.Done));
+  expect_error (q s "BEGIN")
+
+let test_semantic_error_aborts_txn () =
+  let s = connect () in
+  ignore (affected (q s "UPDATE cars SET rate = 0 WHERE code = 1"));
+  expect_error (q s "UPDATE cars SET nonexistent = 1");
+  (* the error rolled back the whole transaction *)
+  Alcotest.check value "first update undone" (Value.Float 45.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1")
+
+let test_constraints () =
+  let s = connect () in
+  (match
+     q s "CREATE TABLE keyed (id INT NOT NULL UNIQUE, label CHAR(10) NOT NULL)"
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "first row" 1
+    (affected (q s "INSERT INTO keyed VALUES (1, 'a')"));
+  (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+  (* NULL into NOT NULL *)
+  expect_error (q s "INSERT INTO keyed VALUES (NULL, 'b')");
+  expect_error (q s "INSERT INTO keyed (id) VALUES (2)");
+  (* duplicate key *)
+  expect_error (q s "INSERT INTO keyed VALUES (1, 'dup')");
+  (* duplicate within one batch *)
+  expect_error (q s "INSERT INTO keyed VALUES (7, 'x'), (7, 'y')");
+  (* update into violation *)
+  Alcotest.(check int) "second row" 1
+    (affected (q s "INSERT INTO keyed VALUES (2, 'b')"));
+  (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+  expect_error (q s "UPDATE keyed SET id = 1 WHERE id = 2");
+  expect_error (q s "UPDATE keyed SET label = NULL WHERE id = 1");
+  (* legal update still fine, and failed attempts rolled back cleanly *)
+  Alcotest.(check int) "rename ok" 1
+    (affected (q s "UPDATE keyed SET id = 3 WHERE id = 2"));
+  Alcotest.check value "intact" (Value.Int 2) (scalar s "SELECT COUNT(*) FROM keyed")
+
+let test_constraint_roundtrip_in_ddl () =
+  let s = connect () in
+  (match q s "CREATE TABLE c (a INT NOT NULL, b CHAR(4) UNIQUE)" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let tbl = Ldbms.Database.find_table (Session.database s) "c" in
+  match Ldbms.Table.schema tbl with
+  | [ a; b ] ->
+      Alcotest.(check bool) "a not null" true a.Schema.not_null;
+      Alcotest.(check bool) "a not unique" false a.Schema.unique;
+      Alcotest.(check bool) "b unique" true b.Schema.unique
+  | _ -> Alcotest.fail "schema shape"
+
+(* ---- failure injection --------------------------------------------------------- *)
+
+let test_inject_execute () =
+  let s = connect () in
+  Inject.fail_next (Session.injector s) Inject.At_execute;
+  expect_error (q s "UPDATE cars SET rate = 0 WHERE code = 1");
+  Alcotest.check value "nothing applied" (Value.Float 45.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1");
+  (* one-shot: next statement is fine *)
+  Alcotest.(check int) "recovered" 1 (affected (q s "UPDATE cars SET rate = 0 WHERE code = 1"))
+
+let test_inject_prepare () =
+  let s = connect () in
+  ignore (affected (q s "UPDATE cars SET rate = 0 WHERE code = 1"));
+  Inject.fail_next (Session.injector s) Inject.At_prepare;
+  expect_error (Session.prepare s |> Result.map (fun () -> Session.Done));
+  Alcotest.check value "rolled back" (Value.Float 45.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1")
+
+let test_inject_commit () =
+  let s = connect () in
+  ignore (affected (q s "UPDATE cars SET rate = 0 WHERE code = 1"));
+  (match Session.prepare s with Ok () -> () | Error m -> Alcotest.fail m);
+  Inject.fail_next (Session.injector s) Inject.At_commit;
+  expect_error (Session.commit s |> Result.map (fun () -> Session.Done));
+  Alcotest.check value "rolled back at commit" (Value.Float 45.0)
+    (scalar s "SELECT rate FROM cars WHERE code = 1")
+
+let test_stats () =
+  let s = connect () in
+  ignore (q s "SELECT * FROM cars");
+  ignore (q s "UPDATE cars SET rate = 0 WHERE code = 1");
+  ignore (Session.commit s);
+  let st = Session.stats s in
+  Alcotest.(check int) "statements" 2 st.Session.statements;
+  Alcotest.(check int) "commits" 1 st.Session.commits
+
+(* ---- properties ------------------------------------------------------------------ *)
+
+let prop_update_rollback_identity =
+  (* any UPDATE followed by ROLLBACK leaves the table unchanged *)
+  let gen = QCheck.Gen.(pair (int_range 0 4) (int_range (-10) 10)) in
+  QCheck.Test.make ~name:"update+rollback is identity" ~count:100 (QCheck.make gen)
+    (fun (code, delta) ->
+      let s = connect () in
+      let before = rows_of (q s "SELECT * FROM cars") in
+      let sql =
+        Printf.sprintf "UPDATE cars SET rate = rate + %d WHERE code = %d" delta code
+      in
+      ignore (q s sql);
+      ignore (Session.rollback s);
+      let after = rows_of (q s "SELECT * FROM cars") in
+      List.length before = List.length after
+      && List.for_all2 Row.equal before after)
+
+let prop_delete_then_count =
+  let gen = QCheck.Gen.int_range 0 5 in
+  QCheck.Test.make ~name:"delete count consistent" ~count:100 (QCheck.make gen)
+    (fun code ->
+      let s = connect () in
+      let total = match scalar s "SELECT COUNT(*) FROM cars" with
+        | Value.Int n -> n | _ -> 0
+      in
+      let deleted =
+        affected (q s (Printf.sprintf "DELETE FROM cars WHERE code = %d" code))
+      in
+      let left = match scalar s "SELECT COUNT(*) FROM cars" with
+        | Value.Int n -> n | _ -> -1
+      in
+      total = deleted + left)
+
+let () =
+  Alcotest.run "ldbms"
+    [
+      ( "select",
+        [
+          Alcotest.test_case "where" `Quick test_select_where;
+          Alcotest.test_case "null 3vl" `Quick test_select_null_semantics;
+          Alcotest.test_case "in/between" `Quick test_select_in_and_between;
+          Alcotest.test_case "like" `Quick test_select_like;
+          Alcotest.test_case "order/distinct" `Quick test_select_order_distinct;
+          Alcotest.test_case "aggregates" `Quick test_select_aggregates;
+          Alcotest.test_case "group by/having" `Quick test_group_by_having;
+          Alcotest.test_case "joins" `Quick test_join_product;
+          Alcotest.test_case "subqueries" `Quick test_subqueries;
+          Alcotest.test_case "ambiguity" `Quick test_ambiguous_column;
+          Alcotest.test_case "unknown objects" `Quick test_unknown_objects;
+        ] );
+      ( "dml",
+        [
+          Alcotest.test_case "insert" `Quick test_insert_variants;
+          Alcotest.test_case "insert types" `Quick test_insert_type_checking;
+          Alcotest.test_case "update/delete" `Quick test_update_delete;
+          Alcotest.test_case "update pre-state" `Quick test_update_uses_pre_state;
+          Alcotest.test_case "create/drop" `Quick test_create_drop;
+          Alcotest.test_case "constraints" `Quick test_constraints;
+          Alcotest.test_case "constraint ddl" `Quick test_constraint_roundtrip_in_ddl;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "rollback restores" `Quick test_rollback_restores;
+          Alcotest.test_case "commit durable" `Quick test_commit_makes_durable;
+          Alcotest.test_case "prepared blocks dml" `Quick test_prepare_then_commit;
+          Alcotest.test_case "prepare rollback" `Quick test_prepare_rollback;
+          Alcotest.test_case "ddl rollback (ingres)" `Quick test_ddl_rollback_ingres_like;
+          Alcotest.test_case "ddl autocommit (oracle)" `Quick test_ddl_autocommit_oracle_like;
+          Alcotest.test_case "autocommit engine" `Quick test_autocommit_engine;
+          Alcotest.test_case "error aborts txn" `Quick test_semantic_error_aborts_txn;
+        ] );
+      ( "failure injection",
+        [
+          Alcotest.test_case "at execute" `Quick test_inject_execute;
+          Alcotest.test_case "at prepare" `Quick test_inject_prepare;
+          Alcotest.test_case "at commit" `Quick test_inject_commit;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_update_rollback_identity; prop_delete_then_count ] );
+    ]

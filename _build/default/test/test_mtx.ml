@@ -1,0 +1,251 @@
+(* Multitransaction semantics (§3.4) beyond the paper's worked example:
+   state preference order, exclusion, compensation of committed autocommit
+   subqueries, aliasing, and specification errors. *)
+open Sqlcore
+module F = Msql.Fixtures
+module M = Msql.Msession
+module D = Narada.Dol_ast
+module Inject = Ldbms.Failure_injector
+
+let inject fx db point =
+  Inject.fail_next
+    (Narada.Directory.find fx.F.directory db).Narada.Service.injector point
+
+let exec fx sql =
+  match M.exec fx.F.session sql with
+  | Ok r -> r
+  | Error m -> Alcotest.fail ("MSQL error: " ^ m)
+
+let mtx_report fx sql =
+  match exec fx sql with
+  | M.Mtx_report { chosen; incorrect; details; _ } -> (chosen, incorrect, details)
+  | r -> Alcotest.fail ("expected mtx report, got " ^ M.result_to_string r)
+
+let status details db =
+  match List.find_opt (fun r -> r.M.rdb = db) details with
+  | Some r -> r.M.rstatus
+  | None -> D.N
+
+(* reserve a seat on either airline; prefer continental *)
+let seat_mtx = {|
+BEGIN MULTITRANSACTION
+  USE continental delta
+  LET fltab.snu.sstat.clname BE
+    f838.seatnu.seatstatus.clientname
+    f747.snu.sstat.passname
+  UPDATE fltab
+  SET sstat = 'TAKEN', clname = 'wenders'
+  WHERE snu = ( SELECT MIN(snu) FROM fltab WHERE sstat = 'FREE');
+COMMIT
+  continental
+  delta
+END MULTITRANSACTION
+|}
+
+let test_prefers_first_state () =
+  let fx = F.make () in
+  let chosen, incorrect, details = mtx_report fx seat_mtx in
+  Alcotest.(check (option int)) "first" (Some 0) chosen;
+  Alcotest.(check bool) "correct" false incorrect;
+  Alcotest.(check bool) "continental C" true (status details "continental" = D.C);
+  (* exclusion: delta must be rolled back even though it succeeded *)
+  Alcotest.(check bool) "delta excluded" true (status details "delta" = D.A)
+
+let test_falls_back_when_preferred_fails () =
+  let fx = F.make () in
+  inject fx "continental" Inject.At_execute;
+  let chosen, incorrect, details = mtx_report fx seat_mtx in
+  Alcotest.(check (option int)) "second" (Some 1) chosen;
+  Alcotest.(check bool) "correct" false incorrect;
+  Alcotest.(check bool) "delta C" true (status details "delta" = D.C)
+
+let test_all_fail () =
+  let fx = F.make () in
+  inject fx "continental" Inject.At_execute;
+  inject fx "delta" Inject.At_execute;
+  let chosen, incorrect, _ = mtx_report fx seat_mtx in
+  Alcotest.(check (option int)) "none" None chosen;
+  Alcotest.(check bool) "clean failure" false incorrect
+
+let test_aliases_in_states () =
+  let fx = F.make () in
+  let sql = {|
+BEGIN MULTITRANSACTION
+  USE (continental c1) (delta d1)
+  LET fltab.sstat BE f838.seatstatus f747.sstat
+  UPDATE fltab SET sstat = 'HOLD' WHERE sstat = 'FREE';
+COMMIT
+  c1
+  d1
+END MULTITRANSACTION
+|} in
+  let chosen, _, details = mtx_report fx sql in
+  Alcotest.(check (option int)) "first via alias" (Some 0) chosen;
+  Alcotest.(check bool) "continental C" true (status details "continental" = D.C)
+
+let test_conjunction_requires_all () =
+  (* acceptable state is continental AND delta: if delta fails, fail all *)
+  let fx = F.make () in
+  inject fx "delta" Inject.At_execute;
+  let sql = {|
+BEGIN MULTITRANSACTION
+  USE continental delta
+  LET fltab.sstat BE f838.seatstatus f747.sstat
+  UPDATE fltab SET sstat = 'HOLD' WHERE sstat = 'FREE';
+COMMIT
+  continental AND delta
+END MULTITRANSACTION
+|} in
+  let chosen, incorrect, details = mtx_report fx sql in
+  Alcotest.(check (option int)) "none" None chosen;
+  Alcotest.(check bool) "clean" false incorrect;
+  Alcotest.(check bool) "continental rolled back" true
+    (status details "continental" = D.A);
+  (* data assertion: no HOLD seats anywhere *)
+  let seats = F.scan fx ~db:"continental" ~table:"f838" in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "no hold" false (Value.equal row.(2) (Value.Str "HOLD")))
+    (Relation.rows seats)
+
+let test_autocommit_participant_compensated_on_exclusion () =
+  (* avis runs on an autocommit engine with a COMP clause; when the state
+     machine excludes it, its committed effects are compensated *)
+  let caps = [ ("avis", Ldbms.Capabilities.sybase_like) ] in
+  let fx = F.make ~caps () in
+  let sql = {|
+BEGIN MULTITRANSACTION
+  USE avis national
+  LET cartab.ccode.cstat BE cars.code.carst vehicle.vcode.vstat
+  UPDATE cartab
+  SET cstat = 'TAKEN'
+  WHERE ccode = ( SELECT MIN(ccode) FROM cartab WHERE cstat = 'available')
+  COMP avis
+  UPDATE cars SET carst = 'available' WHERE carst = 'TAKEN';
+COMMIT
+  national
+  avis
+END MULTITRANSACTION
+|} in
+  let chosen, incorrect, details = mtx_report fx sql in
+  Alcotest.(check (option int)) "national preferred" (Some 0) chosen;
+  Alcotest.(check bool) "correct" false incorrect;
+  Alcotest.(check bool) "avis compensated" true (status details "avis" = D.X);
+  (* data: car 1 is available again, vehicle 11 is taken *)
+  let cars = F.scan fx ~db:"avis" ~table:"cars" in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "no taken car" false
+        (Value.equal row.(3) (Value.Str "TAKEN")))
+    (Relation.rows cars);
+  let vehicles = F.scan fx ~db:"national" ~table:"vehicle" in
+  Alcotest.(check bool) "vehicle taken" true
+    (List.exists
+       (fun row -> Value.equal row.(2) (Value.Str "TAKEN"))
+       (Relation.rows vehicles))
+
+let test_autocommit_without_comp_not_excludable () =
+  (* without a COMP clause a committed autocommit participant cannot be
+     excluded: preferring national is impossible once avis committed *)
+  let caps = [ ("avis", Ldbms.Capabilities.sybase_like) ] in
+  let fx = F.make ~caps () in
+  let sql = {|
+BEGIN MULTITRANSACTION
+  USE avis national
+  LET cartab.cstat BE cars.carst vehicle.vstat
+  UPDATE cartab SET cstat = 'HOLD' WHERE cstat = 'available';
+COMMIT
+  national
+END MULTITRANSACTION
+|} in
+  let chosen, incorrect, details = mtx_report fx sql in
+  (* avis committed and cannot be undone: the only acceptable state is
+     unreachable and the result is an incorrect mixed execution *)
+  Alcotest.(check (option int)) "no state" None chosen;
+  Alcotest.(check bool) "incorrect" true incorrect;
+  Alcotest.(check bool) "avis stuck committed" true (status details "avis" = D.C)
+
+let test_db_in_two_queries_rejected () =
+  let fx = F.make () in
+  let sql = {|
+BEGIN MULTITRANSACTION
+  USE continental
+  UPDATE flights SET rate = rate * 1.1;
+  USE continental
+  UPDATE flights SET rate = rate * 0.9;
+COMMIT
+  continental
+END MULTITRANSACTION
+|} in
+  match M.exec fx.F.session sql with
+  | Error m -> Alcotest.(check bool) "explains" true
+      (Astring_contains.contains m "several queries")
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_unknown_db_in_state_rejected () =
+  let fx = F.make () in
+  let sql = {|
+BEGIN MULTITRANSACTION
+  USE continental
+  UPDATE flights SET rate = rate * 1.1;
+COMMIT
+  sabena
+END MULTITRANSACTION
+|} in
+  match M.exec fx.F.session sql with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_paper_exclusion_is_implicit_not () =
+  (* the state "continental AND national" implies NOT delta AND NOT avis *)
+  let fx = F.make () in
+  let sql = {|
+BEGIN MULTITRANSACTION
+  USE continental delta
+  LET fltab.sstat BE f838.seatstatus f747.sstat
+  UPDATE fltab SET sstat = 'HOLD' WHERE sstat = 'FREE';
+  USE avis national
+  LET cartab.cstat BE cars.carst vehicle.vstat
+  UPDATE cartab SET cstat = 'HOLD' WHERE cstat = 'available';
+COMMIT
+  continental AND national
+END MULTITRANSACTION
+|} in
+  let chosen, _, details = mtx_report fx sql in
+  Alcotest.(check (option int)) "reached" (Some 0) chosen;
+  Alcotest.(check bool) "delta excluded" true (status details "delta" = D.A);
+  Alcotest.(check bool) "avis excluded" true (status details "avis" = D.A);
+  Alcotest.(check bool) "national in" true (status details "national" = D.C);
+  (* delta's seats must show no HOLD rows *)
+  let dseats = F.scan fx ~db:"delta" ~table:"f747" in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "delta clean" false
+        (Value.equal row.(2) (Value.Str "HOLD")))
+    (Relation.rows dseats)
+
+let () =
+  Alcotest.run "mtx"
+    [
+      ( "states",
+        [
+          Alcotest.test_case "prefers first" `Quick test_prefers_first_state;
+          Alcotest.test_case "falls back" `Quick test_falls_back_when_preferred_fails;
+          Alcotest.test_case "all fail" `Quick test_all_fail;
+          Alcotest.test_case "aliases" `Quick test_aliases_in_states;
+          Alcotest.test_case "conjunction" `Quick test_conjunction_requires_all;
+          Alcotest.test_case "implicit exclusion" `Quick test_paper_exclusion_is_implicit_not;
+        ] );
+      ( "compensation",
+        [
+          Alcotest.test_case "excluded autocommit compensated" `Quick
+            test_autocommit_participant_compensated_on_exclusion;
+          Alcotest.test_case "no comp means stuck" `Quick
+            test_autocommit_without_comp_not_excludable;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "db twice" `Quick test_db_in_two_queries_rejected;
+          Alcotest.test_case "unknown state db" `Quick test_unknown_db_in_state_rejected;
+        ] );
+    ]

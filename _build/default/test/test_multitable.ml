@@ -1,0 +1,204 @@
+(* Multitable semantics and the §2 multiple-table built-ins, plus
+   end-to-end property tests over random failure configurations. *)
+open Sqlcore
+module Mt = Msql.Multitable
+module F = Msql.Fixtures
+module M = Msql.Msession
+module D = Narada.Dol_ast
+module Inject = Ldbms.Failure_injector
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let part db names rows =
+  {
+    Mt.part_db = db;
+    part_table =
+      Relation.make
+        (List.map (fun (n, ty) -> Schema.column n ty) names)
+        (List.map Row.of_list rows);
+  }
+
+let sample =
+  Mt.make
+    [
+      part "avis" [ ("code", Ty.Int); ("rate", Ty.Float) ]
+        [ [ Value.Int 1; Value.Float 40.0 ];
+          [ Value.Int 2; Value.Float 60.0 ];
+          [ Value.Int 3; Value.Null ] ];
+      part "national" [ ("vcode", Ty.Int); ("rate", Ty.Float) ]
+        [ [ Value.Int 11; Value.Float 30.0 ] ];
+      part "hertz" [ ("hid", Ty.Int) ] [ [ Value.Int 7 ] ];
+    ]
+
+let test_basics () =
+  Alcotest.(check (list string)) "dbs" [ "avis"; "national"; "hertz" ]
+    (Mt.databases sample);
+  Alcotest.(check int) "total rows" 5 (Mt.total_count sample);
+  Alcotest.(check bool) "not empty" false (Mt.is_empty sample)
+
+let test_aggregate_across_parts () =
+  Alcotest.check value "count skips null and missing" (Value.Int 3)
+    (Mt.aggregate sample Mt.Count ~column:"rate");
+  Alcotest.check value "sum" (Value.Float 130.0)
+    (Mt.aggregate sample Mt.Sum ~column:"rate");
+  Alcotest.check value "min" (Value.Float 30.0)
+    (Mt.aggregate sample Mt.Min ~column:"rate");
+  Alcotest.check value "max" (Value.Float 60.0)
+    (Mt.aggregate sample Mt.Max ~column:"rate");
+  (match Mt.aggregate sample Mt.Avg ~column:"rate" with
+  | Value.Float f -> Alcotest.(check (float 1e-6)) "avg" (130.0 /. 3.0) f
+  | _ -> Alcotest.fail "avg type");
+  Alcotest.check value "unknown column" Value.Null
+    (Mt.aggregate sample Mt.Sum ~column:"ghost")
+
+let test_aggregate_per_part () =
+  match Mt.aggregate_per_part sample Mt.Count ~column:"rate" with
+  | [ ("avis", Value.Int 2); ("national", Value.Int 1) ] -> ()
+  | _ -> Alcotest.fail "per-part counts"
+
+let test_restrict () =
+  let only = Mt.restrict sample (fun db -> db = "hertz") in
+  Alcotest.(check (list string)) "restricted" [ "hertz" ] (Mt.databases only)
+
+let test_flatten_incompatible () =
+  Alcotest.(check bool) "mixed shapes" true (Mt.flatten sample = None);
+  let compat = Mt.restrict sample (fun db -> db <> "hertz") in
+  match Mt.flatten compat with
+  | Some rel -> Alcotest.(check int) "flattened" 4 (Relation.cardinality rel)
+  | None -> Alcotest.fail "compatible parts must flatten"
+
+let test_find_unions_multi_parts () =
+  let doubled =
+    Mt.make
+      [
+        part "avis" [ ("x", Ty.Int) ] [ [ Value.Int 1 ] ];
+        part "avis" [ ("x", Ty.Int) ] [ [ Value.Int 2 ] ];
+      ]
+  in
+  match Mt.find doubled "avis" with
+  | Some rel -> Alcotest.(check int) "united" 2 (Relation.cardinality rel)
+  | None -> Alcotest.fail "missing part"
+
+(* ---- end-to-end properties over random failures -------------------------------- *)
+
+(* Inject a random subset of execute/prepare failures into a vital update:
+   the outcome must never be Incorrect (only commit-phase failures can
+   split the vital set), and Aborted implies all airline rates unchanged. *)
+let prop_no_incorrect_without_commit_failures =
+  let gen = QCheck.Gen.(array_size (return 3) (int_bound 2)) in
+  (* per db: 0 = no failure, 1 = fail execute, 2 = fail prepare *)
+  QCheck.Test.make ~name:"incorrect needs a commit-phase failure" ~count:60
+    (QCheck.make gen) (fun spec ->
+      let fx = F.make () in
+      let dbs = [| "continental"; "delta"; "united" |] in
+      Array.iteri
+        (fun i mode ->
+          let inj =
+            (Narada.Directory.find fx.F.directory dbs.(i)).Narada.Service.injector
+          in
+          match mode with
+          | 1 -> Inject.fail_next inj Inject.At_execute
+          | 2 -> Inject.fail_next inj Inject.At_prepare
+          | _ -> ())
+        spec;
+      match
+        M.exec fx.F.session
+          {|USE continental VITAL delta united VITAL
+            UPDATE flight% SET rate% = rate% * 1.1
+            WHERE sour% = 'Houston' AND dest% = 'San Antonio'|}
+      with
+      | Ok (M.Update_report { outcome; _ }) -> outcome <> M.Incorrect
+      | Ok _ -> false
+      | Error _ -> false)
+
+let rates_of fx db table col =
+  List.map (fun row -> row.(col)) (Relation.rows (F.scan fx ~db ~table))
+
+let prop_aborted_restores_vital_state =
+  let gen = QCheck.Gen.(pair (int_bound 1) (int_bound 1)) in
+  (* which vital db fails at execute: continental and/or united *)
+  QCheck.Test.make ~name:"aborted implies vital state restored" ~count:40
+    (QCheck.make gen) (fun (fail_cont, fail_united) ->
+      QCheck.assume (fail_cont = 1 || fail_united = 1);
+      let fx = F.make () in
+      let before_c = rates_of fx "continental" "flights" 6 in
+      let before_u = rates_of fx "united" "flight" 6 in
+      let inject db =
+        Inject.fail_next
+          (Narada.Directory.find fx.F.directory db).Narada.Service.injector
+          Inject.At_execute
+      in
+      if fail_cont = 1 then inject "continental";
+      if fail_united = 1 then inject "united";
+      match
+        M.exec fx.F.session
+          {|USE continental VITAL united VITAL
+            UPDATE flight% SET rate% = rate% * 1.1
+            WHERE sour% = 'Houston'|}
+      with
+      | Ok (M.Update_report { outcome = M.Aborted; _ }) ->
+          rates_of fx "continental" "flights" 6 = before_c
+          && rates_of fx "united" "flight" 6 = before_u
+      | Ok _ | Error _ -> false)
+
+let prop_mtx_exclusion_invariant =
+  (* whatever fails, a committed mtx never leaves both alternatives
+     committed: continental and delta are mutually exclusive *)
+  let gen = QCheck.Gen.(int_bound 3) in
+  QCheck.Test.make ~name:"mtx never commits both alternatives" ~count:40
+    (QCheck.make gen) (fun mode ->
+      let fx = F.make () in
+      let inject db p =
+        Inject.fail_next
+          (Narada.Directory.find fx.F.directory db).Narada.Service.injector p
+      in
+      (match mode with
+      | 1 -> inject "continental" Inject.At_execute
+      | 2 -> inject "delta" Inject.At_execute
+      | 3 ->
+          inject "continental" Inject.At_execute;
+          inject "delta" Inject.At_execute
+      | _ -> ());
+      match
+        M.exec fx.F.session
+          {|BEGIN MULTITRANSACTION
+              USE continental delta
+              LET fltab.sstat BE f838.seatstatus f747.sstat
+              UPDATE fltab SET sstat = 'HOLD' WHERE sstat = 'FREE';
+            COMMIT
+              continental
+              delta
+            END MULTITRANSACTION|}
+      with
+      | Ok (M.Mtx_report { details; _ }) ->
+          let committed db =
+            List.exists
+              (fun r -> r.M.rdb = db && r.M.rstatus = D.C)
+              details
+          in
+          not (committed "continental" && committed "delta")
+      | Ok _ | Error _ -> false)
+
+let () =
+  Alcotest.run "multitable"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "flatten" `Quick test_flatten_incompatible;
+          Alcotest.test_case "find unions" `Quick test_find_unions_multi_parts;
+        ] );
+      ( "builtins",
+        [
+          Alcotest.test_case "aggregate across" `Quick test_aggregate_across_parts;
+          Alcotest.test_case "aggregate per part" `Quick test_aggregate_per_part;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_no_incorrect_without_commit_failures;
+            prop_aborted_restores_vital_state;
+            prop_mtx_exclusion_invariant;
+          ] );
+    ]

@@ -1,0 +1,277 @@
+open Sqlcore
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* ---- Value ---------------------------------------------------------- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "null lowest" true (Value.compare Value.Null (Value.Int (-1)) < 0);
+  Alcotest.(check bool) "int vs float" true (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  Alcotest.(check bool) "float vs int eq" true (Value.compare (Value.Float 2.0) (Value.Int 2) = 0);
+  Alcotest.(check bool) "strings" true (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  Alcotest.(check bool) "numbers before strings" true
+    (Value.compare (Value.Int 999) (Value.Str "0") < 0)
+
+let test_value_equal () =
+  Alcotest.(check bool) "int/float not equal" false
+    (Value.equal (Value.Int 1) (Value.Float 1.0));
+  Alcotest.(check bool) "same string" true (Value.equal (Value.Str "x") (Value.Str "x"));
+  Alcotest.(check bool) "null eq null" true (Value.equal Value.Null Value.Null)
+
+let test_value_literal_roundtrip () =
+  let cases =
+    [ Value.Null; Value.Int 42; Value.Int (-7); Value.Float 1.5; Value.Str "hello";
+      Value.Str "it's"; Value.Str ""; Value.Bool true; Value.Bool false ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.check value "roundtrip" v (Value.of_literal_exn (Value.to_literal v)))
+    cases
+
+let test_value_to_string () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "float int-valued" "45.0" (Value.to_string (Value.Float 45.0));
+  Alcotest.(check string) "string unquoted" "abc" (Value.to_string (Value.Str "abc"));
+  Alcotest.(check string) "literal quoted" "'it''s'" (Value.to_literal (Value.Str "it's"))
+
+let test_value_size () =
+  Alcotest.(check int) "str size" 5 (Value.size_bytes (Value.Str "hello"));
+  Alcotest.(check int) "int size" 8 (Value.size_bytes (Value.Int 3))
+
+(* ---- Ty -------------------------------------------------------------- *)
+
+let test_ty_of_string () =
+  Alcotest.(check bool) "int" true (Ty.of_string "integer" = Some Ty.Int);
+  Alcotest.(check bool) "varchar" true (Ty.of_string "VARCHAR" = Some Ty.Str);
+  Alcotest.(check bool) "date is str" true (Ty.of_string "DATE" = Some Ty.Str);
+  Alcotest.(check bool) "unknown" true (Ty.of_string "blob" = None)
+
+(* ---- Names ------------------------------------------------------------ *)
+
+let test_names () =
+  Alcotest.(check bool) "equal ci" true (Names.equal "Cars" "CARS");
+  Alcotest.(check bool) "mem ci" true (Names.mem "RATE" [ "code"; "rate" ]);
+  Alcotest.(check (option int)) "assoc ci" (Some 2)
+    (Names.assoc_opt "Foo" [ ("bar", 1); ("FOO", 2) ])
+
+(* ---- Like -------------------------------------------------------------- *)
+
+let test_sql_like () =
+  let check pattern s expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s ~ %s" pattern s)
+      expected
+      (Like.sql_like ~pattern s)
+  in
+  check "abc" "abc" true;
+  check "a%" "abc" true;
+  check "%c" "abc" true;
+  check "a_c" "abc" true;
+  check "a_c" "abbc" false;
+  check "%" "" true;
+  check "_" "" false;
+  check "%b%" "abc" true;
+  check "s%n" "sedan" true;
+  check "s%n" "suv" false
+
+let test_identifier_match () =
+  let check pattern s expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s ~ %s" pattern s)
+      expected
+      (Like.identifier ~pattern s)
+  in
+  check "rate%" "rate" true;
+  check "rate%" "rates" true;
+  check "rate%" "RATES" true;
+  check "%code" "code" true;
+  check "%code" "vcode" true;
+  check "%code" "codex" false;
+  check "flight%" "flights" true;
+  check "flight%" "fl838" false;
+  (* '_' is a literal in identifiers, not a wildcard *)
+  check "a_b" "a_b" true;
+  check "a_b" "axb" false
+
+let prop_like_vs_naive =
+  (* compare against a naive reference matcher on alphabet {a,b,%} *)
+  let gen =
+    QCheck.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; 'b'; '%' ]) (0 -- 8))
+        (string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 8)))
+  in
+  let rec naive p s =
+    match p, s with
+    | "", "" -> true
+    | "", _ -> false
+    | _ ->
+        if p.[0] = '%' then
+          naive (String.sub p 1 (String.length p - 1)) s
+          || (s <> "" && naive p (String.sub s 1 (String.length s - 1)))
+        else
+          s <> ""
+          && p.[0] = s.[0]
+          && naive (String.sub p 1 (String.length p - 1)) (String.sub s 1 (String.length s - 1))
+  in
+  QCheck.Test.make ~name:"like agrees with naive matcher" ~count:500
+    (QCheck.make gen) (fun (p, s) -> Like.sql_like ~pattern:p s = naive p s)
+
+(* ---- Schema ------------------------------------------------------------- *)
+
+let schema_abc =
+  [ Schema.column "a" Ty.Int; Schema.column "b" Ty.Str; Schema.column "c" Ty.Float ]
+
+let test_schema_lookup () =
+  Alcotest.(check (option int)) "find b" (Some 1) (Schema.find_index schema_abc "B");
+  Alcotest.(check (option int)) "missing" None (Schema.find_index schema_abc "z");
+  let qualified = Schema.requalify (Some "t") schema_abc in
+  Alcotest.(check (option int)) "qualified" (Some 0)
+    (Schema.find_index qualified ~qualifier:"T" "a");
+  Alcotest.(check (option int)) "wrong qualifier" None
+    (Schema.find_index qualified ~qualifier:"u" "a")
+
+let test_schema_ambiguity () =
+  let dup = schema_abc @ [ Schema.column "a" Ty.Str ] in
+  Alcotest.(check int) "two matches" 2 (List.length (Schema.find_indices dup "a"))
+
+let test_schema_union_compat () =
+  let other =
+    [ Schema.column "x" Ty.Int; Schema.column "y" Ty.Str; Schema.column "z" Ty.Float ]
+  in
+  Alcotest.(check bool) "compatible" true (Schema.union_compatible schema_abc other);
+  Alcotest.(check bool) "not equal (names)" false (Schema.equal schema_abc other);
+  Alcotest.(check bool) "incompatible arity" false
+    (Schema.union_compatible schema_abc (List.tl other))
+
+(* ---- Relation ------------------------------------------------------------ *)
+
+let rel rows = Relation.make schema_abc (List.map Row.of_list rows)
+let r3 =
+  rel
+    [
+      [ Value.Int 1; Value.Str "x"; Value.Float 1.0 ];
+      [ Value.Int 2; Value.Str "y"; Value.Float 2.0 ];
+      [ Value.Int 1; Value.Str "x"; Value.Float 1.0 ];
+    ]
+
+let test_relation_make_checks_arity () =
+  Alcotest.check_raises "arity" (Invalid_argument "Relation.make: row arity 1, schema arity 3")
+    (fun () -> ignore (Relation.make schema_abc [ Row.of_list [ Value.Int 1 ] ]))
+
+let test_relation_distinct () =
+  Alcotest.(check int) "distinct removes dup" 2 (Relation.cardinality (Relation.distinct r3))
+
+let test_relation_union_product () =
+  let u = Relation.union r3 r3 in
+  Alcotest.(check int) "union all" 6 (Relation.cardinality u);
+  let p = Relation.product r3 r3 in
+  Alcotest.(check int) "product" 9 (Relation.cardinality p);
+  Alcotest.(check int) "product arity" 6 (Schema.arity (Relation.schema p))
+
+let test_relation_order_limit () =
+  let sorted = Relation.order_by (fun a b -> Value.compare b.(0) a.(0)) r3 in
+  (match Relation.rows sorted with
+  | first :: _ -> Alcotest.check value "max first" (Value.Int 2) first.(0)
+  | [] -> Alcotest.fail "empty");
+  Alcotest.(check int) "limit" 2 (Relation.cardinality (Relation.limit 2 r3));
+  Alcotest.(check int) "limit over" 3 (Relation.cardinality (Relation.limit 10 r3))
+
+let test_relation_equal_unordered () =
+  let shuffled =
+    rel
+      [
+        [ Value.Int 2; Value.Str "y"; Value.Float 2.0 ];
+        [ Value.Int 1; Value.Str "x"; Value.Float 1.0 ];
+        [ Value.Int 1; Value.Str "x"; Value.Float 1.0 ];
+      ]
+  in
+  Alcotest.(check bool) "unordered equal" true (Relation.equal_unordered r3 shuffled);
+  Alcotest.(check bool) "ordered not equal" false (Relation.equal r3 shuffled)
+
+let prop_distinct_idempotent =
+  let gen = QCheck.Gen.(list_size (0 -- 20) (int_bound 3)) in
+  QCheck.Test.make ~name:"distinct idempotent" ~count:200 (QCheck.make gen)
+    (fun ints ->
+      let r =
+        Relation.make
+          [ Schema.column "n" Ty.Int ]
+          (List.map (fun n -> [| Value.Int n |]) ints)
+      in
+      let d = Relation.distinct r in
+      Relation.equal (Relation.distinct d) d)
+
+let prop_union_cardinality =
+  let gen = QCheck.Gen.(pair (small_list int) (small_list int)) in
+  QCheck.Test.make ~name:"union cardinality adds" ~count:200 (QCheck.make gen)
+    (fun (xs, ys) ->
+      let mk l =
+        Relation.make
+          [ Schema.column "n" Ty.Int ]
+          (List.map (fun n -> [| Value.Int n |]) l)
+      in
+      Relation.cardinality (Relation.union (mk xs) (mk ys))
+      = List.length xs + List.length ys)
+
+(* ---- Scan ------------------------------------------------------------------ *)
+
+let test_scan_comments () =
+  let sc = Scan.create "  -- hi\n /* multi \n line */ x" in
+  Scan.skip_ws_and_comments sc;
+  Alcotest.(check (option char)) "reaches x" (Some 'x') (Scan.peek sc)
+
+let test_scan_string () =
+  let sc = Scan.create "'it''s fine'" in
+  Alcotest.(check string) "escaped quote" "it's fine" (Scan.quoted_string sc)
+
+let test_scan_error_position () =
+  let sc = Scan.create "ab\ncd" in
+  Scan.advance sc;
+  Scan.advance sc;
+  Scan.advance sc;
+  Alcotest.(check int) "line" 2 (Scan.line sc);
+  Alcotest.(check int) "col" 1 (Scan.column sc)
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+    [ prop_like_vs_naive; prop_distinct_idempotent; prop_union_cardinality ]
+
+let () =
+  Alcotest.run "sqlcore"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "equal" `Quick test_value_equal;
+          Alcotest.test_case "literal roundtrip" `Quick test_value_literal_roundtrip;
+          Alcotest.test_case "to_string" `Quick test_value_to_string;
+          Alcotest.test_case "size" `Quick test_value_size;
+        ] );
+      ("ty", [ Alcotest.test_case "of_string" `Quick test_ty_of_string ]);
+      ("names", [ Alcotest.test_case "case-insensitive" `Quick test_names ]);
+      ( "like",
+        [
+          Alcotest.test_case "sql like" `Quick test_sql_like;
+          Alcotest.test_case "identifier match" `Quick test_identifier_match;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "ambiguity" `Quick test_schema_ambiguity;
+          Alcotest.test_case "union compat" `Quick test_schema_union_compat;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "arity check" `Quick test_relation_make_checks_arity;
+          Alcotest.test_case "distinct" `Quick test_relation_distinct;
+          Alcotest.test_case "union/product" `Quick test_relation_union_product;
+          Alcotest.test_case "order/limit" `Quick test_relation_order_limit;
+          Alcotest.test_case "equal unordered" `Quick test_relation_equal_unordered;
+        ] );
+      ( "scan",
+        [
+          Alcotest.test_case "comments" `Quick test_scan_comments;
+          Alcotest.test_case "string escapes" `Quick test_scan_string;
+          Alcotest.test_case "positions" `Quick test_scan_error_position;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,247 @@
+(* Exhaustive outcome matrices for the VITAL designators (§3.2.1) and
+   compensation (§3.3) — every execution path of the paper's case analyses,
+   driven by failure injection. *)
+open Sqlcore
+module F = Msql.Fixtures
+module M = Msql.Msession
+module D = Narada.Dol_ast
+module Inject = Ldbms.Failure_injector
+
+let inject fx db point =
+  Inject.fail_next
+    (Narada.Directory.find fx.F.directory db).Narada.Service.injector point
+
+let exec fx sql =
+  match M.exec fx.F.session sql with
+  | Ok r -> r
+  | Error m -> Alcotest.fail ("MSQL error: " ^ m)
+
+let update_report fx sql =
+  match exec fx sql with
+  | M.Update_report { outcome; details; _ } -> (outcome, details)
+  | r -> Alcotest.fail ("expected update report, got " ^ M.result_to_string r)
+
+let status details db =
+  match List.find_opt (fun r -> r.M.rdb = db) details with
+  | Some r -> r.M.rstatus
+  | None -> D.N
+
+let rate_101 fx =
+  let flights = F.scan fx ~db:"continental" ~table:"flights" in
+  List.find_map
+    (fun row ->
+      if Value.equal row.(0) (Value.Int 101) then Value.as_float row.(6) else None)
+    (Relation.rows flights)
+  |> Option.get
+
+let united_301 fx =
+  let flights = F.scan fx ~db:"united" ~table:"flight" in
+  List.find_map
+    (fun row ->
+      if Value.equal row.(0) (Value.Int 301) then Value.as_float row.(6) else None)
+    (Relation.rows flights)
+  |> Option.get
+
+let vital_update = {|
+USE continental VITAL delta united VITAL
+UPDATE flight%
+SET rate% = rate% * 1.1
+WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+|}
+
+let comp_update = {|
+USE continental VITAL delta united VITAL
+UPDATE flight%
+SET rate% = rate% * 1.1
+WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+COMP continental
+UPDATE flights
+SET rate = rate / 1.1
+WHERE source = 'Houston' AND destination = 'San Antonio'
+|}
+
+let check_float name expected actual =
+  Alcotest.(check (float 1e-6)) name expected actual
+
+(* ---- E3: all engines 2PC ----------------------------------------------------- *)
+
+let test_all_prepared_commits () =
+  let fx = F.make () in
+  let outcome, details = update_report fx vital_update in
+  Alcotest.(check bool) "success" true (outcome = M.Success);
+  Alcotest.(check bool) "cont C" true (status details "continental" = D.C);
+  check_float "continental raised" 110.0 (rate_101 fx);
+  check_float "united raised" 104.5 (united_301 fx)
+
+let test_vital_execute_failure_aborts_all_vitals () =
+  let fx = F.make () in
+  inject fx "united" Inject.At_execute;
+  let outcome, details = update_report fx vital_update in
+  Alcotest.(check bool) "aborted" true (outcome = M.Aborted);
+  Alcotest.(check bool) "cont rolled back" true (status details "continental" = D.A);
+  Alcotest.(check bool) "united aborted" true (status details "united" = D.A);
+  (* delta is NON VITAL: it committed independently *)
+  Alcotest.(check bool) "delta committed" true (status details "delta" = D.C);
+  check_float "continental unchanged" 100.0 (rate_101 fx);
+  check_float "united unchanged" 95.0 (united_301 fx)
+
+let test_vital_prepare_failure_aborts () =
+  let fx = F.make () in
+  inject fx "continental" Inject.At_prepare;
+  let outcome, details = update_report fx vital_update in
+  Alcotest.(check bool) "aborted" true (outcome = M.Aborted);
+  Alcotest.(check bool) "united rolled back" true (status details "united" = D.A);
+  check_float "united unchanged" 95.0 (united_301 fx)
+
+let test_commit_window_gives_incorrect () =
+  (* both vital subqueries prepared, but one fails during the second phase:
+     the vital set splits — the execution the paper calls incorrect *)
+  let fx = F.make () in
+  inject fx "united" Inject.At_commit;
+  let outcome, details = update_report fx vital_update in
+  Alcotest.(check bool) "incorrect" true (outcome = M.Incorrect);
+  Alcotest.(check bool) "cont committed" true (status details "continental" = D.C);
+  Alcotest.(check bool) "united aborted" true (status details "united" = D.A);
+  check_float "continental raised" 110.0 (rate_101 fx);
+  check_float "united unchanged" 95.0 (united_301 fx)
+
+let test_non_vital_failure_is_still_success () =
+  let fx = F.make () in
+  inject fx "delta" Inject.At_execute;
+  let outcome, details = update_report fx vital_update in
+  Alcotest.(check bool) "success despite delta" true (outcome = M.Success);
+  Alcotest.(check bool) "delta aborted" true (status details "delta" = D.A)
+
+let test_all_non_vital_always_successful () =
+  let fx = F.make () in
+  inject fx "continental" Inject.At_execute;
+  inject fx "delta" Inject.At_execute;
+  inject fx "united" Inject.At_execute;
+  let plain = {|
+USE continental delta united
+UPDATE flight% SET rate% = rate% * 1.1
+WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+|} in
+  let outcome, _ = update_report fx plain in
+  Alcotest.(check bool) "always successful (§3.2.1)" true (outcome = M.Success)
+
+(* ---- E4: continental autocommit-only, with COMP (§3.3 four paths) ------------- *)
+
+let autocommit_cont = [ ("continental", Ldbms.Capabilities.sybase_like) ]
+
+let test_e4_path1_both_ok () =
+  (* continental committed, united prepared -> commit united: success *)
+  let fx = F.make ~caps:autocommit_cont () in
+  let outcome, details = update_report fx comp_update in
+  Alcotest.(check bool) "success" true (outcome = M.Success);
+  Alcotest.(check bool) "cont C" true (status details "continental" = D.C);
+  Alcotest.(check bool) "united C" true (status details "united" = D.C);
+  check_float "continental raised" 110.0 (rate_101 fx);
+  check_float "united raised" 104.5 (united_301 fx)
+
+let test_e4_path2_united_aborts_cont_compensated () =
+  let fx = F.make ~caps:autocommit_cont () in
+  inject fx "united" Inject.At_execute;
+  let outcome, details = update_report fx comp_update in
+  Alcotest.(check bool) "aborted" true (outcome = M.Aborted);
+  Alcotest.(check bool) "cont compensated" true (status details "continental" = D.X);
+  Alcotest.(check bool) "united aborted" true (status details "united" = D.A);
+  (* the compensation divided the rate back *)
+  check_float "continental compensated" 100.0 (rate_101 fx);
+  check_float "united unchanged" 95.0 (united_301 fx)
+
+let test_e4_path3_cont_aborts_united_rolled_back () =
+  let fx = F.make ~caps:autocommit_cont () in
+  inject fx "continental" Inject.At_execute;
+  let outcome, details = update_report fx comp_update in
+  Alcotest.(check bool) "aborted" true (outcome = M.Aborted);
+  Alcotest.(check bool) "cont aborted" true (status details "continental" = D.A);
+  Alcotest.(check bool) "united rolled back" true (status details "united" = D.A);
+  check_float "continental unchanged" 100.0 (rate_101 fx);
+  check_float "united unchanged" 95.0 (united_301 fx)
+
+let test_e4_path4_both_abort () =
+  let fx = F.make ~caps:autocommit_cont () in
+  inject fx "continental" Inject.At_execute;
+  inject fx "united" Inject.At_execute;
+  let outcome, details = update_report fx comp_update in
+  Alcotest.(check bool) "aborted" true (outcome = M.Aborted);
+  Alcotest.(check bool) "cont A" true (status details "continental" = D.A);
+  Alcotest.(check bool) "united A" true (status details "united" = D.A);
+  check_float "continental unchanged" 100.0 (rate_101 fx)
+
+let test_two_autocommit_vitals_refused_without_comp () =
+  (* §3.3: two or more VITAL databases without 2PC -> refuse *)
+  let caps =
+    [ ("continental", Ldbms.Capabilities.sybase_like);
+      ("united", Ldbms.Capabilities.sybase_like) ]
+  in
+  let fx = F.make ~caps () in
+  match M.exec fx.F.session vital_update with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected refusal"
+
+let test_single_autocommit_vital_allowed () =
+  (* with exactly one vital database the commit decision is that
+     database's own: no compensation needed *)
+  let fx = F.make ~caps:autocommit_cont () in
+  let single = {|
+USE continental VITAL delta
+UPDATE flight% SET rate% = rate% * 1.1
+WHERE sour% = 'Houston' AND dest% = 'San Antonio'
+|} in
+  let outcome, _ = update_report fx single in
+  Alcotest.(check bool) "success" true (outcome = M.Success)
+
+(* ---- vital retrieval ------------------------------------------------------------ *)
+
+let test_vital_retrieval_failure_aborts_query () =
+  let fx = F.make () in
+  Netsim.World.set_down fx.F.world "site1" true;
+  let sql = {|
+USE continental VITAL delta
+SELECT %nu FROM flight%
+|} in
+  match M.exec fx.F.session sql with
+  | Error m ->
+      Alcotest.(check bool) "names the db" true
+        (Astring_contains.contains m "continental")
+  | Ok _ -> Alcotest.fail "expected abort"
+
+let test_non_vital_retrieval_partial_result () =
+  let fx = F.make () in
+  Netsim.World.set_down fx.F.world "site1" true;
+  let sql = "USE continental delta SELECT %nu FROM flight%" in
+  match exec fx sql with
+  | M.Multitable mt ->
+      Alcotest.(check (list string)) "delta part only" [ "delta" ]
+        (Msql.Multitable.databases mt)
+  | r -> Alcotest.fail ("expected multitable, got " ^ M.result_to_string r)
+
+let () =
+  Alcotest.run "vital"
+    [
+      ( "E3 two-phase vital set",
+        [
+          Alcotest.test_case "all prepared commits" `Quick test_all_prepared_commits;
+          Alcotest.test_case "execute failure" `Quick test_vital_execute_failure_aborts_all_vitals;
+          Alcotest.test_case "prepare failure" `Quick test_vital_prepare_failure_aborts;
+          Alcotest.test_case "commit window incorrect" `Quick test_commit_window_gives_incorrect;
+          Alcotest.test_case "non-vital failure ok" `Quick test_non_vital_failure_is_still_success;
+          Alcotest.test_case "all non-vital" `Quick test_all_non_vital_always_successful;
+        ] );
+      ( "E4 compensation paths",
+        [
+          Alcotest.test_case "path 1: both ok" `Quick test_e4_path1_both_ok;
+          Alcotest.test_case "path 2: compensate" `Quick test_e4_path2_united_aborts_cont_compensated;
+          Alcotest.test_case "path 3: rollback" `Quick test_e4_path3_cont_aborts_united_rolled_back;
+          Alcotest.test_case "path 4: both abort" `Quick test_e4_path4_both_abort;
+          Alcotest.test_case "refusal without comp" `Quick test_two_autocommit_vitals_refused_without_comp;
+          Alcotest.test_case "single autocommit vital" `Quick test_single_autocommit_vital_allowed;
+        ] );
+      ( "vital retrieval",
+        [
+          Alcotest.test_case "vital failure aborts" `Quick test_vital_retrieval_failure_aborts_query;
+          Alcotest.test_case "partial multitable" `Quick test_non_vital_retrieval_partial_result;
+        ] );
+    ]
