@@ -77,7 +77,7 @@ let run_script session ~translate ~stats world path =
         end
     | Error m -> Printf.printf "error: %s\n" m
 
-let main script translate stats optimize trace verbose =
+let main script translate stats optimize trace verbose loss loss_seed =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -86,6 +86,11 @@ let main script translate stats optimize trace verbose =
   let session = fx.F.session and world = fx.F.world in
   M.set_optimize session optimize;
   if trace then M.set_trace session (Some (fun line -> print_endline ("  " ^ line)));
+  if loss > 0.0 then begin
+    Netsim.World.set_loss world ~seed:loss_seed ~prob:loss;
+    Printf.printf "[chaos: losing messages with p=%.3f, seed %d]\n" loss
+      loss_seed
+  end;
   match script with
   | Some path -> run_script session ~translate ~stats world path
   | None -> repl session ~translate ~stats world
@@ -117,10 +122,23 @@ let verbose =
   let doc = "Enable debug logging of the MSQL pipeline and the DOL engine." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let loss =
+  let doc = "Lose each simulated network message with probability $(docv) \
+             (deterministic chaos; pair with $(b,--trace) to watch the \
+             engine retry and recover)." in
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"PROB" ~doc)
+
+let loss_seed =
+  let doc = "Seed for the message-loss generator, so chaos runs replay \
+             identically." in
+  Arg.(value & opt int 42 & info [ "loss-seed" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "execute extended multidatabase SQL against the demo federation" in
   let info = Cmd.info "msql_shell" ~doc in
   Cmd.v info
-    Term.(const main $ script $ translate $ stats $ optimize $ trace $ verbose)
+    Term.(
+      const main $ script $ translate $ stats $ optimize $ trace $ verbose
+      $ loss $ loss_seed)
 
 let () = exit (Cmd.eval cmd)

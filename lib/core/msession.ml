@@ -39,6 +39,9 @@ type t = {
   mutable scope : Ast.use_item list;  (* current scope (USE CURRENT) *)
   mutable optimize : bool;
   mutable trace : (string -> unit) option;
+  mutable retry : Narada.Retry_policy.t option;
+      (* None -> the engine's default policy *)
+  mutable last_outcome : Engine.outcome option;
   virtual_dbs : (string, Ast.use_item list) Hashtbl.t;
   triggers : (string, Ast.trigger_def) Hashtbl.t;
   mutable trigger_order : string list;  (* creation order, oldest first *)
@@ -56,6 +59,8 @@ let create ?world ?directory () =
     scope = [];
     optimize = false;
     trace = None;
+    retry = None;
+    last_outcome = None;
     virtual_dbs = Hashtbl.create 8;
     triggers = Hashtbl.create 8;
     trigger_order = [];
@@ -75,7 +80,21 @@ let triggers t =
 let trigger_log t = List.rev t.trigger_log
 let set_optimize t b = t.optimize <- b
 let set_trace t sink = t.trace <- sink
+let set_retry_policy t p = t.retry <- p
+let last_engine_outcome t = t.last_outcome
 let optimize_enabled t = t.optimize
+
+(* run the DOL engine with the session's trace sink and retry policy,
+   remembering the outcome for {!last_engine_outcome} *)
+let engine_run t program =
+  match
+    Engine.run ?on_event:t.trace ?retry:t.retry ~directory:t.directory
+      ~world:t.world program
+  with
+  | Error _ as e -> e
+  | Ok outcome ->
+      t.last_outcome <- Some outcome;
+      Ok outcome
 
 let maybe_optimize t (plan : Plangen.plan) =
   if t.optimize then
@@ -293,10 +312,7 @@ let run_query t (q : Ast.query) =
   | exception Decompose.Error m -> Error m
   | exception Plangen.Error m -> Error m
   | plan -> (
-      match
-        Engine.run ?on_event:t.trace ~directory:t.directory ~world:t.world
-          plan.Plangen.program
-      with
+      match engine_run t plan.Plangen.program with
       | Error m -> Error m
       | Ok outcome ->
           let details = report_of_bindings outcome plan.Plangen.task_bindings in
@@ -341,10 +357,7 @@ let run_mtx t (mtx : Ast.multitransaction) =
       match maybe_optimize t (Plangen.plan_mtx t.ad mtx expanded) with
       | exception Plangen.Error m -> Error m
       | plan -> (
-          match
-            Engine.run ?on_event:t.trace ~directory:t.directory ~world:t.world
-              plan.Plangen.program
-          with
+          match engine_run t plan.Plangen.program with
           | Error m -> Error m
           | Ok outcome ->
               let details = report_of_bindings outcome plan.Plangen.task_bindings in

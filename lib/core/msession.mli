@@ -79,6 +79,14 @@ val set_trace : t -> (string -> unit) option -> unit
 (** Install an execution-trace sink: every DOL engine coordination event
     of subsequent queries is passed to it (see {!Narada.Engine.run}). *)
 
+val set_retry_policy : t -> Narada.Retry_policy.t option -> unit
+(** Override the retry policy applied to every LAM operation of
+    subsequent queries ([None] restores {!Narada.Retry_policy.default}). *)
+
+val last_engine_outcome : t -> Narada.Engine.outcome option
+(** The full engine outcome of the last executed statement, including the
+    fault-tolerance counters (retries, recovered, in-doubt, vital split). *)
+
 val set_optimize : t -> bool -> unit
 (** Enable the DOL optimizer ({!Narada.Dol_opt}) on generated plans
     (default: off, so that translated programs match the paper's shape;

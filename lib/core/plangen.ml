@@ -182,14 +182,15 @@ let plan_replicated ad (q : Ast.query) (elems : Expand.elementary list) =
           })
         classified
     in
-    let vital_2pc =
+    let vital_2pc_info =
       List.filter_map
-        (fun ((e : Expand.elementary), _, _, mode) ->
+        (fun ((e : Expand.elementary), _, comp, mode) ->
           if e.Expand.use.Ast.vital = Ast.Vital && mode = D.No_commit then
-            Some (task_name e.Expand.edb)
+            Some (e.Expand.edb, comp)
           else None)
         classified
     in
+    let vital_2pc = List.map (fun (db, _) -> task_name db) vital_2pc_info in
     let vital_auto =
       List.filter_map
         (fun ((e : Expand.elementary), _, comp, mode) ->
@@ -210,15 +211,23 @@ let plan_replicated ad (q : Ast.query) (elems : Expand.elementary list) =
             (if vital_2pc = [] then [] else [ D.Commit_tasks vital_2pc ])
             @ [ D.Set_status 0 ]
           in
+          let guarded_comps_of info =
+            List.filter_map
+              (fun (db, comp) ->
+                Option.map
+                  (fun (c : Ast.comp_clause) ->
+                    guarded_comp ~db ~task:(task_name db) c.Ast.comp_stmt)
+                  comp)
+              info
+          in
           let else_branch =
             (if vital_2pc = [] then [] else [ D.Abort_tasks vital_2pc ])
-            @ List.filter_map
-                (fun (db, comp) ->
-                  Option.map
-                    (fun (c : Ast.comp_clause) ->
-                      guarded_comp ~db ~task:(task_name db) c.Ast.comp_stmt)
-                    comp)
-                vital_auto
+            (* 2PC members normally abort cleanly, but a site failing in the
+               in-doubt window can leave one committed while the group
+               aborts; registering the COMP here lets the engine's recovery
+               pass undo it (the C guard keeps it inert otherwise) *)
+            @ guarded_comps_of vital_2pc_info
+            @ guarded_comps_of vital_auto
             @ [ D.Set_status 1 ]
           in
           [ D.If (cond, then_branch, else_branch) ]

@@ -57,25 +57,33 @@ let abort_current t =
   | Some _ | None -> ());
   t.txn <- None
 
+(* injected failures report through error strings; transient ones carry
+   Failure_injector.transient_marker so retry layers can classify them *)
 let injected t point =
-  if Failure_injector.fires t.injector point then begin
-    t.stats.injected_failures <- t.stats.injected_failures + 1;
-    abort_current t;
-    true
-  end
-  else false
+  match Failure_injector.fires_kind t.injector point with
+  | Some kind ->
+      t.stats.injected_failures <- t.stats.injected_failures + 1;
+      abort_current t;
+      Some kind
+  | None -> None
+
+let injected_message kind point =
+  Printf.sprintf "%sinjected failure at %s; transaction rolled back"
+    (match kind with
+    | Failure_injector.Transient -> Failure_injector.transient_marker ^ " "
+    | Failure_injector.Fatal -> "")
+    (Failure_injector.point_to_string point)
 
 let do_commit t =
   match t.txn with
-  | Some txn when not (Txn.is_finished txn) ->
-      if injected t Failure_injector.At_commit then
-        Error "injected failure at commit; transaction rolled back"
-      else begin
-        Txn.commit txn;
-        t.txn <- None;
-        t.stats.commits <- t.stats.commits + 1;
-        Ok ()
-      end
+  | Some txn when not (Txn.is_finished txn) -> (
+      match injected t Failure_injector.At_commit with
+      | Some kind -> Error (injected_message kind Failure_injector.At_commit)
+      | None ->
+          Txn.commit txn;
+          t.txn <- None;
+          t.stats.commits <- t.stats.commits + 1;
+          Ok ())
   | Some _ | None -> Ok ()
 
 let do_rollback t =
@@ -94,22 +102,21 @@ let do_prepare t =
          t.caps.Capabilities.engine_name)
   else
     match t.txn with
-    | Some txn when Txn.state txn = Txn.Active ->
-        if injected t Failure_injector.At_prepare then
-          Error "injected failure at prepare; transaction rolled back"
-        else begin
-          Txn.prepare txn;
-          t.stats.prepares <- t.stats.prepares + 1;
-          Ok ()
-        end
+    | Some txn when Txn.state txn = Txn.Active -> (
+        match injected t Failure_injector.At_prepare with
+        | Some kind -> Error (injected_message kind Failure_injector.At_prepare)
+        | None ->
+            Txn.prepare txn;
+            t.stats.prepares <- t.stats.prepares + 1;
+            Ok ())
     | Some txn when Txn.state txn = Txn.Prepared -> Ok ()
     | Some _ | None -> Error "no active transaction to prepare"
 
 (* Run a DML/DDL body inside the session's transaction discipline. *)
 let run_write t ~is_ddl ~forces_commit body =
-  if injected t Failure_injector.At_execute then
-    Error "injected local failure; transaction rolled back"
-  else begin
+  match injected t Failure_injector.At_execute with
+  | Some kind -> Error (injected_message kind Failure_injector.At_execute)
+  | None -> begin
     (* Oracle-style DDL: commit prior uncommitted work first. *)
     (if is_ddl && t.caps.Capabilities.ddl_behavior = Capabilities.Ddl_autocommits
      then

@@ -11,16 +11,29 @@ type outcome = {
   results : (string * Sqlcore.Relation.t) list;
   rowcounts : (string * int) list;
   elapsed_ms : float;
+  retries : int;
+  recovered : int;
+  in_doubt : int;
+  vital_split : bool;
 }
 
 exception Program_error of string
 
 type conn = Available of Lam.t | Unavailable of string
 
+(* a COMP statement found anywhere in the program text, kept as a recovery
+   handler for the task it compensates even if its branch is never taken *)
+type comp_handler = { ch_cname : string; ch_target : string; ch_commands : string }
+
 type state = {
   directory : Directory.t;
   world : World.t;
+  policy : Retry_policy.t;
+  grace_ms : float;
   aliases : (string, conn) Hashtbl.t;
+  services : (string, Service.t) Hashtbl.t;
+      (* alias -> service, remembered past CLOSE so the recovery pass can
+         reopen a session to fire a queued COMP *)
   statuses : (string, status) Hashtbl.t;
   mutable status_order : string list;  (* newest first *)
   task_target : (string, string) Hashtbl.t;  (* task -> alias *)
@@ -28,6 +41,11 @@ type state = {
   rowcounts : (string, int) Hashtbl.t;
   mutable dolstatus : int;
   on_event : string -> unit;
+  rlog : Recovery_log.t;
+  comps : (string, comp_handler) Hashtbl.t;  (* compensated task -> handler *)
+  mutable retries : int;
+  mutable recovered : int;
+  mutable vital_split : bool;
 }
 
 let err fmt = Printf.ksprintf (fun m -> raise (Program_error m)) fmt
@@ -39,6 +57,11 @@ let emit st fmt =
       Log.debug (fun f -> f "%.2fms %s" (World.now_ms st.world) m);
       st.on_event (Printf.sprintf "[%8.2f ms] %s" (World.now_ms st.world) m))
     fmt
+
+let retry_observer st ~where ~op ~attempt ~delay_ms ~reason =
+  st.retries <- st.retries + 1;
+  emit st "retry %s@%s attempt %d (+%.2f ms backoff): %s" op where attempt
+    delay_ms reason
 
 let declare st name target =
   let k = akey name in
@@ -53,6 +76,27 @@ let set_status st name s =
 
 let get_status st name =
   match Hashtbl.find_opt st.statuses (akey name) with Some s -> s | None -> N
+
+(* The site-failure classifiers. No raw netsim exception ever reaches
+   this layer — Lam converts them all to [failure].
+
+   [fail_status] is the mid-protocol rule: a local abort means the LDBMS
+   rolled the work back (A); a transport failure leaves the local state
+   unknown (E).
+
+   [presumed_abort_status] applies before the coordinator has logged a
+   commit verdict: under presumed abort, a clean transport failure is a
+   guaranteed global abort — the command never took effect, or the site
+   will roll the undecided transaction back when it recovers. Only
+   [In_doubt] (effects possibly durable without a prepare handshake)
+   leaves the state unknown. *)
+let fail_status = function
+  | Lam.Local _ -> A
+  | Lam.Network _ | Lam.Lost _ | Lam.In_doubt _ -> E
+
+let presumed_abort_status = function
+  | Lam.Local _ | Lam.Network _ | Lam.Lost _ -> A
+  | Lam.In_doubt _ -> E
 
 let conn_of st alias =
   match Hashtbl.find_opt st.aliases (akey alias) with
@@ -80,8 +124,7 @@ let exec_task st (task : task) =
       set_status st task.tname N
   | Available lam -> (
       match Lam.exec_script lam task.commands with
-      | Error (Lam.Local _) -> set_status st task.tname A
-      | Error (Lam.Network _) -> set_status st task.tname E
+      | Error f -> set_status st task.tname (presumed_abort_status f)
       | Ok results -> (
           (match Lam.last_relation results with
           | Some rel -> Hashtbl.replace st.results (akey task.tname) rel
@@ -100,9 +143,11 @@ let exec_task st (task : task) =
                   (Lam.service lam).Service.caps
               then
                 (match Lam.prepare lam with
-                | Ok () -> set_status st task.tname P
-                | Error (Lam.Local _) -> set_status st task.tname A
-                | Error (Lam.Network _) -> set_status st task.tname E)
+                | Ok () ->
+                    set_status st task.tname P;
+                    Recovery_log.record_prepared st.rlog ~task:task.tname
+                      ~alias:task.target lam
+                | Error f -> set_status st task.tname (presumed_abort_status f))
               else
                 (* a NOCOMMIT task on an autocommit-only engine is a plan
                    inconsistency: its effects are already committed *)
@@ -117,8 +162,7 @@ let exec_task st (task : task) =
               else
                 match Lam.commit lam with
                 | Ok () -> set_status st task.tname C
-                | Error (Lam.Local _) -> set_status st task.tname A
-                | Error (Lam.Network _) -> set_status st task.tname E)))
+                | Error f -> set_status st task.tname (fail_status f))))
 
 let commit_task st tname =
   match get_status st tname with
@@ -127,9 +171,15 @@ let commit_task st tname =
       | Unavailable _ -> set_status st tname E
       | Available lam -> (
           match Lam.commit lam with
-          | Ok () -> set_status st tname C
-          | Error (Lam.Local _) -> set_status st tname A
-          | Error (Lam.Network _) -> set_status st tname E))
+          | Ok () ->
+              set_status st tname C;
+              Recovery_log.mark_resolved st.rlog tname
+          | Error (Lam.Local _) ->
+              set_status st tname A;
+              Recovery_log.mark_resolved st.rlog tname
+          | Error (Lam.Network _ | Lam.Lost _ | Lam.In_doubt _) ->
+              emit st "task %s in doubt: commit logged, site unreachable" tname;
+              set_status st tname E))
   | C | A | E | N | X -> ()
 
 let abort_task st tname =
@@ -139,34 +189,37 @@ let abort_task st tname =
       | Unavailable _ -> set_status st tname E
       | Available lam -> (
           match Lam.rollback lam with
-          | Ok () -> set_status st tname A
-          | Error (Lam.Local _) -> set_status st tname A
-          | Error (Lam.Network _) -> set_status st tname E))
+          | Ok () | Error (Lam.Local _) ->
+              set_status st tname A;
+              Recovery_log.mark_resolved st.rlog tname
+          | Error (Lam.Network _ | Lam.Lost _ | Lam.In_doubt _) ->
+              emit st "task %s in doubt: abort logged, site unreachable" tname;
+              set_status st tname E))
   | C | A | E | N | X -> ()
+
+(* run a compensating action on an established connection; shared by the
+   COMP statement and the recovery pass *)
+let exec_comp_on st ~cname ~compensates lam commands =
+  match Lam.exec_script lam commands with
+  | Error f -> set_status st cname (fail_status f)
+  | Ok _ -> (
+      let finish () =
+        set_status st cname C;
+        match compensates with
+        | Some t -> set_status st t X
+        | None -> ()
+      in
+      if Ldbms.Capabilities.supports_2pc (Lam.service lam).Service.caps then
+        match Lam.commit lam with
+        | Ok () -> finish ()
+        | Error f -> set_status st cname (fail_status f)
+      else finish ())
 
 let exec_comp st ~cname ~compensates ~target ~commands =
   declare st cname target;
   match conn_of st target with
   | Unavailable _ -> set_status st cname E
-  | Available lam -> (
-      match Lam.exec_script lam commands with
-      | Error (Lam.Local _) -> set_status st cname A
-      | Error (Lam.Network _) -> set_status st cname E
-      | Ok _ -> (
-          let finish () =
-            set_status st cname C;
-            match compensates with
-            | Some t -> set_status st t X
-            | None -> ()
-          in
-          if
-            Ldbms.Capabilities.supports_2pc (Lam.service lam).Service.caps
-          then
-            match Lam.commit lam with
-            | Ok () -> finish ()
-            | Error (Lam.Local _) -> set_status st cname A
-            | Error (Lam.Network _) -> set_status st cname E
-          else finish ()))
+  | Available lam -> exec_comp_on st ~cname ~compensates lam commands
 
 let exec_move st ~mname ~src ~dst ~dest_table ~query =
   declare st mname src;
@@ -175,8 +228,191 @@ let exec_move st ~mname ~src ~dst ~dest_table ~query =
   | Available src_lam, Available dst_lam -> (
       match Lam.transfer ~src:src_lam ~dst:dst_lam ~query ~dest_table with
       | Ok _ -> set_status st mname C
-      | Error (Lam.Local _) -> set_status st mname A
-      | Error (Lam.Network _) -> set_status st mname E)
+      | Error f -> set_status st mname (fail_status f))
+
+(* ---- in-doubt resolution ------------------------------------------------- *)
+
+(* Drive one stranded prepared transaction to its logged verdict. The 2PC
+   verbs are idempotent, so a transaction whose commit actually happened
+   (only the acknowledgement was lost) re-acks harmlessly. *)
+let resolve_entry st (e : Recovery_log.entry) =
+  let site = Lam.site e.Recovery_log.lam in
+  if not (World.is_down st.world site) then begin
+    let verdict = Option.get e.Recovery_log.verdict in
+    emit st "in-doubt %s: site %s reachable, replaying %s" e.Recovery_log.task
+      site
+      (Recovery_log.verdict_to_string verdict);
+    let r =
+      match verdict with
+      | Recovery_log.Commit -> Lam.commit e.Recovery_log.lam
+      | Recovery_log.Abort -> Lam.rollback e.Recovery_log.lam
+    in
+    match r with
+    | Ok () ->
+        let s = match verdict with Recovery_log.Commit -> C | Recovery_log.Abort -> A in
+        set_status st e.Recovery_log.task s;
+        Recovery_log.mark_resolved st.rlog e.Recovery_log.task;
+        st.recovered <- st.recovered + 1;
+        emit st "recovered %s -> %s" e.Recovery_log.task (status_to_string s)
+    | Error (Lam.Local _) ->
+        (* the LDBMS resolved it unilaterally (local abort) *)
+        set_status st e.Recovery_log.task A;
+        Recovery_log.mark_resolved st.rlog e.Recovery_log.task
+    | Error (Lam.Network _ | Lam.Lost _ | Lam.In_doubt _) -> ()
+  end
+
+let resolve_alias st alias =
+  List.iter (resolve_entry st) (Recovery_log.unresolved_for_alias st.rlog alias)
+
+(* After the program ends, wait (in virtual time, up to the grace budget)
+   for sites holding in-doubt transactions to come back, re-polling at
+   each scheduled recovery instant. *)
+let final_recovery st =
+  match Recovery_log.unresolved st.rlog with
+  | [] -> ()
+  | stranded ->
+      emit st "resolution pass: %d in-doubt task(s), grace %.0f ms"
+        (List.length stranded) st.grace_ms;
+      List.iter (resolve_entry st) stranded;
+      let deadline = World.now_ms st.world +. st.grace_ms in
+      let rec wait () =
+        match Recovery_log.unresolved st.rlog with
+        | [] -> ()
+        | remaining ->
+            let next =
+              List.fold_left
+                (fun acc e ->
+                  match
+                    World.next_recovery_ms st.world (Lam.site e.Recovery_log.lam)
+                  with
+                  | Some t -> min acc t
+                  | None -> acc)
+                infinity remaining
+            in
+            if next < infinity && next <= deadline then begin
+              World.advance_ms st.world (max 0.0 (next -. World.now_ms st.world));
+              List.iter (resolve_entry st) remaining;
+              wait ()
+            end
+            else
+              List.iter
+                (fun e ->
+                  emit st "task %s remains in doubt (site %s unreachable)"
+                    e.Recovery_log.task
+                    (Lam.site e.Recovery_log.lam))
+                remaining
+      in
+      wait ()
+
+(* a connection for firing a recovery COMP: the open alias if any, else a
+   fresh session to the service the alias was bound to *)
+let recovery_conn st target =
+  match Hashtbl.find_opt st.aliases (akey target) with
+  | Some (Available lam) -> Some (lam, false)
+  | Some (Unavailable _) | None -> (
+      let svc =
+        match Hashtbl.find_opt st.services (akey target) with
+        | Some svc -> Some svc
+        | None -> Directory.find_opt st.directory target
+      in
+      match svc with
+      | None -> None
+      | Some svc -> (
+          match
+            Lam.connect ~retry:st.policy
+              ~on_retry:(retry_observer st ~where:svc.Service.site)
+              st.world svc
+          with
+          | Ok lam -> Some (lam, true)
+          | Error _ -> None))
+
+(* A commit group whose members did not all reach C is the paper's
+   "incorrect" state (§3.2): the vital set split. Giving up on the global
+   commit means (a) revoking the commit verdict of members still in doubt
+   — the coordinator logs abort, so a site recovering later rolls its
+   prepared transaction back instead of completing a commit the rest of
+   the group never got — and (b) compensating the members that did
+   commit, via any COMP registered for them. If every committed member
+   could be undone the group degrades to a clean abort; otherwise the
+   split is real and reported. *)
+let settle_splits st =
+  List.iter
+    (fun (verdict, members) ->
+      if
+        verdict = Recovery_log.Commit
+        && List.exists (fun n -> get_status st n <> C) members
+      then begin
+        let committed = List.filter (fun n -> get_status st n = C) members in
+        emit st "commit group {%s} did not fully commit: {%s}"
+          (String.concat ", " members)
+          (String.concat ", "
+             (List.map
+                (fun n ->
+                  Printf.sprintf "%s=%s" n (status_to_string (get_status st n)))
+                members));
+        List.iter
+          (fun n ->
+            match Recovery_log.find st.rlog n with
+            | Some e when not e.Recovery_log.resolved ->
+                e.Recovery_log.verdict <- Some Recovery_log.Abort;
+                emit st "%s: commit verdict revoked, abort logged" n
+            | Some _ | None -> ())
+          members;
+        if committed <> [] then begin
+          List.iter
+            (fun n ->
+              match Hashtbl.find_opt st.comps (akey n) with
+              | Some h when not (Hashtbl.mem st.statuses (akey h.ch_cname)) -> (
+                  emit st "firing queued COMP %s to undo %s" h.ch_cname n;
+                  declare st h.ch_cname h.ch_target;
+                  match recovery_conn st h.ch_target with
+                  | None -> set_status st h.ch_cname E
+                  | Some (lam, fresh) ->
+                      exec_comp_on st ~cname:h.ch_cname ~compensates:(Some n)
+                        lam h.ch_commands;
+                      if fresh then Lam.disconnect lam)
+              | _ -> ())
+            committed;
+          if List.exists (fun n -> get_status st n = C) members then begin
+            st.vital_split <- true;
+            emit st "VITAL SPLIT: group {%s} left inconsistent"
+              (String.concat ", " members)
+          end
+          else
+            emit st "split healed: all committed members of {%s} compensated"
+              (String.concat ", " members)
+        end
+      end)
+    (Recovery_log.groups st.rlog);
+  (* presumed abort seals the fate of whatever is still in doubt: its
+     verdict is now abort, and the site will roll it back on recovery —
+     globally the task is aborted even though the site has not acted *)
+  List.iter
+    (fun (e : Recovery_log.entry) ->
+      if
+        e.Recovery_log.verdict = Some Recovery_log.Abort
+        && get_status st e.Recovery_log.task = E
+      then begin
+        emit st "%s: still in doubt at %s; will roll back on site recovery"
+          e.Recovery_log.task
+          (Lam.site e.Recovery_log.lam);
+        set_status st e.Recovery_log.task A
+      end)
+    (Recovery_log.unresolved st.rlog)
+
+(* ---- statement dispatch --------------------------------------------------- *)
+
+let rec collect_comps acc = function
+  | Comp { cname; compensates = Some t; target; commands } ->
+      (akey t, { ch_cname = cname; ch_target = target; ch_commands = commands })
+      :: acc
+  | Comp { compensates = None; _ } -> acc
+  | Parallel stmts | If (_, stmts, []) -> List.fold_left collect_comps acc stmts
+  | If (_, a, b) ->
+      List.fold_left collect_comps (List.fold_left collect_comps acc a) b
+  | Open _ | Close _ | Task _ | Commit_tasks _ | Abort_tasks _ | Move _
+  | Set_status _ ->
+      acc
 
 let rec exec_stmt st = function
   | Open { service; open_site; alias } -> (
@@ -187,6 +423,7 @@ let rec exec_stmt st = function
           Hashtbl.replace st.aliases k
             (Unavailable (Printf.sprintf "unknown service %s" service))
       | Some svc ->
+          Hashtbl.replace st.services k svc;
           (* The AT clause is informative: the directory knows the real
              site; a mismatch is a program error. *)
           (match open_site with
@@ -194,14 +431,17 @@ let rec exec_stmt st = function
               err "service %s is at site %s, not %s" service svc.Service.site s
           | Some _ | None -> ());
           let conn =
-            match Lam.connect st.world svc with
-            | lam ->
+            match
+              Lam.connect ~retry:st.policy
+                ~on_retry:(retry_observer st ~where:svc.Service.site)
+                st.world svc
+            with
+            | Ok lam ->
                 emit st "OPEN %s AT %s AS %s" service svc.Service.site alias;
                 Available lam
-            | exception World.Site_down _ ->
-                emit st "OPEN %s failed: site %s is down" service
-                  svc.Service.site;
-                Unavailable (Printf.sprintf "site %s is down" svc.Service.site)
+            | Error f ->
+                emit st "OPEN %s failed: %s" service (Lam.failure_message f);
+                Unavailable (Lam.failure_message f)
           in
           Hashtbl.replace st.aliases k conn)
   | Close aliases ->
@@ -209,6 +449,16 @@ let rec exec_stmt st = function
         (fun alias ->
           match Hashtbl.find_opt st.aliases (akey alias) with
           | Some (Available lam) ->
+              (* settle this connection's in-doubt transactions while the
+                 program still holds it open *)
+              resolve_alias st alias;
+              (* presumed abort: prepared work with no surviving decision
+                 is rolled back by the site once the session ends *)
+              (if Recovery_log.unresolved_for_alias st.rlog alias = [] then
+                 match Ldbms.Session.txn_state (Lam.session lam) with
+                 | Some Ldbms.Txn.Prepared ->
+                     ignore (Ldbms.Session.rollback (Lam.session lam))
+                 | Some _ | None -> ());
               Lam.disconnect lam;
               Hashtbl.remove st.aliases (akey alias)
           | Some (Unavailable _) -> Hashtbl.remove st.aliases (akey alias)
@@ -228,8 +478,17 @@ let rec exec_stmt st = function
         (if taken then "THEN" else "ELSE");
       if taken then List.iter (exec_stmt st) then_b
       else List.iter (exec_stmt st) else_b
-  | Commit_tasks names -> List.iter (commit_task st) names
-  | Abort_tasks names -> List.iter (abort_task st) names
+  | Commit_tasks names ->
+      (* log the global verdict before the second phase: this is the
+         coordinator's decision record that makes in-doubt outcomes
+         resolvable *)
+      Recovery_log.record_decision st.rlog Recovery_log.Commit
+        (List.filter (fun n -> get_status st n = P) names);
+      List.iter (commit_task st) names
+  | Abort_tasks names ->
+      Recovery_log.record_decision st.rlog Recovery_log.Abort
+        (List.filter (fun n -> get_status st n = P) names);
+      List.iter (abort_task st) names
   | Comp { cname; compensates; target; commands } ->
       exec_comp st ~cname ~compensates ~target ~commands
   | Move { mname; src; dst; dest_table; query } ->
@@ -238,12 +497,16 @@ let rec exec_stmt st = function
       emit st "DOLSTATUS = %d" n;
       st.dolstatus <- n
 
-let run ?(on_event = fun _ -> ()) ~directory ~world program =
+let run ?(on_event = fun _ -> ()) ?(retry = Retry_policy.default)
+    ?(recovery_grace_ms = 500.0) ~directory ~world program =
   let st =
     {
       directory;
       world;
+      policy = retry;
+      grace_ms = recovery_grace_ms;
       aliases = Hashtbl.create 8;
+      services = Hashtbl.create 8;
       statuses = Hashtbl.create 8;
       status_order = [];
       task_target = Hashtbl.create 8;
@@ -251,8 +514,17 @@ let run ?(on_event = fun _ -> ()) ~directory ~world program =
       rowcounts = Hashtbl.create 8;
       dolstatus = -1;
       on_event;
+      rlog = Recovery_log.create ();
+      comps = Hashtbl.create 4;
+      retries = 0;
+      recovered = 0;
+      vital_split = false;
     }
   in
+  List.iter
+    (fun (task, h) ->
+      if not (Hashtbl.mem st.comps task) then Hashtbl.replace st.comps task h)
+    (List.rev (List.fold_left collect_comps [] program));
   let t0 = World.now_ms world in
   Log.info (fun f ->
       f "running DOL program: %d statements, %d tasks" (List.length program)
@@ -260,10 +532,21 @@ let run ?(on_event = fun _ -> ()) ~directory ~world program =
   match List.iter (exec_stmt st) program with
   | exception Program_error m -> Error m
   | () ->
+      (* settle stranded 2PC decisions, then judge the commit groups *)
+      final_recovery st;
+      settle_splits st;
       (* close any aliases the program forgot *)
       Hashtbl.iter
-        (fun _ conn ->
-          match conn with Available lam -> Lam.disconnect lam | Unavailable _ -> ())
+        (fun alias conn ->
+          match conn with
+          | Available lam ->
+              (if Recovery_log.unresolved_for_alias st.rlog alias = [] then
+                 match Ldbms.Session.txn_state (Lam.session lam) with
+                 | Some Ldbms.Txn.Prepared ->
+                     ignore (Ldbms.Session.rollback (Lam.session lam))
+                 | Some _ | None -> ());
+              Lam.disconnect lam
+          | Unavailable _ -> ())
         st.aliases;
       let statuses =
         List.rev_map (fun k -> (k, Hashtbl.find st.statuses k)) st.status_order
@@ -287,11 +570,15 @@ let run ?(on_event = fun _ -> ()) ~directory ~world program =
           results;
           rowcounts;
           elapsed_ms = World.now_ms world -. t0;
+          retries = st.retries;
+          recovered = st.recovered;
+          in_doubt = List.length (Recovery_log.unresolved st.rlog);
+          vital_split = st.vital_split;
         }
 
-let run_text ?on_event ~directory ~world text =
+let run_text ?on_event ?retry ?recovery_grace_ms ~directory ~world text =
   match Dol_parser.parse text with
-  | program -> run ?on_event ~directory ~world program
+  | program -> run ?on_event ?retry ?recovery_grace_ms ~directory ~world program
   | exception Dol_parser.Error (m, l, c) ->
       Error (Printf.sprintf "DOL parse error at %d:%d: %s" l c m)
 

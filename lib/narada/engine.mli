@@ -6,6 +6,20 @@
     [E]; compensation gives the compensated task [X]. COMMIT and ABORT
     drive prepared tasks to [C]/[A]. IF conditions read these letters.
 
+    Fault tolerance: every site interaction runs under a {!Retry_policy}
+    (transient failures retried with backoff charged to the virtual
+    clock). Each task that reaches [P] is recorded in a
+    {!Recovery_log} together with the later global verdict; a site that
+    fails inside the 2PC second-phase window leaves the task at [E]
+    (in doubt), and after the program ends a resolution pass re-polls
+    such sites — waiting in virtual time up to a grace budget for
+    scheduled recoveries — and drives stranded prepared transactions to
+    the logged verdict. A commit group whose members still did not all
+    reach [C] is a {e vital split} (the paper's "incorrect" state,
+    §3.2): the engine fires any COMP statements registered for the
+    committed members (even ones in untaken branches), and reports the
+    split in the outcome if members remain committed.
+
     An [Error] result means the {e program} was malformed (unknown alias,
     duplicate task name, ...) — execution failures are normal outcomes,
     reported in the statuses. *)
@@ -19,21 +33,38 @@ type outcome = {
   rowcounts : (string * int) list;
       (** task name -> rows affected by its DML statements *)
   elapsed_ms : float;  (** virtual time consumed by the program *)
+  retries : int;  (** total per-operation retry attempts across all LAMs *)
+  recovered : int;
+      (** in-doubt tasks driven to their logged verdict by recovery *)
+  in_doubt : int;
+      (** tasks still stranded in doubt when the engine gave up *)
+  vital_split : bool;
+      (** a commit group ended with some members committed and some not,
+          and compensation could not undo the committed ones *)
 }
 
 val run :
   ?on_event:(string -> unit) ->
+  ?retry:Retry_policy.t ->
+  ?recovery_grace_ms:float ->
   directory:Directory.t ->
   world:Netsim.World.t ->
   Dol_ast.program ->
   (outcome, string) result
 (** [on_event] receives one line per coordination step (opens, task
     status transitions, branch decisions, commits/aborts/compensations,
-    data moves), prefixed with the virtual-clock time — the engine's
-    execution trace. *)
+    data moves, retries, in-doubt resolutions), prefixed with the
+    virtual-clock time — the engine's execution trace.
+
+    [retry] (default {!Retry_policy.default}) governs every LAM
+    operation. [recovery_grace_ms] (default 500) bounds how long, in
+    virtual time, the end-of-program resolution pass waits for sites
+    holding in-doubt transactions to recover. *)
 
 val run_text :
   ?on_event:(string -> unit) ->
+  ?retry:Retry_policy.t ->
+  ?recovery_grace_ms:float ->
   directory:Directory.t ->
   world:Netsim.World.t ->
   string ->

@@ -1,54 +1,157 @@
 module World = Netsim.World
+module Inject = Ldbms.Failure_injector
+
+type on_retry =
+  op:string -> attempt:int -> delay_ms:float -> reason:string -> unit
 
 type t = {
   service : Service.t;
   session : Ldbms.Session.t;
   world : World.t;
+  policy : Retry_policy.t;
+  on_retry : on_retry;
 }
 
-type failure = Local of string | Network of string
+type failure =
+  | Local of string
+  | Network of string
+  | Lost of string
+  | In_doubt of string
 
-let failure_message = function Local m -> m | Network m -> m
+let failure_message = function
+  | Local m -> m
+  | Network m -> m
+  | Lost m -> m
+  | In_doubt m -> m
+
+(* transport failures are always worth another attempt; local aborts only
+   when the LDBMS marked them transient (deadlock victim, lock timeout).
+   In_doubt failures are never retried: effects may already be durable. *)
+let classify_io = function
+  | Network m | Lost m -> Retry_policy.Retryable m
+  | Local m | In_doubt m -> Retry_policy.Terminal m
+
+let classify_local_aware = function
+  | Network m | Lost m -> Retry_policy.Retryable m
+  | In_doubt m -> Retry_policy.Terminal m
+  | Local m ->
+      if Inject.is_transient_message m then Retry_policy.Retryable m
+      else Retry_policy.Terminal m
 
 let handshake_bytes = 64
 let ack_bytes = 16
 
-let connect world service =
-  World.send world ~src:"mdbs" ~dst:service.Service.site ~bytes:handshake_bytes;
-  {
-    service;
-    session =
-      Ldbms.Session.connect ~injector:service.Service.injector
-        service.Service.database service.Service.caps;
-    world;
-  }
+let guard_site f =
+  match f () with
+  | r -> r
+  | exception World.Site_down s ->
+      Error (Network (Printf.sprintf "site %s is down" s))
+  | exception World.Unknown_site s ->
+      Error (Network (Printf.sprintf "unknown site %s" s))
+  | exception World.Lost_message (src, dst) ->
+      Error (Lost (Printf.sprintf "message %s -> %s lost" src dst))
+
+let no_on_retry ~op:_ ~attempt:_ ~delay_ms:_ ~reason:_ = ()
+
+let connect ?(retry = Retry_policy.default) ?(on_retry = no_on_retry) world
+    service =
+  let dst = service.Service.site in
+  Retry_policy.run retry world
+    ~key:("connect:" ^ dst)
+    ~classify:classify_local_aware
+    ~on_retry:(fun ~attempt ~delay_ms ~reason ->
+      on_retry ~op:"connect" ~attempt ~delay_ms ~reason)
+    (fun () ->
+      guard_site (fun () ->
+          World.send world ~src:"mdbs" ~dst ~bytes:handshake_bytes;
+          match Inject.fires_kind service.Service.injector Inject.At_connect with
+          | Some Inject.Transient ->
+              Error
+                (Local (Inject.transient_marker ^ " connection refused by service"))
+          | Some Inject.Fatal -> Error (Local "connection refused by service")
+          | None ->
+              Ok
+                {
+                  service;
+                  session =
+                    Ldbms.Session.connect ~injector:service.Service.injector
+                      service.Service.database service.Service.caps;
+                  world;
+                  policy = retry;
+                  on_retry;
+                }))
+
+let connect_exn world service =
+  match connect ~retry:Retry_policy.none world service with
+  | Ok t -> t
+  | Error f -> failwith (failure_message f)
 
 let service t = t.service
 let session t = t.session
 let site t = t.service.Service.site
 
+let with_retry t ~op ~classify f =
+  Retry_policy.run t.policy t.world
+    ~key:(op ^ ":" ^ site t)
+    ~classify
+    ~on_retry:(fun ~attempt ~delay_ms ~reason ->
+      t.on_retry ~op ~attempt ~delay_ms ~reason)
+    f
+
 let result_bytes = function
   | Ldbms.Session.Rows r -> Sqlcore.Relation.size_bytes r + ack_bytes
   | Ldbms.Session.Affected _ | Ldbms.Session.Done -> ack_bytes
 
-let guard_site f =
-  match f () with
-  | r -> r
-  | exception World.Site_down s -> Error (Network (Printf.sprintf "site %s is down" s))
-  | exception World.Unknown_site s ->
-      Error (Network (Printf.sprintf "unknown site %s" s))
-
 let exec_script t script =
-  guard_site (fun () ->
-      World.send t.world ~src:"mdbs" ~dst:(site t) ~bytes:(String.length script);
-      match Ldbms.Session.exec_script t.session script with
-      | Ok results ->
-          let bytes = List.fold_left (fun a r -> a + result_bytes r) 0 results in
-          World.send t.world ~src:(site t) ~dst:"mdbs" ~bytes;
-          Ok results
-      | Error m ->
-          World.send t.world ~src:(site t) ~dst:"mdbs" ~bytes:ack_bytes;
-          Error (Local m))
+  (* A retry is only sound when the site's state is known: either the
+     command never arrived, or the LDBMS rolled the work back (local abort,
+     or the orphaned-transaction abort it performs on connection loss).
+     When effects may already be durable (autocommit engine, or a script
+     that committed/prepared) a transport failure is terminal. *)
+  let unsafe = ref false in
+  let r =
+    with_retry t ~op:"exec"
+      ~classify:(fun f ->
+        if !unsafe then Retry_policy.Terminal (failure_message f)
+        else classify_local_aware f)
+      (fun () ->
+      unsafe := false;
+      let executed = ref false in
+      let r =
+        guard_site (fun () ->
+            World.send t.world ~src:"mdbs" ~dst:(site t)
+              ~bytes:(String.length script);
+            match Ldbms.Session.exec_script t.session script with
+            | Ok results ->
+                executed := true;
+                let bytes =
+                  List.fold_left (fun a r -> a + result_bytes r) 0 results
+                in
+                World.send t.world ~src:(site t) ~dst:"mdbs" ~bytes;
+                Ok results
+            | Error m ->
+                World.send t.world ~src:(site t) ~dst:"mdbs" ~bytes:ack_bytes;
+                Error (Local m))
+      in
+      (match r with
+      | Error (Network _ | Lost _) when !executed -> (
+          match Ldbms.Session.txn_state t.session with
+          | Some Ldbms.Txn.Active ->
+              (* connection lost with an uncommitted transaction open: the
+                 LDBMS aborts it autonomously, so re-execution is clean *)
+              ignore (Ldbms.Session.rollback t.session)
+          | Some _ | None ->
+              (* committed or prepared work may survive at the site *)
+              unsafe := true)
+      | Ok _ | Error _ -> ());
+      r)
+  in
+  (* when effects may already be durable at the site, a transport failure
+     leaves the local state genuinely unknown — report it as such, so the
+     caller does not treat it as a clean (presumed-abort) failure *)
+  match r with
+  | Error (Network m | Lost m) when !unsafe -> Error (In_doubt m)
+  | r -> r
 
 let last_relation results =
   List.fold_left
@@ -56,16 +159,20 @@ let last_relation results =
       match r with Ldbms.Session.Rows rel -> Some rel | _ -> acc)
     None results
 
-let round_trip t f =
-  guard_site (fun () ->
-      World.send t.world ~src:"mdbs" ~dst:(site t) ~bytes:ack_bytes;
-      let r = f () in
-      World.send t.world ~src:(site t) ~dst:"mdbs" ~bytes:ack_bytes;
-      match r with Ok () -> Ok () | Error m -> Error (Local m))
+(* 2PC verbs are idempotent at the session (prepare of a prepared
+   transaction, commit/rollback with no open transaction all succeed), so
+   a lost acknowledgement is retried blindly. *)
+let round_trip t ~op f =
+  with_retry t ~op ~classify:classify_io (fun () ->
+      guard_site (fun () ->
+          World.send t.world ~src:"mdbs" ~dst:(site t) ~bytes:ack_bytes;
+          let r = f () in
+          World.send t.world ~src:(site t) ~dst:"mdbs" ~bytes:ack_bytes;
+          match r with Ok () -> Ok () | Error m -> Error (Local m)))
 
-let prepare t = round_trip t (fun () -> Ldbms.Session.prepare t.session)
-let commit t = round_trip t (fun () -> Ldbms.Session.commit t.session)
-let rollback t = round_trip t (fun () -> Ldbms.Session.rollback t.session)
+let prepare t = round_trip t ~op:"prepare" (fun () -> Ldbms.Session.prepare t.session)
+let commit t = round_trip t ~op:"commit" (fun () -> Ldbms.Session.commit t.session)
+let rollback t = round_trip t ~op:"rollback" (fun () -> Ldbms.Session.rollback t.session)
 
 let fetch t query =
   match exec_script t query with
@@ -76,38 +183,49 @@ let fetch t query =
       | None -> Error (Local "query did not produce rows"))
 
 let transfer ~src ~dst ~query ~dest_table =
-  (* command goes engine -> src; data goes src -> dst directly *)
-  match
-    guard_site (fun () ->
-        World.send src.world ~src:"mdbs" ~dst:(site src)
-          ~bytes:(String.length query);
-        match Ldbms.Session.exec_sql src.session query with
-        | Ok (Ldbms.Session.Rows rel) -> Ok rel
-        | Ok _ -> Error (Local "MOVE query did not produce rows")
-        | Error m -> Error (Local m))
-  with
-  | Error f -> Error f
-  | Ok rel -> (
+  (* command goes engine -> src; data goes src -> dst directly. The source
+     query is a SELECT and the destination load replaces the table, so the
+     whole transfer is idempotent and retried as a unit. *)
+  with_retry src ~op:"transfer" ~classify:classify_local_aware (fun () ->
       match
         guard_site (fun () ->
-            World.send dst.world ~src:(site src) ~dst:(site dst)
-              ~bytes:(Sqlcore.Relation.size_bytes rel + ack_bytes);
-            Ok ())
+            World.send src.world ~src:"mdbs" ~dst:(site src)
+              ~bytes:(String.length query);
+            match Ldbms.Session.exec_sql src.session query with
+            | Ok (Ldbms.Session.Rows rel) -> Ok rel
+            | Ok _ -> Error (Local "MOVE query did not produce rows")
+            | Error m -> Error (Local m))
       with
       | Error f -> Error f
-      | Ok () ->
-          Ldbms.Database.load
-            dst.service.Service.database
-            ~name:dest_table
-            (Sqlcore.Relation.schema rel)
-            (Sqlcore.Relation.rows rel);
-          Ok (Sqlcore.Relation.cardinality rel))
+      | Ok rel -> (
+          match
+            guard_site (fun () ->
+                World.send dst.world ~src:(site src) ~dst:(site dst)
+                  ~bytes:(Sqlcore.Relation.size_bytes rel + ack_bytes);
+                Ok ())
+          with
+          | Error f -> Error f
+          | Ok () ->
+              Ldbms.Database.load
+                dst.service.Service.database
+                ~name:dest_table
+                (Sqlcore.Relation.schema rel)
+                (Sqlcore.Relation.rows rel);
+              Ok (Sqlcore.Relation.cardinality rel)))
 
 let disconnect t =
-  ignore (Ldbms.Session.rollback t.session);
-  match
-    guard_site (fun () ->
-        World.send t.world ~src:"mdbs" ~dst:(site t) ~bytes:ack_bytes;
-        Ok ())
-  with
-  | Ok () | Error _ -> ()
+  (* The LDBMS aborts an orphaned {e active} transaction when the session
+     goes away; a {e prepared} transaction must survive — the participant
+     promised to await the coordinator's decision, and unilaterally
+     rolling it back could contradict a commit verdict already logged.
+     Undecided prepared work is the engine's to settle (presumed abort). *)
+  (match Ldbms.Session.txn_state t.session with
+  | Some Ldbms.Txn.Active -> ignore (Ldbms.Session.rollback t.session)
+  | Some _ | None -> ());
+  if not (World.is_down t.world (site t)) then
+    match
+      guard_site (fun () ->
+          World.send t.world ~src:"mdbs" ~dst:(site t) ~bytes:ack_bytes;
+          Ok ())
+    with
+    | Ok () | Error _ -> ()

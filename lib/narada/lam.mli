@@ -4,35 +4,78 @@
 
     Every interaction charges the simulated network: commands travel
     engine→site, results site→engine, and relation transfers go directly
-    site→site as the paper allows LAMs to exchange data with each other. *)
+    site→site as the paper allows LAMs to exchange data with each other.
+
+    Every operation runs under the connection's {!Retry_policy}: transient
+    failures (site inside an outage window, lost message, deadlock-victim
+    abort) are retried with exponential backoff charged to the virtual
+    clock; a retry is attempted only when the local state is known safe
+    (command never delivered, or the LDBMS rolled the work back). *)
 
 type t
 
-val connect : Netsim.World.t -> Service.t -> t
+(** How an operation failed, after retries were exhausted or the failure
+    was terminal: [Local] failures are aborts raised by the database
+    itself (semantic errors, injected local failures) — the session has
+    rolled back; [Network] failures mean the site could not be reached;
+    [Lost] means a message vanished in transit. For [Network] and [Lost]
+    the local state is clean: the command never took effect, or the LDBMS
+    rolled the orphaned work back. [In_doubt] is the dangerous case —
+    effects may already be durable at the site (autocommit engine, or a
+    script that committed/prepared before the transport failed). *)
+type failure =
+  | Local of string
+  | Network of string
+  | Lost of string
+  | In_doubt of string
+
+type on_retry =
+  op:string -> attempt:int -> delay_ms:float -> reason:string -> unit
+
+val connect :
+  ?retry:Retry_policy.t ->
+  ?on_retry:on_retry ->
+  Netsim.World.t ->
+  Service.t ->
+  (t, failure) result
 (** Opens the service: establishes the session and charges a handshake
-    message. Raises {!Netsim.World.Site_down} if the site is unreachable. *)
+    message, retrying per [retry] (default {!Retry_policy.default}). The
+    policy and [on_retry] observer are remembered for all later
+    operations on this connection. Checks the service's failure injector
+    at [At_connect]. *)
+
+val connect_exn : Netsim.World.t -> Service.t -> t
+(** Single-attempt connect that raises [Failure] instead of returning a
+    result — convenience for tests and fixtures. *)
 
 val service : t -> Service.t
 val session : t -> Ldbms.Session.t
 val site : t -> string
 
-(** How an operation failed: [Local] failures are aborts raised by the
-    database itself (semantic errors, injected local failures) — the
-    session has rolled back; [Network] failures mean the site could not be
-    reached and nothing is known about the local state. *)
-type failure = Local of string | Network of string
-
 val failure_message : failure -> string
+
+val classify_io : failure -> Retry_policy.classification
+(** Transport failures retryable, every local abort terminal — the rule
+    for 2PC verbs. *)
+
+val classify_local_aware : failure -> Retry_policy.classification
+(** Like {!classify_io} but local failures marked transient by the LDBMS
+    (cf. {!Ldbms.Failure_injector.is_transient_message}) are also
+    retryable — the rule for statement execution. *)
 
 val exec_script : t -> string -> (Ldbms.Session.result list, failure) result
 (** Ship a SQL script to the LAM and execute it statement by statement.
-    Charges the command bytes out and the result bytes back. *)
+    Charges the command bytes out and the result bytes back. On a
+    connection loss after execution, the LDBMS aborts the orphaned active
+    transaction (making the retry sound); if effects may already be
+    durable (autocommit engine), the failure is terminal. *)
 
 val last_relation : Ldbms.Session.result list -> Sqlcore.Relation.t option
 (** The last [Rows] result of a script, if any. *)
 
 val prepare : t -> (unit, failure) result
-(** First phase of 2PC: one round trip. *)
+(** First phase of 2PC: one round trip. Idempotent, so lost
+    acknowledgements are retried blindly. *)
 
 val commit : t -> (unit, failure) result
 val rollback : t -> (unit, failure) result
@@ -44,8 +87,13 @@ val transfer : src:t -> dst:t -> query:string -> dest_table:string ->
   (int, failure) result
 (** Run [query] at [src] and materialize the result at [dst] under
     [dest_table] (replacing it), shipping the data directly between the
-    two sites. Returns the number of rows moved. *)
+    two sites. Returns the number of rows moved. Idempotent end to end,
+    retried as a unit under [src]'s policy. *)
 
 val disconnect : t -> unit
-(** Rolls back any open transaction and charges a goodbye message (best
-    effort: a down site is ignored). *)
+(** Close the session. An orphaned {e active} transaction is aborted by
+    the LDBMS itself; a {e prepared} transaction always survives at the
+    site — the participant awaits the coordinator's decision, so
+    undecided prepared work is the engine's to settle (presumed abort or
+    verdict replay). Charges a goodbye message when the site is
+    reachable. *)

@@ -1,0 +1,51 @@
+type verdict = Commit | Abort
+
+type entry = {
+  task : string;
+  alias : string;
+  lam : Lam.t;
+  mutable verdict : verdict option;
+  mutable resolved : bool;
+}
+
+type t = {
+  mutable entries : entry list;  (* oldest first *)
+  mutable groups : (verdict * string list) list;  (* decision order *)
+}
+
+let create () = { entries = []; groups = [] }
+let key = String.lowercase_ascii
+
+let record_prepared t ~task ~alias lam =
+  t.entries <-
+    t.entries
+    @ [ { task = key task; alias = key alias; lam; verdict = None; resolved = false } ]
+
+let find t task = List.find_opt (fun e -> e.task = key task) t.entries
+
+let record_decision t verdict tasks =
+  let named = List.map key tasks in
+  let members =
+    List.filter_map
+      (fun n ->
+        match find t n with
+        | Some e ->
+            e.verdict <- Some verdict;
+            Some n
+        | None -> None)
+      named
+  in
+  if members <> [] then t.groups <- t.groups @ [ (verdict, members) ]
+
+let mark_resolved t task =
+  match find t task with Some e -> e.resolved <- true | None -> ()
+
+let unresolved t =
+  List.filter (fun e -> e.verdict <> None && not e.resolved) t.entries
+
+let unresolved_for_alias t alias =
+  List.filter (fun e -> e.alias = key alias) (unresolved t)
+
+let groups t = t.groups
+
+let verdict_to_string = function Commit -> "commit" | Abort -> "abort"

@@ -1,0 +1,49 @@
+(** The coordinator's decision log for two-phase commit.
+
+    Every task that reaches the prepared-to-commit state [P] is recorded
+    here together with its connection; when the program issues the global
+    COMMIT/ABORT the verdict is logged {e before} the second phase runs.
+    A site that fails inside the second-phase window leaves a prepared
+    transaction stranded at the LDBMS — the in-doubt state — and this log
+    is exactly the information a recovery pass needs to drive it to the
+    logged verdict once the site answers again. *)
+
+type verdict = Commit | Abort
+
+type entry = {
+  task : string;  (** task name, lowercased *)
+  alias : string;  (** connection alias the task ran on *)
+  lam : Lam.t;
+      (** the connection — kept even past CLOSE so a stranded prepared
+          transaction remains resolvable, modelling the LDBMS's own
+          recovery manager holding it *)
+  mutable verdict : verdict option;  (** the global decision, once taken *)
+  mutable resolved : bool;  (** reached a definitive C/A *)
+}
+
+type t
+
+val create : unit -> t
+
+val record_prepared : t -> task:string -> alias:string -> Lam.t -> unit
+(** Log that [task] reached [P] on [alias]. *)
+
+val record_decision : t -> verdict -> string list -> unit
+(** Log the global verdict for the named tasks (a commit/abort group).
+    Tasks that never reached [P] are ignored. *)
+
+val mark_resolved : t -> string -> unit
+(** The task reached a definitive outcome (committed or rolled back). *)
+
+val find : t -> string -> entry option
+val unresolved : t -> entry list
+(** Entries with a verdict but no definitive outcome: the in-doubt set. *)
+
+val unresolved_for_alias : t -> string -> entry list
+
+val groups : t -> (verdict * string list) list
+(** Every logged decision with its member tasks, in decision order. Used
+    after recovery to detect a vital-set split: a commit group whose
+    members did not all reach [C]. *)
+
+val verdict_to_string : verdict -> string

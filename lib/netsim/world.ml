@@ -1,14 +1,29 @@
+(* An outage is a window of virtual time during which a site is
+   unreachable; [until_ms = infinity] models a permanent failure. Recovery
+   is implicit: the site answers again once the clock passes [until_ms]. *)
+type outage = { from_ms : float; until_ms : float }
+
+type loss = { prob : float; rng : Random.State.t }
+
 type t = {
   sites : (string, Site.t) Hashtbl.t;
-  down : (string, unit) Hashtbl.t;
+  outages : (string, outage list) Hashtbl.t;
   mutable clock_ms : float;
   stats : stats;
+  link_loss : (string * string, loss) Hashtbl.t;
+  mutable default_loss : loss option;
+  lose_next : (string * string, int) Hashtbl.t;  (* queued one-shot losses *)
 }
 
-and stats = { mutable messages : int; mutable bytes_moved : int }
+and stats = {
+  mutable messages : int;
+  mutable bytes_moved : int;
+  mutable lost : int;
+}
 
 exception Unknown_site of string
 exception Site_down of string
+exception Lost_message of string * string
 
 let key = String.lowercase_ascii
 
@@ -16,9 +31,12 @@ let create () =
   let t =
     {
       sites = Hashtbl.create 16;
-      down = Hashtbl.create 4;
+      outages = Hashtbl.create 4;
       clock_ms = 0.0;
-      stats = { messages = 0; bytes_moved = 0 };
+      stats = { messages = 0; bytes_moved = 0; lost = 0 };
+      link_loss = Hashtbl.create 4;
+      default_loss = None;
+      lose_next = Hashtbl.create 4;
     }
   in
   Hashtbl.replace t.sites (key "mdbs")
@@ -43,19 +61,105 @@ let stats t = t.stats
 
 let reset_stats t =
   t.stats.messages <- 0;
-  t.stats.bytes_moved <- 0
+  t.stats.bytes_moved <- 0;
+  t.stats.lost <- 0
+
+(* ---- failures ------------------------------------------------------------ *)
+
+let add_outage t name o =
+  ignore (find_site t name);
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.outages (key name)) in
+  Hashtbl.replace t.outages (key name) (o :: prev)
 
 let set_down t name down =
   ignore (find_site t name);
-  if down then Hashtbl.replace t.down (key name) ()
-  else Hashtbl.remove t.down (key name)
+  if down then
+    Hashtbl.replace t.outages (key name)
+      [ { from_ms = neg_infinity; until_ms = infinity } ]
+  else Hashtbl.remove t.outages (key name)
 
-let is_down t name = Hashtbl.mem t.down (key name)
+let set_down_until t name until_ms =
+  add_outage t name { from_ms = t.clock_ms; until_ms }
+
+let schedule_outage t name ~from_ms ~until_ms =
+  add_outage t name { from_ms; until_ms }
+
+let is_down t name =
+  match Hashtbl.find_opt t.outages (key name) with
+  | None -> false
+  | Some windows ->
+      (* prune windows the clock has passed so long runs stay cheap *)
+      let live = List.filter (fun o -> t.clock_ms < o.until_ms) windows in
+      if live = [] then Hashtbl.remove t.outages (key name)
+      else Hashtbl.replace t.outages (key name) live;
+      List.exists
+        (fun o -> o.from_ms <= t.clock_ms && t.clock_ms < o.until_ms)
+        live
+
+let next_recovery_ms t name =
+  match Hashtbl.find_opt t.outages (key name) with
+  | None -> None
+  | Some windows -> (
+      match
+        List.filter
+          (fun o -> o.from_ms <= t.clock_ms && t.clock_ms < o.until_ms)
+          windows
+      with
+      | [] -> None
+      | live ->
+          let u = List.fold_left (fun acc o -> max acc o.until_ms) neg_infinity live in
+          if u = infinity then Some infinity else Some u)
+
+let mk_loss ~seed ~prob = { prob; rng = Random.State.make [| seed |] }
+
+let set_loss t ~seed ~prob =
+  t.default_loss <- (if prob <= 0.0 then None else Some (mk_loss ~seed ~prob))
+
+let set_link_loss t ~src ~dst ~seed ~prob =
+  if prob <= 0.0 then Hashtbl.remove t.link_loss (key src, key dst)
+  else Hashtbl.replace t.link_loss (key src, key dst) (mk_loss ~seed ~prob)
+
+let lose_next t ~src ~dst =
+  let k = (key src, key dst) in
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.lose_next k) in
+  Hashtbl.replace t.lose_next k (n + 1)
+
+let clear_faults t =
+  Hashtbl.reset t.outages;
+  Hashtbl.reset t.link_loss;
+  Hashtbl.reset t.lose_next;
+  t.default_loss <- None
+
+(* one PRNG draw per loss source per message keeps chaos runs replayable:
+   the firing sequence is a pure function of the seed and the message
+   sequence, independent of wall time *)
+let message_lost t ~src ~dst =
+  let k = (key src, key dst) in
+  match Hashtbl.find_opt t.lose_next k with
+  | Some n ->
+      if n <= 1 then Hashtbl.remove t.lose_next k
+      else Hashtbl.replace t.lose_next k (n - 1);
+      true
+  | None -> (
+      match Hashtbl.find_opt t.link_loss k with
+      | Some l -> Random.State.float l.rng 1.0 < l.prob
+      | None -> (
+          match t.default_loss with
+          | Some l -> Random.State.float l.rng 1.0 < l.prob
+          | None -> false))
 
 let send t ~src ~dst ~bytes =
   let s = find_site t src and d = find_site t dst in
   if is_down t src then raise (Site_down src);
   if is_down t dst then raise (Site_down dst);
+  if message_lost t ~src ~dst then begin
+    (* the message left the wire and vanished: the sender still pays the
+       send cost (and will pay again to detect the loss via its retry
+       timeout), but nothing arrives *)
+    advance_ms t (Site.message_cost_ms s ~bytes);
+    t.stats.lost <- t.stats.lost + 1;
+    raise (Lost_message (src, dst))
+  end;
   advance_ms t (Site.message_cost_ms s ~bytes +. Site.message_cost_ms d ~bytes);
   t.stats.messages <- t.stats.messages + 1;
   t.stats.bytes_moved <- t.stats.bytes_moved + bytes

@@ -5,16 +5,34 @@
     this clock. {!parallel} models concurrent task execution: each branch
     starts from the same virtual instant and the clock ends at the latest
     branch finish — the quantity the paper says loosely coupled execution
-    should optimize (§4.3, §5). *)
+    should optimize (§4.3, §5).
+
+    Failures come in two flavours, both deterministic:
+    - {e outages}: windows of virtual time during which a site is
+      unreachable ({!Site_down}); recovery is implicit once the clock
+      passes the window's end, so transient failures need no callback.
+    - {e message loss}: individual messages dropped on a link
+      ({!Lost_message}), either queued one-shot or drawn from a seeded
+      PRNG, so chaos runs replay identically for the same seed. *)
 
 type t
 
 exception Unknown_site of string
+
 exception Site_down of string
+(** The named site is inside an outage window: nothing was delivered and
+    the destination did no work. *)
+
+exception Lost_message of string * string
+(** [Lost_message (src, dst)]: both sites are up but this particular
+    message vanished in transit. Unlike {!Site_down} the sender cannot
+    distinguish a slow reply from a lost one except by timeout — retry
+    policies treat both as transient. *)
 
 type stats = {
-  mutable messages : int;
+  mutable messages : int;   (** messages delivered *)
   mutable bytes_moved : int;
+  mutable lost : int;       (** messages dropped by loss injection *)
 }
 
 val create : unit -> t
@@ -32,14 +50,47 @@ val stats : t -> stats
 val reset_stats : t -> unit
 
 val set_down : t -> string -> bool -> unit
-(** Mark a site unreachable; messages to it raise {!Site_down}. *)
+(** [set_down t name true] marks the site permanently unreachable
+    (replacing any scheduled outages); [false] clears all outages. *)
+
+val set_down_until : t -> string -> float -> unit
+(** [set_down_until t name until_ms] starts a transient outage now; the
+    site recovers automatically when the virtual clock reaches
+    [until_ms]. *)
+
+val schedule_outage : t -> string -> from_ms:float -> until_ms:float -> unit
+(** Schedule an outage window at absolute virtual times, e.g. to take a
+    site down between a future prepare and commit. Windows may overlap. *)
 
 val is_down : t -> string -> bool
+(** Whether the site is inside an outage window at the current virtual
+    time. *)
+
+val next_recovery_ms : t -> string -> float option
+(** If the site is currently down, the virtual time at which it recovers
+    ([Some infinity] for a permanent outage); [None] if it is up. *)
+
+val set_loss : t -> seed:int -> prob:float -> unit
+(** Drop every message with probability [prob], drawn from a private PRNG
+    seeded with [seed] (links with a {!set_link_loss} entry use their own
+    source instead). [prob <= 0] clears the default loss. *)
+
+val set_link_loss : t -> src:string -> dst:string -> seed:int -> prob:float -> unit
+(** Per-link loss probability with its own seeded PRNG. *)
+
+val lose_next : t -> src:string -> dst:string -> unit
+(** Queue a one-shot loss: the next message on [src -> dst] vanishes.
+    Multiple calls stack. Takes precedence over probabilistic loss and
+    consumes no PRNG draw, so deterministic tests stay deterministic. *)
+
+val clear_faults : t -> unit
+(** Remove all outages, loss sources and queued losses. *)
 
 val send : t -> src:string -> dst:string -> bytes:int -> unit
 (** Charge one message from [src] to [dst]: advances the clock by both
     sites' message costs and updates the statistics. Raises
-    {!Unknown_site} or {!Site_down}. *)
+    {!Unknown_site}, {!Site_down} or {!Lost_message}; a lost message
+    charges the sender's cost only and counts in [stats.lost]. *)
 
 val parallel : t -> (unit -> 'a) list -> 'a list
 (** Run the thunks as logically concurrent branches: each starts at the

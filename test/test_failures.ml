@@ -1,0 +1,438 @@
+(* Fault tolerance: deterministic chaos in netsim, transient-vs-fatal
+   injection, retry/backoff under the virtual clock, and the engine's
+   in-doubt 2PC recovery (verdict replay, presumed abort, vital-split
+   compensation). *)
+
+open Sqlcore
+module World = Netsim.World
+module Inject = Ldbms.Failure_injector
+module D = Narada.Dol_ast
+module Engine = Narada.Engine
+module Lam = Narada.Lam
+module Policy = Narada.Retry_policy
+module Caps = Ldbms.Capabilities
+
+let status =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (D.status_to_string s))
+    (fun a b -> a = b)
+
+let value = Alcotest.testable Value.pp Value.equal
+let contains = Astring_contains.contains
+
+(* ---- netsim faults -------------------------------------------------------- *)
+
+let two_sites () =
+  let w = World.create () in
+  World.add_site w (Netsim.Site.make "alpha");
+  World.add_site w (Netsim.Site.make "beta");
+  w
+
+let test_down_until_recovers () =
+  let w = two_sites () in
+  World.set_down_until w "alpha" 50.0;
+  Alcotest.(check bool) "down now" true (World.is_down w "alpha");
+  (match World.next_recovery_ms w "alpha" with
+  | Some t -> Alcotest.(check (float 0.001)) "recovery instant" 50.0 t
+  | None -> Alcotest.fail "expected a scheduled recovery");
+  World.advance_ms w 50.0;
+  Alcotest.(check bool) "recovered at the instant" false
+    (World.is_down w "alpha");
+  (* the site answers again without any explicit clearing *)
+  World.send w ~src:"beta" ~dst:"alpha" ~bytes:10
+
+let test_scheduled_outage_window () =
+  let w = two_sites () in
+  World.schedule_outage w "alpha" ~from_ms:10.0 ~until_ms:20.0;
+  Alcotest.(check bool) "up before" false (World.is_down w "alpha");
+  World.advance_ms w 10.0;
+  Alcotest.(check bool) "down inside" true (World.is_down w "alpha");
+  World.advance_ms w 10.0;
+  Alcotest.(check bool) "up after" false (World.is_down w "alpha")
+
+let test_lose_next_is_one_shot () =
+  let w = two_sites () in
+  World.lose_next w ~src:"alpha" ~dst:"beta";
+  (match World.send w ~src:"alpha" ~dst:"beta" ~bytes:10 with
+  | () -> Alcotest.fail "expected Lost_message"
+  | exception World.Lost_message ("alpha", "beta") -> ()
+  | exception _ -> Alcotest.fail "wrong exception");
+  (* the queue is consumed: the resend goes through *)
+  World.send w ~src:"alpha" ~dst:"beta" ~bytes:10;
+  Alcotest.(check int) "one loss counted" 1 (World.stats w).World.lost;
+  (* the reverse direction was never affected *)
+  World.send w ~src:"beta" ~dst:"alpha" ~bytes:10
+
+let lost_pattern w n =
+  List.init n (fun _ ->
+      match World.send w ~src:"alpha" ~dst:"beta" ~bytes:8 with
+      | () -> false
+      | exception World.Lost_message _ -> true)
+
+let test_seeded_loss_is_deterministic () =
+  let w1 = two_sites () and w2 = two_sites () in
+  World.set_loss w1 ~seed:7 ~prob:0.5;
+  World.set_loss w2 ~seed:7 ~prob:0.5;
+  let p1 = lost_pattern w1 60 and p2 = lost_pattern w2 60 in
+  Alcotest.(check (list bool)) "same seed, same losses" p1 p2;
+  Alcotest.(check bool) "some lost" true (List.mem true p1);
+  Alcotest.(check bool) "some delivered" true (List.mem false p1);
+  (* a different seed gives a different pattern *)
+  let w3 = two_sites () in
+  World.set_loss w3 ~seed:8 ~prob:0.5;
+  Alcotest.(check bool) "different seed differs" false (lost_pattern w3 60 = p1)
+
+(* ---- failure injector ----------------------------------------------------- *)
+
+let kind_sequence inj n =
+  List.init n (fun _ ->
+      match Inject.fires_kind inj Inject.At_execute with
+      | None -> "-"
+      | Some Inject.Transient -> "t"
+      | Some Inject.Fatal -> "f")
+
+let test_set_random_deterministic () =
+  let i1 = Inject.create () and i2 = Inject.create () in
+  Inject.set_random ~kind:Inject.Transient i1 ~seed:11 ~prob:0.3;
+  Inject.set_random ~kind:Inject.Transient i2 ~seed:11 ~prob:0.3;
+  let s1 = kind_sequence i1 50 and s2 = kind_sequence i2 50 in
+  Alcotest.(check (list string)) "same seed, same firings" s1 s2;
+  Alcotest.(check bool) "fires transient" true (List.mem "t" s1);
+  Alcotest.(check bool) "never fatal" false (List.mem "f" s1)
+
+let test_transient_classification () =
+  Alcotest.(check bool) "marker recognized" true
+    (Inject.is_transient_message (Inject.transient_marker ^ " deadlock"));
+  Alcotest.(check bool) "plain abort is not" false
+    (Inject.is_transient_message "syntax error");
+  (match Lam.classify_local_aware (Lam.Local (Inject.transient_marker ^ " x")) with
+  | Policy.Retryable _ -> ()
+  | Policy.Terminal _ -> Alcotest.fail "transient local must be retryable");
+  (match Lam.classify_local_aware (Lam.Local "constraint violated") with
+  | Policy.Terminal _ -> ()
+  | Policy.Retryable _ -> Alcotest.fail "fatal local must be terminal");
+  match Lam.classify_io (Lam.Lost "msg") with
+  | Policy.Retryable _ -> ()
+  | Policy.Terminal _ -> Alcotest.fail "lost message must be retryable"
+
+(* ---- retry policy --------------------------------------------------------- *)
+
+let test_backoff_deterministic_and_bounded () =
+  let p = Policy.default in
+  List.iter
+    (fun attempt ->
+      let d1 = Policy.backoff_ms p ~key:"exec:site1" ~attempt in
+      let d2 = Policy.backoff_ms p ~key:"exec:site1" ~attempt in
+      Alcotest.(check (float 0.0)) "deterministic" d1 d2;
+      Alcotest.(check bool) "positive" true (d1 > 0.0);
+      Alcotest.(check bool) "within jittered cap" true
+        (d1 <= p.Policy.max_backoff_ms *. (1.0 +. p.Policy.jitter)))
+    [ 1; 2; 3; 4; 5 ];
+  (* distinct keys get distinct jitter *)
+  Alcotest.(check bool) "keys decorrelate" false
+    (Policy.backoff_ms p ~key:"a" ~attempt:1
+    = Policy.backoff_ms p ~key:"b" ~attempt:1)
+
+let flight_schema =
+  [ Schema.column "flnu" Ty.Int; Schema.column "source" Ty.Str;
+    Schema.column "rate" Ty.Float ]
+
+let mk_service w name site caps =
+  World.add_site w (Netsim.Site.make site);
+  let db = Ldbms.Database.create name in
+  Ldbms.Database.load db ~name:"flights" flight_schema
+    [ [| Value.Int 1; Value.Str "Houston"; Value.Float 100.0 |] ];
+  Narada.Service.make ~site ~caps db
+
+let test_retry_until_exhausted () =
+  let w = World.create () in
+  let svc = mk_service w "aero" "site1" Caps.ingres_like in
+  World.set_down w "site1" true;
+  let attempts = ref 0 in
+  let t0 = World.now_ms w in
+  (match
+     Lam.connect
+       ~on_retry:(fun ~op:_ ~attempt:_ ~delay_ms:_ ~reason:_ -> incr attempts)
+       w svc
+   with
+  | Ok _ -> Alcotest.fail "connect to a dead site must fail"
+  | Error (Lam.Network _) -> ()
+  | Error _ -> Alcotest.fail "expected a network failure");
+  Alcotest.(check int) "all retries spent"
+    (Policy.default.Policy.max_attempts - 1)
+    !attempts;
+  let spent = World.now_ms w -. t0 in
+  Alcotest.(check bool) "backoff charged to the clock" true (spent > 0.0);
+  Alcotest.(check bool) "within budget" true
+    (spent <= Policy.default.Policy.budget_ms)
+
+let test_transient_connect_refusal_retried () =
+  let w = World.create () in
+  let svc = mk_service w "aero" "site1" Caps.ingres_like in
+  Inject.fail_next ~kind:Inject.Transient svc.Narada.Service.injector
+    Inject.At_connect;
+  let attempts = ref 0 in
+  match
+    Lam.connect
+      ~on_retry:(fun ~op:_ ~attempt:_ ~delay_ms:_ ~reason:_ -> incr attempts)
+      w svc
+  with
+  | Ok _ -> Alcotest.(check int) "one retry" 1 !attempts
+  | Error f -> Alcotest.fail ("expected recovery, got " ^ Lam.failure_message f)
+
+(* ---- engine: retry, in-doubt recovery, splits ----------------------------- *)
+
+let setup () =
+  let world = World.create () in
+  let dir = Narada.Directory.create () in
+  let mk name site =
+    let svc = mk_service world name site Caps.ingres_like in
+    Narada.Directory.register dir svc;
+    svc.Narada.Service.database
+  in
+  let a = mk "aero" "site1" in
+  let b = mk "bravo" "site2" in
+  (world, dir, a, b)
+
+let rate db n =
+  let tbl = Ldbms.Database.find_table db "flights" in
+  match
+    List.find_opt
+      (fun r -> Value.equal r.(0) (Value.Int n))
+      (Ldbms.Table.rows tbl)
+  with
+  | Some r -> r.(2)
+  | None -> Value.Null
+
+(* a vital pair: both must prepare, then both commit; K1 undoes T1 *)
+let vital_pair = {|
+DOLBEGIN
+  OPEN aero AT site1 AS aa;
+  OPEN bravo AT site2 AS bb;
+  PARBEGIN
+    TASK T1 NOCOMMIT FOR aa { UPDATE flights SET rate = rate + 10 } ENDTASK;
+    TASK T2 NOCOMMIT FOR bb { UPDATE flights SET rate = rate + 10 } ENDTASK;
+  PAREND;
+  IF (T1=P) AND (T2=P) THEN
+  BEGIN COMMIT T1, T2; DOLSTATUS = 0; END;
+  ELSE
+  BEGIN
+    ABORT T1, T2;
+    IF (T1=C) THEN
+    BEGIN COMP K1 COMPENSATES T1 FOR aa { UPDATE flights SET rate = rate - 10 } ENDCOMP; END;
+    DOLSTATUS = 1;
+  END;
+  CLOSE aa bb;
+DOLEND
+|}
+
+(* the same program with no compensation anywhere *)
+let vital_pair_no_comp = {|
+DOLBEGIN
+  OPEN aero AT site1 AS aa;
+  OPEN bravo AT site2 AS bb;
+  PARBEGIN
+    TASK T1 NOCOMMIT FOR aa { UPDATE flights SET rate = rate + 10 } ENDTASK;
+    TASK T2 NOCOMMIT FOR bb { UPDATE flights SET rate = rate + 10 } ENDTASK;
+  PAREND;
+  IF (T1=P) AND (T2=P) THEN
+  BEGIN COMMIT T1, T2; DOLSTATUS = 0; END;
+  ELSE
+  BEGIN ABORT T1, T2; DOLSTATUS = 1; END;
+  CLOSE aa bb;
+DOLEND
+|}
+
+(* run [text], arming [trip] the first time a trace line contains [arm_on] —
+   the hook that lets a test place a fault precisely inside the 2PC window *)
+let run_armed ~world ~dir ?grace ~arm_on ~trip text =
+  let armed = ref false in
+  let on_event line =
+    if (not !armed) && contains line arm_on then begin
+      armed := true;
+      trip ()
+    end
+  in
+  match
+    Engine.run_text ~on_event ?recovery_grace_ms:grace ~directory:dir ~world
+      text
+  with
+  | Ok o ->
+      Alcotest.(check bool) "fault was armed" true !armed;
+      o
+  | Error m -> Alcotest.fail ("engine error: " ^ m)
+
+let test_lost_commit_message_retried () =
+  let world, dir, a, b = setup () in
+  let o =
+    run_armed ~world ~dir ~arm_on:"T2 -> P"
+      ~trip:(fun () -> World.lose_next world ~src:"mdbs" ~dst:"site2")
+      vital_pair
+  in
+  (* the commit decision message vanished once; the retry resent it *)
+  Alcotest.check status "t1 committed" D.C (Engine.status_of o "T1");
+  Alcotest.check status "t2 committed" D.C (Engine.status_of o "T2");
+  Alcotest.(check int) "dolstatus" 0 o.Engine.dolstatus;
+  Alcotest.(check bool) "retried" true (o.Engine.retries > 0);
+  Alcotest.(check int) "nothing left in doubt" 0 o.Engine.in_doubt;
+  Alcotest.check value "a updated" (Value.Float 110.0) (rate a 1);
+  Alcotest.check value "b updated" (Value.Float 110.0) (rate b 1)
+
+let test_in_doubt_recovers_to_commit () =
+  let world, dir, a, b = setup () in
+  let o =
+    run_armed ~world ~dir ~arm_on:"T2 -> P"
+      ~trip:(fun () ->
+        (* crash bravo's site for 100 ms: longer than the retry budget of a
+           single commit, shorter than the engine's recovery grace *)
+        World.set_down_until world "site2" (World.now_ms world +. 100.0))
+      vital_pair
+  in
+  Alcotest.check status "t1 committed" D.C (Engine.status_of o "T1");
+  Alcotest.check status "t2 recovered to C" D.C (Engine.status_of o "T2");
+  Alcotest.(check int) "recovered count" 1 o.Engine.recovered;
+  Alcotest.(check int) "nothing in doubt" 0 o.Engine.in_doubt;
+  Alcotest.(check bool) "no split" false o.Engine.vital_split;
+  Alcotest.check value "a updated" (Value.Float 110.0) (rate a 1);
+  Alcotest.check value "b updated" (Value.Float 110.0) (rate b 1)
+
+let test_permanent_failure_fires_comp () =
+  let world, dir, a, b = setup () in
+  let o =
+    run_armed ~world ~dir ~grace:200.0 ~arm_on:"T2 -> P"
+      ~trip:(fun () -> World.set_down world "site2" true)
+      vital_pair
+  in
+  (* T1 committed but T2 can never learn the verdict: the commit verdict
+     is revoked, the queued COMP (from the untaken ELSE branch) undoes T1,
+     and the group degrades to a clean abort *)
+  Alcotest.check status "t1 compensated" D.X (Engine.status_of o "T1");
+  Alcotest.check status "k1 ran" D.C (Engine.status_of o "K1");
+  Alcotest.check status "t2 presumed abort" D.A (Engine.status_of o "T2");
+  Alcotest.(check bool) "no split reported" false o.Engine.vital_split;
+  Alcotest.(check int) "t2 still in doubt at the site" 1 o.Engine.in_doubt;
+  Alcotest.check value "a undone" (Value.Float 100.0) (rate a 1);
+  (* bravo's prepared transaction is still open at the dead site; its
+     uncommitted update stays visible until the site recovers and rolls
+     it back per the (revoked) abort verdict *)
+  Alcotest.check value "b pending rollback" (Value.Float 110.0) (rate b 1)
+
+let test_permanent_failure_without_comp_is_split () =
+  let world, dir, a, _b = setup () in
+  let o =
+    run_armed ~world ~dir ~grace:200.0 ~arm_on:"T2 -> P"
+      ~trip:(fun () -> World.set_down world "site2" true)
+      vital_pair_no_comp
+  in
+  Alcotest.check status "t1 stays committed" D.C (Engine.status_of o "T1");
+  Alcotest.check status "t2 presumed abort" D.A (Engine.status_of o "T2");
+  Alcotest.(check bool) "vital split" true o.Engine.vital_split;
+  Alcotest.(check int) "in doubt" 1 o.Engine.in_doubt;
+  Alcotest.check value "a kept the update" (Value.Float 110.0) (rate a 1)
+
+let test_transient_exec_outage_aborts_cleanly () =
+  let world, dir, a, b = setup () in
+  (* bravo's site is down from the start and stays down past every retry:
+     the command never takes effect, so the vital pair aborts cleanly —
+     no exception escapes, no state is left unknown *)
+  World.set_down world "site2" true;
+  let o =
+    match
+      Engine.run_text ~directory:dir ~world vital_pair_no_comp
+    with
+    | Ok o -> o
+    | Error m -> Alcotest.fail ("engine error: " ^ m)
+  in
+  Alcotest.(check int) "dolstatus" 1 o.Engine.dolstatus;
+  Alcotest.check status "t1 aborted" D.A (Engine.status_of o "T1");
+  Alcotest.(check bool) "no split" false o.Engine.vital_split;
+  Alcotest.check value "a untouched" (Value.Float 100.0) (rate a 1);
+  Alcotest.check value "b untouched" (Value.Float 100.0) (rate b 1)
+
+(* both members compensable: a split can always be healed *)
+let vital_pair_both_comps = {|
+DOLBEGIN
+  OPEN aero AT site1 AS aa;
+  OPEN bravo AT site2 AS bb;
+  PARBEGIN
+    TASK T1 NOCOMMIT FOR aa { UPDATE flights SET rate = rate + 10 } ENDTASK;
+    TASK T2 NOCOMMIT FOR bb { UPDATE flights SET rate = rate + 10 } ENDTASK;
+  PAREND;
+  IF (T1=P) AND (T2=P) THEN
+  BEGIN COMMIT T1, T2; DOLSTATUS = 0; END;
+  ELSE
+  BEGIN
+    ABORT T1, T2;
+    IF (T1=C) THEN
+    BEGIN COMP K1 COMPENSATES T1 FOR aa { UPDATE flights SET rate = rate - 10 } ENDCOMP; END;
+    IF (T2=C) THEN
+    BEGIN COMP K2 COMPENSATES T2 FOR bb { UPDATE flights SET rate = rate - 10 } ENDCOMP; END;
+    DOLSTATUS = 1;
+  END;
+  CLOSE aa bb;
+DOLEND
+|}
+
+let test_message_loss_storm_still_consistent () =
+  (* under heavy seeded loss the outcome must be success or clean abort —
+     never a split — and replaying the seed gives the identical outcome *)
+  let run_with_seed seed =
+    let world, dir, a, b = setup () in
+    World.set_loss world ~seed ~prob:0.2;
+    match Engine.run_text ~directory:dir ~world vital_pair_both_comps with
+    | Error m -> Alcotest.fail ("engine error: " ^ m)
+    | Ok o ->
+        Alcotest.(check bool) "never split" false o.Engine.vital_split;
+        let both v = Value.equal (rate a 1) v && Value.equal (rate b 1) v in
+        Alcotest.(check bool) "atomic across sites" true
+          (both (Value.Float 110.0) || both (Value.Float 100.0));
+        (o.Engine.dolstatus, o.Engine.retries, Engine.status_of o "T1")
+  in
+  List.iter
+    (fun seed ->
+      let r1 = run_with_seed seed and r2 = run_with_seed seed in
+      Alcotest.(check bool) "deterministic replay" true (r1 = r2))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let () =
+  Alcotest.run "failures"
+    [
+      ( "netsim faults",
+        [
+          Alcotest.test_case "down-until recovers" `Quick test_down_until_recovers;
+          Alcotest.test_case "outage window" `Quick test_scheduled_outage_window;
+          Alcotest.test_case "lose-next one-shot" `Quick test_lose_next_is_one_shot;
+          Alcotest.test_case "seeded loss deterministic" `Quick
+            test_seeded_loss_is_deterministic;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "set_random deterministic" `Quick
+            test_set_random_deterministic;
+          Alcotest.test_case "transient classification" `Quick
+            test_transient_classification;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff deterministic" `Quick
+            test_backoff_deterministic_and_bounded;
+          Alcotest.test_case "budget exhausted" `Quick test_retry_until_exhausted;
+          Alcotest.test_case "transient connect retried" `Quick
+            test_transient_connect_refusal_retried;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "lost commit retried" `Quick
+            test_lost_commit_message_retried;
+          Alcotest.test_case "in-doubt recovers to C" `Quick
+            test_in_doubt_recovers_to_commit;
+          Alcotest.test_case "permanent failure fires COMP" `Quick
+            test_permanent_failure_fires_comp;
+          Alcotest.test_case "split without COMP" `Quick
+            test_permanent_failure_without_comp_is_split;
+          Alcotest.test_case "exec outage aborts cleanly" `Quick
+            test_transient_exec_outage_aborts_cleanly;
+          Alcotest.test_case "loss storm consistent" `Quick
+            test_message_loss_storm_still_consistent;
+        ] );
+    ]
