@@ -6,10 +6,16 @@ exception Error of string
 
 let err fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
+type semijoin = {
+  sj_col : string;
+  sj_probe : Sqlfront.Ast.select;
+}
+
 type shipped = {
   sdb : string;
   subquery : Sqlfront.Ast.select;
   tmp_table : string;
+  reduce : semijoin option;
 }
 
 type plan = {
@@ -101,7 +107,7 @@ let conjoin = function
 
 (* ---- decomposition ------------------------------------------------------ *)
 
-let decompose ~gselect ~grefs =
+let decompose ~semijoin ~gselect ~grefs =
   if grefs = [] then err "global query with empty FROM";
   (* unique labels *)
   let labels = List.map label grefs in
@@ -114,13 +120,20 @@ let decompose ~gselect ~grefs =
   let resolve = resolver grefs in
   let gref i = List.nth grefs i in
 
-  (* which columns of each reference does the query use? *)
+  (* which columns of each reference does the query use? Stored newest-first
+     with a membership set alongside, so recording stays O(1) per
+     occurrence; [used_cols] restores first-use order. *)
   let used : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let used_seen : (int * string, unit) Hashtbl.t = Hashtbl.create 32 in
   let record i name =
-    let cur = Option.value (Hashtbl.find_opt used i) ~default:[] in
-    if not (List.exists (Names.equal name) cur) then
-      Hashtbl.replace used i (cur @ [ name ])
+    let k = (i, Names.canon name) in
+    if not (Hashtbl.mem used_seen k) then begin
+      Hashtbl.add used_seen k ();
+      Hashtbl.replace used i
+        (name :: Option.value (Hashtbl.find_opt used i) ~default:[])
+    end
   in
+  let used_cols i = List.rev (Option.value (Hashtbl.find_opt used i) ~default:[]) in
   let collect_expr e = iter_cols (fun ?qualifier name -> record (resolve ?qualifier name) name) e in
   List.iter
     (function
@@ -197,6 +210,117 @@ let decompose ~gselect ~grefs =
   (* shipped subqueries for non-coordinator databases *)
   let tmp_name i = Printf.sprintf "msql_tmp_%d" i in
   let shipped_dbs = List.filter (fun db -> not (Names.equal db coordinator)) dbs in
+
+  (* ---- semijoin reduction (SDD-1 style) --------------------------------
+     A shipped subquery linked to a coordinator table by a cross-database
+     equi-join conjunct can be restricted, before it runs, to the distinct
+     join-key values present at the coordinator: strictly fewer bytes on
+     the wire whenever the key set is selective. Statically cost-gated with
+     the cardinalities the GDD recorded at IMPORT time: ship the keys only
+     when they cost less than the data they are expected to save (prior:
+     the reduction halves the shipped relation). No cardinality, no
+     reduction. *)
+  let col_width (g : Expand.global_ref) name =
+    match
+      List.find_opt
+        (fun (c : Schema.column) -> Names.equal c.Schema.name name)
+        g.Expand.gschema
+    with
+    | Some { Schema.ty = Sqlcore.Ty.Str; width; _ } -> Option.value width ~default:16
+    | Some { Schema.ty = Sqlcore.Ty.Bool; _ } -> 1
+    | Some _ | None -> 8
+  in
+  let semijoin_for db idxs =
+    if not semijoin then None
+    else
+      (* first cross-database equi-join conjunct linking [db] to a
+         coordinator table; [owned] pairs each conjunct with its owner and
+         cross-database conjuncts own None *)
+      let edge =
+        List.find_map
+          (fun (c, owner) ->
+            if owner <> None then None
+            else
+              match c with
+              | S.Binop
+                  ( S.Eq,
+                    S.Col { qualifier = qa; name = na },
+                    S.Col { qualifier = qb; name = nb } ) -> (
+                  let ia = resolve ?qualifier:qa na
+                  and ib = resolve ?qualifier:qb nb in
+                  let da = (gref ia).Expand.gdb
+                  and db_b = (gref ib).Expand.gdb in
+                  if Names.equal da db && Names.equal db_b coordinator then
+                    Some ((ia, na), (ib, nb))
+                  else if Names.equal db_b db && Names.equal da coordinator then
+                    Some ((ib, nb), (ia, na))
+                  else None)
+              | _ -> None)
+          owned
+      in
+      match edge with
+      | None -> None
+      | Some ((si, ship_col), (ci, coord_col)) -> (
+          let gc = gref ci in
+          let shipped_rows =
+            List.fold_left
+              (fun acc i ->
+                match acc, (gref i).Expand.gcard with
+                | Some a, Some c -> Some (a * c)
+                | _ -> None)
+              (Some 1) idxs
+          in
+          match gc.Expand.gcard, shipped_rows with
+          | Some coord_card, Some rows ->
+              let row_width =
+                List.fold_left
+                  (fun acc i ->
+                    let g = gref i in
+                    match used_cols i with
+                    | [] -> acc + 8
+                    | cols ->
+                        acc + List.fold_left (fun a c -> a + col_width g c) 0 cols)
+                  0 idxs
+              in
+              let key_bytes = coord_card * col_width gc coord_col in
+              if 2 * key_bytes >= rows * row_width then None
+              else begin
+                (* the probe also applies the coordinator-local conjuncts
+                   confined to the joined table, so selective coordinator
+                   predicates shrink the key set too *)
+                let probe_where =
+                  conjoin
+                    (List.filter_map
+                       (fun (c, owner) ->
+                         match owner with
+                         | Some d when Names.equal d coordinator -> (
+                             let only_ci = ref true in
+                             iter_cols
+                               (fun ?qualifier name ->
+                                 if resolve ?qualifier name <> ci then
+                                   only_ci := false)
+                               c;
+                             if !only_ci then Some c else None)
+                         | _ -> None)
+                       owned)
+                in
+                let probe =
+                  S.select ~distinct:true
+                    ~projections:
+                      [
+                        S.Proj_expr
+                          ( S.Col
+                              { qualifier = Some (label gc); name = coord_col },
+                            None );
+                      ]
+                    ~from:[ { S.table = gc.Expand.gtable; alias = gc.Expand.galias } ]
+                    ?where:probe_where ()
+                in
+                Some
+                  { sj_col = label (gref si) ^ "." ^ ship_col; sj_probe = probe }
+              end
+          | _ -> None)
+  in
   let shipped =
     List.mapi
       (fun k db ->
@@ -206,7 +330,7 @@ let decompose ~gselect ~grefs =
             (fun i ->
               let g = gref i in
               let l = label g in
-              match Option.value (Hashtbl.find_opt used i) ~default:[] with
+              match used_cols i with
               | [] ->
                   (* keep cardinality with a constant column *)
                   [ S.Proj_expr (S.Lit (Sqlcore.Value.Int 1), Some (l ^ "__one")) ]
@@ -239,6 +363,7 @@ let decompose ~gselect ~grefs =
           sdb = db;
           subquery = S.select ~projections ~from ?where ();
           tmp_table = tmp_name (k + 1);
+          reduce = semijoin_for db idxs;
         })
       shipped_dbs
   in
@@ -342,7 +467,12 @@ let pp_plan ppf p =
   List.iter
     (fun s ->
       Format.fprintf ppf "ship %s <- [%s] %s@\n" s.tmp_table s.sdb
-        (Sqlfront.Sql_pp.select_to_string s.subquery))
+        (Sqlfront.Sql_pp.select_to_string s.subquery);
+      match s.reduce with
+      | None -> ()
+      | Some sj ->
+          Format.fprintf ppf "  semijoin %s IN (%s)@\n" sj.sj_col
+            (Sqlfront.Sql_pp.select_to_string sj.sj_probe))
     p.shipped;
   Format.fprintf ppf "Q' @ %s: %s" p.coordinator
     (Sqlfront.Sql_pp.select_to_string p.modified)

@@ -19,10 +19,25 @@
 
 exception Error of string
 
+type semijoin = {
+  sj_col : string;
+      (** join column to restrict, qualified in the shipped subquery's
+          scope (e.g. [p.pid]) *)
+  sj_probe : Sqlfront.Ast.select;
+      (** [SELECT DISTINCT key FROM coord_table WHERE local_conjuncts],
+          to be evaluated at the coordinator just before the MOVE *)
+}
+
 type shipped = {
   sdb : string;  (** source database *)
   subquery : Sqlfront.Ast.select;  (** largest local subquery *)
   tmp_table : string;  (** temporary table name at the coordinator *)
+  reduce : semijoin option;
+      (** SDD-1-style semijoin reduction: restrict the shipped subquery to
+          the coordinator's distinct join-key values before moving it.
+          Present only when a cross-database equi-join conjunct links this
+          subquery to a coordinator table and the GDD's cardinalities say
+          the key set costs less than the bytes it is expected to save. *)
 }
 
 type plan = {
@@ -34,6 +49,12 @@ type plan = {
 }
 
 val decompose :
-  gselect:Sqlfront.Ast.select -> grefs:Expand.global_ref list -> plan
+  semijoin:bool ->
+  gselect:Sqlfront.Ast.select ->
+  grefs:Expand.global_ref list ->
+  plan
+(** [semijoin] enables the cost-gated semijoin reduction of shipped
+    subqueries; with it off every MOVE ships the full filtered
+    subrelation. *)
 
 val pp_plan : Format.formatter -> plan -> unit

@@ -20,6 +20,7 @@ type global_ref = {
   gtable : string;
   galias : string option;
   gschema : Sqlcore.Schema.t;
+  gcard : int option;
 }
 
 type expansion =
@@ -348,7 +349,14 @@ let resolve_global gdd (q : Ast.query) (sel : S.select) =
           err "patterns cannot be combined with database-qualified tables";
         let db = scope_db dbname in
         match Gdd.find_table gdd ~db table with
-        | Some schema -> { gdb = db; gtable = table; galias = r.S.alias; gschema = schema }
+        | Some schema ->
+            {
+              gdb = db;
+              gtable = table;
+              galias = r.S.alias;
+              gschema = schema;
+              gcard = Gdd.cardinality gdd ~db ~table;
+            }
         | None -> err "table %s not found in database %s" table db)
     | None -> (
         if Like.has_wildcard r.S.table then
@@ -362,7 +370,13 @@ let resolve_global gdd (q : Ast.query) (sel : S.select) =
         in
         match hits with
         | [ (db, schema) ] ->
-            { gdb = db; gtable = r.S.table; galias = r.S.alias; gschema = schema }
+            {
+              gdb = db;
+              gtable = r.S.table;
+              galias = r.S.alias;
+              gschema = schema;
+              gcard = Gdd.cardinality gdd ~db ~table:r.S.table;
+            }
         | [] -> err "table %s not found in any scope database" r.S.table
         | _ :: _ :: _ ->
             err "table %s exists in several scope databases; qualify it" r.S.table)

@@ -36,6 +36,9 @@ type global_ref = {
   gtable : string;
   galias : string option;  (** alias as written in the query *)
   gschema : Sqlcore.Schema.t;
+  gcard : int option;
+      (** row count recorded in the GDD at IMPORT time, when known; feeds
+          the decomposer's semijoin cost gate *)
 }
 
 type expansion =

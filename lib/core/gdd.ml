@@ -1,17 +1,21 @@
 module Names = Sqlcore.Names
 
-type t = (string, (string, string * Sqlcore.Schema.t) Hashtbl.t) Hashtbl.t
-(* db key -> (table key -> (display name, schema)) *)
+type t = {
+  schemas : (string, (string, string * Sqlcore.Schema.t) Hashtbl.t) Hashtbl.t;
+      (* db key -> (table key -> (display name, schema)) *)
+  cards : (string * string, int) Hashtbl.t;
+      (* (db key, table key) -> row count observed at IMPORT time *)
+}
 
-let create () = Hashtbl.create 16
+let create () = { schemas = Hashtbl.create 16; cards = Hashtbl.create 16 }
 let key = String.lowercase_ascii
 
 let db_tbl t db =
-  match Hashtbl.find_opt t (key db) with
+  match Hashtbl.find_opt t.schemas (key db) with
   | Some tbl -> tbl
   | None ->
       let tbl = Hashtbl.create 16 in
-      Hashtbl.replace t (key db) tbl;
+      Hashtbl.replace t.schemas (key db) tbl;
       tbl
 
 let import_table t ~db ~table schema =
@@ -37,22 +41,31 @@ let import_columns t ~db ~table schema columns =
 let import_database t ~db catalog =
   List.iter (fun (table, schema) -> import_table t ~db ~table schema) catalog
 
-let forget_database t db = Hashtbl.remove t (key db)
+let set_cardinality t ~db ~table n =
+  Hashtbl.replace t.cards (key db, key table) n
+
+let cardinality t ~db ~table = Hashtbl.find_opt t.cards (key db, key table)
+
+let forget_database t db =
+  Hashtbl.remove t.schemas (key db);
+  Hashtbl.iter
+    (fun ((dbk, _) as k) _ -> if String.equal dbk (key db) then Hashtbl.remove t.cards k)
+    (Hashtbl.copy t.cards)
 
 let databases t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.schemas [] |> List.sort String.compare
 
-let has_database t db = Hashtbl.mem t (key db)
+let has_database t db = Hashtbl.mem t.schemas (key db)
 
 let tables t ~db =
-  match Hashtbl.find_opt t (key db) with
+  match Hashtbl.find_opt t.schemas (key db) with
   | None -> []
   | Some tbl ->
       Hashtbl.fold (fun _ (name, schema) acc -> (name, schema) :: acc) tbl []
       |> List.sort (fun (a, _) (b, _) -> Names.compare a b)
 
 let find_table t ~db name =
-  match Hashtbl.find_opt t (key db) with
+  match Hashtbl.find_opt t.schemas (key db) with
   | None -> None
   | Some tbl -> Option.map snd (Hashtbl.find_opt tbl (key name))
 

@@ -21,7 +21,15 @@ val import_database : t -> db:string -> (string * Sqlcore.Schema.t) list -> unit
 (** Import a whole local conceptual schema (replaces prior definitions of
     the same tables but keeps others). *)
 
+val set_cardinality : t -> db:string -> table:string -> int -> unit
+(** Record the table's row count as observed at IMPORT time. Purely
+    statistical: consulted by the decomposer's semijoin cost gate, never by
+    name resolution. *)
+
+val cardinality : t -> db:string -> table:string -> int option
+
 val forget_database : t -> string -> unit
+(** Drops the database's tables and their cardinality statistics. *)
 
 val databases : t -> string list
 val has_database : t -> string -> bool

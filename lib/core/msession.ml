@@ -38,6 +38,7 @@ type t = {
   gdd : Gdd.t;
   mutable scope : Ast.use_item list;  (* current scope (USE CURRENT) *)
   mutable optimize : bool;
+  mutable semijoin : bool;
   mutable trace : (string -> unit) option;
   mutable retry : Narada.Retry_policy.t option;
       (* None -> the engine's default policy *)
@@ -58,6 +59,7 @@ let create ?world ?directory () =
     gdd = Gdd.create ();
     scope = [];
     optimize = false;
+    semijoin = true;
     trace = None;
     retry = None;
     last_outcome = None;
@@ -79,6 +81,8 @@ let triggers t =
 
 let trigger_log t = List.rev t.trigger_log
 let set_optimize t b = t.optimize <- b
+let set_semijoin t b = t.semijoin <- b
+let semijoin_enabled t = t.semijoin
 let set_trace t sink = t.trace <- sink
 let set_retry_policy t p = t.retry <- p
 let last_engine_outcome t = t.last_outcome
@@ -193,6 +197,14 @@ let import_stmt t (imp : Ast.import) =
         | Ast.Import_all ->
             Gdd.import_database t.gdd ~db:imp.Ast.imp_database
               (Ldbms.Database.catalog db);
+            List.iter
+              (fun (table, _) ->
+                match Ldbms.Database.find_table_opt db table with
+                | Some tbl ->
+                    Gdd.set_cardinality t.gdd ~db:imp.Ast.imp_database ~table
+                      (Ldbms.Table.cardinality tbl)
+                | None -> ())
+              (Ldbms.Database.catalog db);
             Ok ()
         | Ast.Import_table { itable; icolumns } -> (
             let schema_opt =
@@ -214,6 +226,14 @@ let import_stmt t (imp : Ast.import) =
                   (Printf.sprintf "table or view %s does not exist in database %s"
                      itable imp.Ast.imp_database)
             | Some schema -> (
+                (* record the row count alongside: the decomposer's
+                   semijoin cost gate runs on these statistics *)
+                (match Ldbms.Database.find_table_opt db itable with
+                | Some tbl ->
+                    Gdd.set_cardinality t.gdd ~db:imp.Ast.imp_database
+                      ~table:itable
+                      (Ldbms.Table.cardinality tbl)
+                | None -> ());
                 match icolumns with
                 | None ->
                     Gdd.import_table t.gdd ~db:imp.Ast.imp_database ~table:itable
@@ -292,7 +312,7 @@ let plan_of_query t (q : Ast.query) =
                  (List.map (fun (e : Expand.elementary) -> e.Expand.edb) elems)));
         Plangen.plan_replicated t.ad q elems
     | Expand.Global { gselect; grefs } ->
-        let dp = Decompose.decompose ~gselect ~grefs in
+        let dp = Decompose.decompose ~semijoin:t.semijoin ~gselect ~grefs in
         Log.debug (fun f ->
             f "decomposed global query: coordinator %s, %d shipped subqueries"
               dp.Decompose.coordinator
@@ -300,7 +320,7 @@ let plan_of_query t (q : Ast.query) =
         Plangen.plan_global t.ad q dp
     | Expand.Transfer { tdb; tuse; ttable; tcolumns; gselect; grefs } ->
         Plangen.plan_transfer t.ad ~tdb ~tuse ~ttable ~tcolumns
-          (Decompose.decompose ~gselect ~grefs))
+          (Decompose.decompose ~semijoin:t.semijoin ~gselect ~grefs))
 
 let run_query t (q : Ast.query) =
   let q = effective_scope t q in

@@ -95,6 +95,14 @@ val set_optimize : t -> bool -> unit
 
 val optimize_enabled : t -> bool
 
+val set_semijoin : t -> bool -> unit
+(** Enable the cost-gated semijoin reduction of shipped subqueries
+    (default: on). The gate only fires when the GDD has cardinalities for
+    the involved tables, recorded at IMPORT time; see
+    {!Decompose.decompose}. *)
+
+val semijoin_enabled : t -> bool
+
 val triggers : t -> (string * Ast.trigger_def) list
 (** Registered interdatabase triggers, in creation order. *)
 

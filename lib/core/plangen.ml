@@ -259,6 +259,12 @@ let plan_global ad (_q : Ast.query) (dp : Decompose.plan) =
             dst = Names.canon coord;
             dest_table = s.Decompose.tmp_table;
             query = Sql_pp.select_to_string s.Decompose.subquery;
+            reduce =
+              Option.map
+                (fun (sj : Decompose.semijoin) ->
+                  ( sj.Decompose.sj_col,
+                    Sql_pp.select_to_string sj.Decompose.sj_probe ))
+                s.Decompose.reduce;
           })
       dp.Decompose.shipped
   in
@@ -359,6 +365,12 @@ let plan_transfer ad ~tdb ~tuse ~ttable ~tcolumns (dp : Decompose.plan) =
                 dst = Names.canon coord;
                 dest_table = s.Decompose.tmp_table;
                 query = Sql_pp.select_to_string s.Decompose.subquery;
+                reduce =
+                  Option.map
+                    (fun (sj : Decompose.semijoin) ->
+                      ( sj.Decompose.sj_col,
+                        Sql_pp.select_to_string sj.Decompose.sj_probe ))
+                    s.Decompose.reduce;
               })
           dp.Decompose.shipped
       in
@@ -370,6 +382,7 @@ let plan_transfer ad ~tdb ~tuse ~ttable ~tcolumns (dp : Decompose.plan) =
             dst = Names.canon tdb;
             dest_table = "msql_xfer";
             query = Sql_pp.select_to_string dp.Decompose.modified;
+            reduce = None;
           }
       in
       let cleanup_coord =

@@ -72,23 +72,34 @@ let derived_name = function
    mutually recursive view definitions. *)
 let max_view_depth = 16
 
-let relation_of_from ~eval_select ~depth db (from : Ast.table_ref list) =
-  if from = [] then err "empty FROM clause";
-  let one (r : Ast.table_ref) =
-    let qualifier = Some (Option.value r.Ast.alias ~default:r.Ast.table) in
-    match Database.find_table_opt db r.Ast.table with
-    | Some tbl -> Relation.requalify qualifier (Table.to_relation tbl)
-    | None -> (
-        match Database.find_view_opt db r.Ast.table with
-        | Some q ->
-            if depth >= max_view_depth then
-              err "view expansion too deep (recursive views?) at %s" r.Ast.table
-            else Relation.requalify qualifier (eval_select q)
-        | None -> err "no such table: %s" r.Ast.table)
-  in
-  match List.map one from with
-  | [] -> assert false
-  | first :: rest -> List.fold_left Relation.product first rest
+type join_leaf = {
+  jl_label : string;
+  jl_rel : Relation.t;  (* requalified with the FROM label *)
+  jl_base : (Table.t * string) option;  (* base table + catalog name *)
+}
+
+let load_leaf ~eval_select ~depth db (r : Ast.table_ref) =
+  let label = Option.value r.Ast.alias ~default:r.Ast.table in
+  let qualifier = Some label in
+  match Database.find_table_opt db r.Ast.table with
+  | Some tbl ->
+      {
+        jl_label = label;
+        jl_rel = Relation.requalify qualifier (Table.to_relation tbl);
+        jl_base = Some (tbl, r.Ast.table);
+      }
+  | None -> (
+      match Database.find_view_opt db r.Ast.table with
+      | Some q ->
+          if depth >= max_view_depth then
+            err "view expansion too deep (recursive views?) at %s" r.Ast.table
+          else
+            {
+              jl_label = label;
+              jl_rel = Relation.requalify qualifier (eval_select q);
+              jl_base = None;
+            }
+      | None -> err "no such table: %s" r.Ast.table)
 
 (* ---- aggregates -------------------------------------------------------- *)
 
@@ -196,6 +207,215 @@ let indexed_scan db (s : Ast.select) =
                    (Relation.make schema (Table.lookup_eq tbl ~col v))))
   | _ -> None
 
+(* ---- physical join planner ---------------------------------------------- *)
+
+let use_join_planner = ref true
+let set_join_planner b = use_join_planner := b
+let join_planner_enabled () = !use_join_planner
+
+let rec expr_has_subquery = function
+  | Ast.Scalar_subquery _ | Ast.In_subquery _ | Ast.Exists _ -> true
+  | Ast.Lit _ | Ast.Col _ -> false
+  | Ast.Binop (_, a, b) -> expr_has_subquery a || expr_has_subquery b
+  | Ast.Unop (_, a) -> expr_has_subquery a
+  | Ast.Is_null { arg; _ } | Ast.Like { arg; _ } -> expr_has_subquery arg
+  | Ast.In_list { arg; items; _ } ->
+      expr_has_subquery arg || List.exists expr_has_subquery items
+  | Ast.Between { arg; lo; hi; _ } ->
+      expr_has_subquery arg || expr_has_subquery lo || expr_has_subquery hi
+  | Ast.Agg { arg; _ } -> Option.fold ~none:false ~some:expr_has_subquery arg
+
+let rec iter_plain_cols f = function
+  | Ast.Col { qualifier; name } -> f ?qualifier name
+  | Ast.Lit _ -> ()
+  | Ast.Binop (_, a, b) ->
+      iter_plain_cols f a;
+      iter_plain_cols f b
+  | Ast.Unop (_, a) -> iter_plain_cols f a
+  | Ast.Is_null { arg; _ } | Ast.Like { arg; _ } -> iter_plain_cols f arg
+  | Ast.In_list { arg; items; _ } ->
+      iter_plain_cols f arg;
+      List.iter (iter_plain_cols f) items
+  | Ast.Between { arg; lo; hi; _ } ->
+      iter_plain_cols f arg;
+      iter_plain_cols f lo;
+      iter_plain_cols f hi
+  | Ast.Agg { arg; _ } -> Option.iter (iter_plain_cols f) arg
+  | Ast.Scalar_subquery _ | Ast.In_subquery _ | Ast.Exists _ -> ()
+
+(* the leaf (and column position within it) a column occurrence denotes *)
+let resolve_over_leaves leaves ?qualifier name =
+  let hits =
+    List.concat
+      (List.mapi
+         (fun i l ->
+           let label_ok =
+             match qualifier with
+             | Some q -> Sqlcore.Names.equal l.jl_label q
+             | None -> true
+           in
+           if not label_ok then []
+           else
+             match Schema.find_index (Relation.schema l.jl_rel) name with
+             | Some c -> [ (i, c) ]
+             | None -> [])
+         leaves)
+  in
+  match hits with [ h ] -> `One h | [] -> `None | _ :: _ :: _ -> `Many
+
+(* hash-join keys compare Int and Float numerically, so classing them
+   together is exact; everything else joins only within its own class *)
+let ty_class = function
+  | Ty.Int | Ty.Float -> `Num
+  | Ty.Str -> `Str
+  | Ty.Bool -> `Bool
+
+(* align a probe value with the representation the lookup index stores for
+   the column (index keys are exact literals) *)
+let probe_value col_ty v =
+  match v, col_ty with
+  | Value.Int i, Ty.Float -> Value.Float (float_of_int i)
+  | Value.Float f, Ty.Int when Float.is_integer f -> Value.Int (int_of_float f)
+  | _ -> v
+
+(* Plan a multi-leaf FROM clause: extract top-level equi-join conjuncts
+   from WHERE, order the joins greedily by cardinality, and execute them as
+   hash joins — or an index nested-loop when the joined table declares an
+   index on its join column — producting only across genuinely unconnected
+   components. Returns None (caller falls back to the Cartesian product)
+   when no equi-join conjunct exists or when some column occurrence cannot
+   be pinned to exactly one leaf, so naming errors surface exactly as they
+   would on the product path. The caller re-applies the complete WHERE
+   clause afterwards: planning is purely physical and the result set is
+   identical to filtering the product. *)
+let plan_join_input db leaves (where : Ast.expr) =
+  let n = List.length leaves in
+  let leaf = Array.of_list leaves in
+  let conjs = where_conjuncts where in
+  let resolvable = ref true in
+  List.iter
+    (fun c ->
+      if not (expr_has_subquery c) then
+        iter_plain_cols
+          (fun ?qualifier name ->
+            match resolve_over_leaves leaves ?qualifier name with
+            | `One _ -> ()
+            | `None | `Many -> resolvable := false)
+          c)
+    conjs;
+  if not !resolvable then None
+  else begin
+    let col_def l c = List.nth (Relation.schema leaf.(l).jl_rel) c in
+    let edges =
+      List.filter_map
+        (function
+          | Ast.Binop
+              ( Ast.Eq,
+                Ast.Col { qualifier = qa; name = na },
+                Ast.Col { qualifier = qb; name = nb } ) -> (
+              match
+                ( resolve_over_leaves leaves ?qualifier:qa na,
+                  resolve_over_leaves leaves ?qualifier:qb nb )
+              with
+              | `One (la, ca), `One (lb, cb)
+                when la <> lb
+                     && ty_class (col_def la ca).Schema.ty
+                        = ty_class (col_def lb cb).Schema.ty ->
+                  Some ((la, ca), (lb, cb))
+              | _ -> None)
+          | _ -> None)
+        conjs
+    in
+    if edges = [] then None
+    else begin
+      let card i = Relation.cardinality leaf.(i).jl_rel in
+      let connected i =
+        List.exists (fun ((a, _), (b, _)) -> a = i || b = i) edges
+      in
+      let offsets = Array.make n (-1) in
+      let cheapest = function
+        | [] -> invalid_arg "cheapest: empty"
+        | j0 :: rest ->
+            List.fold_left (fun b j -> if card j < card b then j else b) j0 rest
+      in
+      let start =
+        cheapest (List.filter connected (List.init n Fun.id))
+      in
+      offsets.(start) <- 0;
+      let acc = ref leaf.(start).jl_rel in
+      let remaining = ref (List.filter (fun i -> i <> start) (List.init n Fun.id)) in
+      while !remaining <> [] do
+        (* join conjuncts linking the placed prefix to candidate [j], as
+           (column offset in the accumulator, column in the candidate) *)
+        let touching j =
+          List.filter_map
+            (fun ((a, ca), (b, cb)) ->
+              if offsets.(a) >= 0 && b = j then Some (offsets.(a) + ca, cb)
+              else if offsets.(b) >= 0 && a = j then Some (offsets.(b) + cb, ca)
+              else None)
+            edges
+        in
+        let next, keys =
+          match List.filter (fun j -> touching j <> []) !remaining with
+          | [] ->
+              (* disconnected component: cross join the cheapest remaining *)
+              (cheapest !remaining, [])
+          | candidates ->
+              let j = cheapest candidates in
+              (j, touching j)
+        in
+        let jl = leaf.(next) in
+        let joined =
+          match keys with
+          | [] -> Relation.product !acc jl.jl_rel
+          | (off, col) :: _ -> (
+              let indexed =
+                match jl.jl_base with
+                | Some (tbl, tname) ->
+                    let cd = col_def next col in
+                    if Database.has_index db ~table:tname ~column:cd.Schema.name
+                    then Some (tbl, cd.Schema.ty)
+                    else None
+                | None -> None
+              in
+              match indexed with
+              | Some (tbl, col_ty) ->
+                  let out_schema =
+                    Relation.schema !acc @ Relation.schema jl.jl_rel
+                  in
+                  let out =
+                    List.concat_map
+                      (fun ra ->
+                        List.map
+                          (fun rb -> Row.append ra rb)
+                          (Table.lookup_eq tbl ~col
+                             (probe_value col_ty (Row.get ra off))))
+                      (Relation.rows !acc)
+                  in
+                  Relation.make out_schema out
+              | None -> Relation.hash_join !acc jl.jl_rel ~keys)
+        in
+        offsets.(next) <- Schema.arity (Relation.schema !acc);
+        acc := joined;
+        remaining := List.filter (fun j -> j <> next) !remaining
+      done;
+      (* restore FROM-clause column order *)
+      let total_schema =
+        List.concat_map (fun l -> Relation.schema l.jl_rel) leaves
+      in
+      let idxs =
+        List.concat
+          (List.mapi
+             (fun i l ->
+               List.init
+                 (Schema.arity (Relation.schema l.jl_rel))
+                 (fun k -> offsets.(i) + k))
+             leaves)
+      in
+      Some (Relation.project !acc idxs total_schema)
+    end
+  end
+
 (* ---- SELECT ------------------------------------------------------------ *)
 
 let rec run_select db ?outer (s : Ast.select) : Relation.t =
@@ -208,10 +428,27 @@ and select_unwrapped ~depth db ?outer (s : Ast.select) =
   let input =
     match indexed_scan db s with
     | Some rel -> rel
-    | None ->
-        relation_of_from
-          ~eval_select:(fun q -> select_unwrapped ~depth:(depth + 1) db q)
-          ~depth db s.Ast.from
+    | None -> (
+        if s.Ast.from = [] then err "empty FROM clause";
+        let leaves =
+          List.map
+            (load_leaf
+               ~eval_select:(fun q -> select_unwrapped ~depth:(depth + 1) db q)
+               ~depth db)
+            s.Ast.from
+        in
+        let product () =
+          match leaves with
+          | [] -> assert false
+          | l0 :: rest ->
+              List.fold_left (fun acc l -> Relation.product acc l.jl_rel) l0.jl_rel rest
+        in
+        match leaves, s.Ast.where with
+        | _ :: _ :: _, Some pred when join_planner_enabled () -> (
+            match plan_join_input db leaves pred with
+            | Some rel -> rel
+            | None -> product ())
+        | _ -> product ())
   in
   let schema = Relation.schema input in
   let mkenv row = { (Eval.env schema row) with Eval.outer } in

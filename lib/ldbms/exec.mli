@@ -7,6 +7,15 @@
 exception Error of string
 (** Semantic error: unknown table/column, ambiguity, type error. *)
 
+val set_join_planner : bool -> unit
+(** Enable/disable the physical join planner (hash joins and index
+    nested-loop over equi-join conjuncts). On by default; disabling falls
+    back to the Cartesian-product-then-filter pipeline. The result rows are
+    identical either way — the toggle exists for differential testing and
+    benchmarking. *)
+
+val join_planner_enabled : unit -> bool
+
 val run_select :
   Database.t -> ?outer:Eval.env -> Sqlfront.Ast.select -> Sqlcore.Relation.t
 

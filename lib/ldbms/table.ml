@@ -1,32 +1,54 @@
+(* Rows are stored newest-first so insertion is O(1) (bulk loads via
+   [Database.load] insert row by row); the forward, insertion-order view is
+   memoized and rebuilt only after a mutation. *)
 type t = {
   name : string;
   schema : Sqlcore.Schema.t;
-  mutable rows : Sqlcore.Row.t list;  (* newest last *)
+  mutable rev_rows : Sqlcore.Row.t list;  (* newest first *)
+  mutable fwd : Sqlcore.Row.t list option;  (* memoized insertion order *)
   mutable version : int;
   (* lazy equality-lookup cache: column -> (version built at, hash map) *)
   lookup_cache : (int, int * (string, Sqlcore.Row.t list) Hashtbl.t) Hashtbl.t;
 }
 
 let create ~name schema =
-  { name; schema; rows = []; version = 0; lookup_cache = Hashtbl.create 4 }
+  {
+    name;
+    schema;
+    rev_rows = [];
+    fwd = Some [];
+    version = 0;
+    lookup_cache = Hashtbl.create 4;
+  }
+
 let name t = t.name
 let schema t = t.schema
-let rows t = t.rows
-let cardinality t = List.length t.rows
+
+let rows t =
+  match t.fwd with
+  | Some r -> r
+  | None ->
+      let r = List.rev t.rev_rows in
+      t.fwd <- Some r;
+      r
+
+let cardinality t = List.length t.rev_rows
 let touch t = t.version <- t.version + 1
 
 let set_rows t rows =
-  t.rows <- rows;
+  t.rev_rows <- List.rev rows;
+  t.fwd <- Some rows;
   touch t
 
 let insert t row =
   if Array.length row <> Sqlcore.Schema.arity t.schema then
     invalid_arg (Printf.sprintf "Table.insert(%s): arity mismatch" t.name);
-  t.rows <- t.rows @ [ row ];
+  t.rev_rows <- row :: t.rev_rows;
+  t.fwd <- None;
   touch t
 
-let to_relation t = Sqlcore.Relation.make t.schema t.rows
-let copy t = { t with rows = t.rows; lookup_cache = Hashtbl.create 4 }
+let to_relation t = Sqlcore.Relation.make t.schema (rows t)
+let copy t = { t with rev_rows = t.rev_rows; lookup_cache = Hashtbl.create 4 }
 
 let version t = t.version
 
@@ -37,13 +59,13 @@ let lookup_eq t ~col v =
       match Hashtbl.find_opt t.lookup_cache col with
       | Some (built_at, map) when built_at = t.version -> map
       | Some _ | None ->
-          let map = Hashtbl.create (List.length t.rows) in
+          let map = Hashtbl.create (max 16 (cardinality t)) in
           List.iter
             (fun row ->
               let key = Sqlcore.Value.to_literal row.(col) in
               let prev = Option.value (Hashtbl.find_opt map key) ~default:[] in
               Hashtbl.replace map key (row :: prev))
-            t.rows;
+            (rows t);
           Hashtbl.replace t.lookup_cache col (t.version, map);
           map
     in

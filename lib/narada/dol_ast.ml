@@ -29,6 +29,9 @@ type stmt =
       dst : string;
       dest_table : string;
       query : string;
+      reduce : (string * string) option;
+          (* semijoin reduction: (column in the query's scope, probe SQL
+             run at [dst] whose distinct values restrict the column) *)
     }
   | Set_status of int
 

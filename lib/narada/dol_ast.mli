@@ -50,6 +50,11 @@ type stmt =
       dst : string;
       dest_table : string;
       query : string;
+      reduce : (string * string) option;
+          (** semijoin reduction: [(col, probe)] where [probe] is a SQL
+              query evaluated at [dst] and the MOVE's query is restricted
+              to [col IN (distinct probe values)] before shipping.
+              Syntax: [SEMIJOIN { col } PROBE { probe }] before ENDMOVE. *)
     }
   | Set_status of int  (** [DOLSTATUS = n] *)
 

@@ -161,8 +161,16 @@ let rec parse_stmt st =
     expect_kw st "table";
     let dest_table = ident st in
     let query = block st in
+    let reduce =
+      if accept_kw st "semijoin" then begin
+        let col = String.trim (block st) in
+        expect_kw st "probe";
+        Some (col, block st)
+      end
+      else None
+    in
     expect_kw st "endmove";
-    Move { mname; src; dst; dest_table; query }
+    Move { mname; src; dst; dest_table; query; reduce }
   end
   else if accept_kw st "dolstatus" then begin
     expect_sym st "=";

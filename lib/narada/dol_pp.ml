@@ -44,9 +44,13 @@ let rec emit_stmt buf indent stmt =
         target;
       line "  { %s }" commands;
       line "ENDCOMP;"
-  | Move { mname; src; dst; dest_table; query } ->
+  | Move { mname; src; dst; dest_table; query; reduce } ->
       line "MOVE %s FROM %s TO %s TABLE %s" mname src dst dest_table;
       line "  { %s }" query;
+      (match reduce with
+      | None -> ()
+      | Some (col, probe) ->
+          line "  SEMIJOIN { %s } PROBE { %s }" col probe);
       line "ENDMOVE;"
   | Set_status n -> line "DOLSTATUS = %d; -- return code" n
 

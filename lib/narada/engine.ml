@@ -221,12 +221,12 @@ let exec_comp st ~cname ~compensates ~target ~commands =
   | Unavailable _ -> set_status st cname E
   | Available lam -> exec_comp_on st ~cname ~compensates lam commands
 
-let exec_move st ~mname ~src ~dst ~dest_table ~query =
+let exec_move st ~mname ~src ~dst ~dest_table ~query ~reduce =
   declare st mname src;
   match conn_of st src, conn_of st dst with
   | Unavailable _, _ | _, Unavailable _ -> set_status st mname E
   | Available src_lam, Available dst_lam -> (
-      match Lam.transfer ~src:src_lam ~dst:dst_lam ~query ~dest_table with
+      match Lam.transfer ~reduce ~src:src_lam ~dst:dst_lam ~query ~dest_table with
       | Ok _ -> set_status st mname C
       | Error f -> set_status st mname (fail_status f))
 
@@ -491,8 +491,8 @@ let rec exec_stmt st = function
       List.iter (abort_task st) names
   | Comp { cname; compensates; target; commands } ->
       exec_comp st ~cname ~compensates ~target ~commands
-  | Move { mname; src; dst; dest_table; query } ->
-      exec_move st ~mname ~src ~dst ~dest_table ~query
+  | Move { mname; src; dst; dest_table; query; reduce } ->
+      exec_move st ~mname ~src ~dst ~dest_table ~query ~reduce
   | Set_status n ->
       emit st "DOLSTATUS = %d" n;
       st.dolstatus <- n

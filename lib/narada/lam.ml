@@ -182,7 +182,66 @@ let fetch t query =
       | Some rel -> Ok rel
       | None -> Error (Local "query did not produce rows"))
 
-let transfer ~src ~dst ~query ~dest_table =
+(* Restrict [query] to rows whose [col] is among [keys]: parse, conjoin an
+   IN list onto the WHERE clause, print back. An empty key set means no
+   source row can join, so the restriction becomes a contradiction and the
+   source ships nothing but the (empty) relation's schema. *)
+let restrict_query ~col keys query =
+  let module A = Sqlfront.Ast in
+  match Sqlfront.Parser.parse_select query with
+  | exception _ -> query
+  | sel ->
+      let col_expr =
+        match String.index_opt col '.' with
+        | Some i ->
+            A.Col
+              {
+                qualifier = Some (String.sub col 0 i);
+                name = String.sub col (i + 1) (String.length col - i - 1);
+              }
+        | None -> A.Col { qualifier = None; name = col }
+      in
+      let restriction =
+        match keys with
+        | [] -> A.Binop (A.Eq, A.lit_int 0, A.lit_int 1)
+        | ks ->
+            A.In_list
+              {
+                arg = col_expr;
+                items = List.map (fun v -> A.Lit v) ks;
+                negated = false;
+              }
+      in
+      let where =
+        match sel.A.where with
+        | None -> Some restriction
+        | Some w -> Some (A.Binop (A.And, w, restriction))
+      in
+      Sqlfront.Sql_pp.select_to_string { sel with A.where }
+
+let transfer ~reduce ~src ~dst ~query ~dest_table =
+  (* Semijoin reduction: fetch the distinct join-key values from the
+     destination (the coordinator already holds its side of the join) and
+     rewrite the shipped query's WHERE with them. The probe's cost — query
+     to [dst], key set back — is charged to the network like any fetch, so
+     the bytes_moved ledger reflects the real SDD-1 tradeoff. Best-effort:
+     if the probe fails, the MOVE proceeds unreduced. *)
+  let query =
+    match reduce with
+    | None -> query
+    | Some (col, probe) -> (
+        match fetch dst probe with
+        | Error _ -> query
+        | Ok rel ->
+            let keys =
+              List.filter_map
+                (fun row ->
+                  let v = Sqlcore.Row.get row 0 in
+                  if Sqlcore.Value.is_null v then None else Some v)
+                (Sqlcore.Relation.rows rel)
+            in
+            restrict_query ~col keys query)
+  in
   (* command goes engine -> src; data goes src -> dst directly. The source
      query is a SELECT and the destination load replaces the table, so the
      whole transfer is idempotent and retried as a unit. *)

@@ -83,12 +83,24 @@ val rollback : t -> (unit, failure) result
 val fetch : t -> string -> (Sqlcore.Relation.t, failure) result
 (** Execute a SELECT and return its result (command out, data back). *)
 
-val transfer : src:t -> dst:t -> query:string -> dest_table:string ->
+val transfer :
+  reduce:(string * string) option ->
+  src:t ->
+  dst:t ->
+  query:string ->
+  dest_table:string ->
   (int, failure) result
 (** Run [query] at [src] and materialize the result at [dst] under
     [dest_table] (replacing it), shipping the data directly between the
     two sites. Returns the number of rows moved. Idempotent end to end,
-    retried as a unit under [src]'s policy. *)
+    retried as a unit under [src]'s policy.
+
+    [reduce = (col, probe)] applies a semijoin reduction first: [probe] is
+    evaluated at [dst], and [query] is rewritten with
+    [col IN (distinct probe values)] (a contradiction when the key set is
+    empty) before being shipped to [src]. The probe's round trip is
+    charged to the network, so the reduction pays for its keys. If the
+    probe fails the transfer proceeds unreduced. *)
 
 val disconnect : t -> unit
 (** Close the session. An orphaned {e active} transaction is aborted by

@@ -1,4 +1,16 @@
-type t = { schema : Schema.t; rows : Row.t list }
+(* Rows are held newest-first in [rev_rows] so that {!add_row} is O(1); the
+   forward (insertion-order) view is memoized in [fwd] the first time it is
+   asked for. [size_memo] caches {!size_bytes}, which the network simulator
+   recomputes on every send otherwise. *)
+type t = {
+  schema : Schema.t;
+  rev_rows : Row.t list;
+  mutable fwd : Row.t list option;
+  mutable size_memo : int;  (* -1 = not yet computed *)
+}
+
+let mk ?fwd ?(size = -1) schema rev_rows =
+  { schema; rev_rows; fwd; size_memo = size }
 
 let make schema rows =
   let arity = Schema.arity schema in
@@ -9,38 +21,54 @@ let make schema rows =
           (Printf.sprintf "Relation.make: row arity %d, schema arity %d"
              (Array.length r) arity))
     rows;
-  { schema; rows }
+  mk ~fwd:rows schema (List.rev rows)
 
-let empty schema = { schema; rows = [] }
+let empty schema = mk ~fwd:[] schema []
 let schema t = t.schema
-let rows t = t.rows
-let cardinality t = List.length t.rows
-let is_empty t = t.rows = []
+
+let rows t =
+  match t.fwd with
+  | Some r -> r
+  | None ->
+      let r = List.rev t.rev_rows in
+      t.fwd <- Some r;
+      r
+
+let cardinality t = List.length t.rev_rows
+let is_empty t = t.rev_rows = []
 
 let size_bytes t =
-  List.fold_left (fun acc r -> acc + Row.size_bytes r) 0 t.rows
+  if t.size_memo >= 0 then t.size_memo
+  else begin
+    let n = List.fold_left (fun acc r -> acc + Row.size_bytes r) 0 t.rev_rows in
+    t.size_memo <- n;
+    n
+  end
 
 let equal a b =
   Schema.equal a.schema b.schema
-  && List.length a.rows = List.length b.rows
-  && List.for_all2 Row.equal a.rows b.rows
+  && List.length a.rev_rows = List.length b.rev_rows
+  && List.for_all2 Row.equal a.rev_rows b.rev_rows
 
 let equal_unordered a b =
   Schema.equal a.schema b.schema
-  && List.length a.rows = List.length b.rows
+  && List.length a.rev_rows = List.length b.rev_rows
   &&
   let sort rows = List.sort Row.compare rows in
-  List.for_all2 Row.equal (sort a.rows) (sort b.rows)
+  List.for_all2 Row.equal (sort a.rev_rows) (sort b.rev_rows)
 
 let add_row t row =
   if Array.length row <> Schema.arity t.schema then
     invalid_arg "Relation.add_row: arity mismatch";
-  { t with rows = t.rows @ [ row ] }
+  let size =
+    if t.size_memo >= 0 then t.size_memo + Row.size_bytes row else -1
+  in
+  mk ~size t.schema (row :: t.rev_rows)
 
-let filter p t = { t with rows = List.filter p t.rows }
-let map_rows f schema t = make schema (List.map f t.rows)
-
-let project t idxs schema = make schema (List.map (Row.project idxs) t.rows)
+(* filtering the reversed list keeps relative order within it *)
+let filter p t = mk t.schema (List.filter p t.rev_rows)
+let map_rows f schema t = make schema (List.map f (rows t))
+let project t idxs schema = make schema (List.map (Row.project idxs) (rows t))
 
 let distinct t =
   let seen = Hashtbl.create 64 in
@@ -52,21 +80,73 @@ let distinct t =
       true
     end
   in
-  { t with rows = List.filter keep t.rows }
+  (* first occurrence wins, so walk in forward order *)
+  make t.schema (List.filter keep (rows t))
 
 let union a b =
   if not (Schema.union_compatible a.schema b.schema) then
     invalid_arg "Relation.union: schemas not union-compatible";
-  { schema = a.schema; rows = a.rows @ b.rows }
+  mk a.schema (b.rev_rows @ a.rev_rows)
 
 let product a b =
   let schema = a.schema @ b.schema in
+  let brows = rows b in
   let rows =
-    List.concat_map (fun ra -> List.map (fun rb -> Row.append ra rb) b.rows) a.rows
+    List.concat_map (fun ra -> List.map (fun rb -> Row.append ra rb) brows) (rows a)
   in
-  { schema; rows }
+  make schema rows
 
-let order_by cmp t = { t with rows = List.stable_sort cmp t.rows }
+(* ---- hash join ----------------------------------------------------------- *)
+
+(* Join keys are class-prefixed strings so values of distinct classes never
+   collide; Int and Float share the numeric class because SQL equality
+   compares them numerically. NULL has no key: NULL = x is never true. *)
+let join_key_of_value = function
+  | Value.Null -> None
+  | Value.Int i -> Some ("n" ^ string_of_float (float_of_int i))
+  | Value.Float f -> Some ("n" ^ string_of_float f)
+  | Value.Str s -> Some ("s" ^ s)
+  | Value.Bool true -> Some "bt"
+  | Value.Bool false -> Some "bf"
+
+let join_key row idxs =
+  let rec go acc = function
+    | [] -> Some (String.concat "\x00" (List.rev acc))
+    | i :: rest -> (
+        match join_key_of_value (Row.get row i) with
+        | None -> None
+        | Some k -> go (k :: acc) rest)
+  in
+  go [] idxs
+
+let hash_join a b ~keys =
+  let ka = List.map fst keys and kb = List.map snd keys in
+  let schema = a.schema @ b.schema in
+  let tbl = Hashtbl.create (max 16 (cardinality b)) in
+  List.iter
+    (fun rb ->
+      match join_key rb kb with
+      | None -> ()
+      | Some k ->
+          Hashtbl.replace tbl k
+            (rb :: Option.value (Hashtbl.find_opt tbl k) ~default:[]))
+    (rows b);
+  (* probe in [a] order and emit matches in [b] order, reproducing the order
+     of the equivalent filtered product *)
+  let out =
+    List.concat_map
+      (fun ra ->
+        match join_key ra ka with
+        | None -> []
+        | Some k -> (
+            match Hashtbl.find_opt tbl k with
+            | None -> []
+            | Some rbs -> List.rev_map (fun rb -> Row.append ra rb) rbs))
+      (rows a)
+  in
+  make schema out
+
+let order_by cmp t = mk ~size:t.size_memo t.schema (List.rev (List.stable_sort cmp (rows t)))
 
 let limit n t =
   let rec take n = function
@@ -74,13 +154,13 @@ let limit n t =
     | _ when n <= 0 -> []
     | x :: rest -> x :: take (n - 1) rest
   in
-  { t with rows = take n t.rows }
+  make t.schema (take n (rows t))
 
 let requalify q t = { t with schema = Schema.requalify q t.schema }
 
 let pp ppf t =
   let headers = Schema.names t.schema in
-  let cells = List.map (fun r -> List.map Value.to_string (Row.to_list r)) t.rows in
+  let cells = List.map (fun r -> List.map Value.to_string (Row.to_list r)) (rows t) in
   let widths =
     List.mapi
       (fun i h ->

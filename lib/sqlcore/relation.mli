@@ -15,7 +15,10 @@ val schema : t -> Schema.t
 val rows : t -> Row.t list
 val cardinality : t -> int
 val is_empty : t -> bool
+
 val size_bytes : t -> int
+(** Approximate wire size of the relation's rows. Memoized per relation:
+    repeated calls (one per simulated network send) are O(1). *)
 
 val equal : t -> t -> bool
 (** Schema equality (names/types) and row-list equality in order. *)
@@ -37,6 +40,15 @@ val union : t -> t -> t
 
 val product : t -> t -> t
 (** Cartesian product; schemas are concatenated. *)
+
+val hash_join : t -> t -> keys:(int * int) list -> t
+(** [hash_join a b ~keys] is [product a b] restricted to rows where field
+    [ia] of the [a]-row equals field [ib] of the [b]-row for every
+    [(ia, ib)] in [keys], computed with a hash table on [b] in one pass per
+    side. Equality is SQL-flavoured: [Int]/[Float] compare numerically and
+    NULL keys never match. Row order matches the equivalent filtered
+    product. [keys] must be non-empty for the call to be meaningful (an
+    empty list degenerates to the full product). *)
 
 val order_by : (Row.t -> Row.t -> int) -> t -> t
 (** Stable sort. *)

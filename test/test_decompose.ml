@@ -20,7 +20,7 @@ let gdd () =
 
 let plan_of sql =
   match E.expand (gdd ()) (Msql.Mparser.parse_query sql) with
-  | E.Global { gselect; grefs } -> Dc.decompose ~gselect ~grefs
+  | E.Global { gselect; grefs } -> Dc.decompose ~semijoin:true ~gselect ~grefs
   | E.Replicated _ | E.Transfer _ -> Alcotest.fail "expected global query"
 
 let select_str s = Sqlfront.Sql_pp.select_to_string s
@@ -122,7 +122,7 @@ let test_ambiguous_column_rejected () =
          (Msql.Mparser.parse_query
             "USE avis national SELECT code FROM avis.cars, national.cars2")
      with
-    | E.Global { gselect; grefs } -> Dc.decompose ~gselect ~grefs
+    | E.Global { gselect; grefs } -> Dc.decompose ~semijoin:true ~gselect ~grefs
     | E.Replicated _ | E.Transfer _ -> Alcotest.fail "expected global")
   with
   | exception Dc.Error _ -> ()

@@ -1,0 +1,217 @@
+(* Differential testing of the join machinery: the decomposed global
+   pipeline (with and without semijoin reduction) against the same query
+   run on a single merged local database, and the hash-join planner
+   against the naive filtered product — over a matrix of selectivities
+   and data seeds. Any divergence is a planner or reducer bug, since all
+   paths must produce the same multiset of rows. *)
+open Sqlcore
+module M = Msql.Msession
+module Caps = Ldbms.Capabilities
+
+let col = Schema.column
+let s x = Value.Str x
+let i x = Value.Int x
+let f x = Value.Float x
+
+let parts_schema =
+  [ col "pid" Ty.Int; col ~width:16 "pname" Ty.Str; col "price" Ty.Float ]
+
+let sales_schema =
+  [ col "sid" Ty.Int; col "part_id" Ty.Int; col "qty" Ty.Int ]
+
+(* deterministic synthetic data: prices uniform in [0,100), sale keys
+   drawn from twice the pid range so roughly half the sales dangle *)
+let gen_data ~seed ~n_parts ~n_sales =
+  let rng = Random.State.make [| seed |] in
+  let parts =
+    List.init n_parts (fun k ->
+        [| i k; s (Printf.sprintf "part%d" k); f (Random.State.float rng 100.0) |])
+  in
+  let sales =
+    List.init n_sales (fun k ->
+        [| i k; i (Random.State.int rng (2 * n_parts));
+           i (1 + Random.State.int rng 9) |])
+  in
+  (parts, sales)
+
+(* two-site federation: market(sales) and store(parts), fully imported so
+   the GDD has the cardinalities the semijoin cost gate reads *)
+let make_fed ~parts ~sales =
+  let world = Netsim.World.create () in
+  let directory = Narada.Directory.create () in
+  let session = M.create ~world ~directory () in
+  List.iter
+    (fun (name, site, tname, schema, rows) ->
+      Netsim.World.add_site world (Netsim.Site.make site);
+      let db = Ldbms.Database.create name in
+      Ldbms.Database.load db ~name:tname schema rows;
+      Narada.Directory.register directory
+        (Narada.Service.make ~site ~caps:Caps.ingres_like db);
+      (match M.incorporate_auto session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      match M.import_all session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    [
+      ("market", "msite", "sales", sales_schema, sales);
+      ("store", "ssite", "parts", parts_schema, parts);
+    ];
+  (session, world)
+
+let merged_session ~parts ~sales =
+  let db = Ldbms.Database.create "merged" in
+  Ldbms.Database.load db ~name:"parts" parts_schema parts;
+  Ldbms.Database.load db ~name:"sales" sales_schema sales;
+  Ldbms.Session.connect db Caps.ingres_like
+
+let local_rows session sql =
+  match Ldbms.Session.exec_sql session sql with
+  | Ok (Ldbms.Session.Rows rel) -> rel
+  | Ok _ -> Alcotest.fail "local query did not produce rows"
+  | Error m -> Alcotest.fail ("local query: " ^ m)
+
+let global_rows session sql =
+  match M.exec session sql with
+  | Ok (M.Multitable mt) -> Option.get (Msql.Multitable.flatten mt)
+  | Ok r -> Alcotest.fail ("expected rows, got " ^ M.result_to_string r)
+  | Error m -> Alcotest.fail ("global query: " ^ m)
+
+(* ---- decomposed pipeline vs merged local database ------------------- *)
+
+let global_query ~cutoff ~extra =
+  Printf.sprintf
+    "USE market store SELECT s.sid, p.pname, s.qty FROM market.sales s, \
+     store.parts p WHERE s.part_id = p.pid AND p.price < %f%s"
+    cutoff extra
+
+let local_query ~cutoff ~extra =
+  Printf.sprintf
+    "SELECT s.sid, p.pname, s.qty FROM sales s, parts p WHERE s.part_id = \
+     p.pid AND p.price < %f%s"
+    cutoff extra
+
+let check_case ~seed ~cutoff ~extra ~semijoin =
+  let parts, sales = gen_data ~seed ~n_parts:60 ~n_sales:90 in
+  let session, _world = make_fed ~parts ~sales in
+  M.set_semijoin session semijoin;
+  let got = global_rows session (global_query ~cutoff ~extra) in
+  let want =
+    local_rows (merged_session ~parts ~sales) (local_query ~cutoff ~extra)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "seed=%d cutoff=%.0f extra=%S semijoin=%b" seed cutoff
+       extra semijoin)
+    true
+    (Relation.equal_unordered got want)
+
+let test_matrix () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun cutoff ->
+          List.iter
+            (fun semijoin ->
+              check_case ~seed ~cutoff ~extra:"" ~semijoin;
+              (* a coordinator-local conjunct feeds the probe's WHERE *)
+              check_case ~seed ~cutoff ~extra:" AND s.qty > 5" ~semijoin)
+            [ true; false ])
+        [ 10.0; 50.0; 90.0 ])
+    [ 1; 2; 3 ]
+
+(* empty key set: no sale references any part, so the reduced subquery is
+   a contradiction and the temporary arrives empty — result still [] *)
+let test_empty_keyset () =
+  let parts = [ [| i 1; s "a"; f 5.0 |]; [| i 2; s "b"; f 6.0 |] ] in
+  let sales = [ [| i 1; i 99; i 3 |] ] in
+  let session, _ = make_fed ~parts ~sales in
+  M.set_semijoin session true;
+  let got = global_rows session (global_query ~cutoff:100.0 ~extra:"") in
+  Alcotest.(check int) "no rows" 0 (Relation.cardinality got)
+
+(* at a selective probe, the reduction must ship strictly fewer bytes
+   than the unreduced decomposition even after paying for the key set *)
+let test_semijoin_saves_bytes () =
+  let parts, sales = gen_data ~seed:7 ~n_parts:200 ~n_sales:30 in
+  let run semijoin =
+    let session, world = make_fed ~parts ~sales in
+    M.set_semijoin session semijoin;
+    Netsim.World.reset_stats world;
+    let rel = global_rows session (global_query ~cutoff:90.0 ~extra:"") in
+    (rel, (Netsim.World.stats world).Netsim.World.bytes_moved)
+  in
+  let reduced, bytes_on = run true in
+  let full, bytes_off = run false in
+  Alcotest.(check bool) "same rows" true (Relation.equal_unordered reduced full);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer bytes (%d < %d)" bytes_on bytes_off)
+    true (bytes_on < bytes_off)
+
+(* ---- hash-join planner vs naive product ----------------------------- *)
+
+let rows_with_planner session enabled sql =
+  Ldbms.Exec.set_join_planner enabled;
+  Fun.protect
+    ~finally:(fun () -> Ldbms.Exec.set_join_planner true)
+    (fun () -> Relation.rows (local_rows session sql))
+
+(* the planner must reproduce the filtered product's exact multiset of
+   rows — duplicates included. Row order is not part of the contract
+   (ORDER BY is), and the greedy join ordering does permute it. *)
+let check_planner_identical session sql =
+  let fast = rows_with_planner session true sql in
+  let slow = rows_with_planner session false sql in
+  Alcotest.(check int) (sql ^ ": cardinality") (List.length slow)
+    (List.length fast);
+  let sort = List.sort Row.compare in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) (sql ^ ": rows") true (Row.equal a b))
+    (sort slow) (sort fast)
+
+let planner_queries =
+  [
+    local_query ~cutoff:50.0 ~extra:"";
+    local_query ~cutoff:90.0 ~extra:" AND s.qty > 5";
+    (* three-way join: two equi-edges chain all leaves together *)
+    "SELECT p.pid, q.pname, s.qty FROM sales s, parts p, parts q WHERE \
+     s.part_id = p.pid AND p.pid = q.pid AND q.price < 50.0";
+    (* join on a float column against an int column: numeric classes mix *)
+    "SELECT s.sid FROM sales s, parts p WHERE s.part_id = p.price";
+    (* no equi-conjunct at all: planner must fall back to the product *)
+    "SELECT s.sid, p.pid FROM sales s, parts p WHERE s.part_id < p.pid";
+  ]
+
+let test_planner_matches_product () =
+  List.iter
+    (fun seed ->
+      let parts, sales = gen_data ~seed ~n_parts:40 ~n_sales:60 in
+      let session = merged_session ~parts ~sales in
+      List.iter (check_planner_identical session) planner_queries)
+    [ 11; 12; 13 ]
+
+(* same matrix with a declared index on the join column, so the planner
+   takes the index-nested-loop path instead of building a hash table *)
+let test_inl_matches_product () =
+  let parts, sales = gen_data ~seed:21 ~n_parts:40 ~n_sales:60 in
+  let session = merged_session ~parts ~sales in
+  (match Ldbms.Session.exec_sql session "CREATE INDEX by_pid ON parts (pid)" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  List.iter (check_planner_identical session) planner_queries
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "global vs merged",
+        [
+          Alcotest.test_case "matrix" `Quick test_matrix;
+          Alcotest.test_case "empty key set" `Quick test_empty_keyset;
+          Alcotest.test_case "semijoin saves bytes" `Quick
+            test_semijoin_saves_bytes;
+        ] );
+      ( "planner vs product",
+        [
+          Alcotest.test_case "hash join" `Quick test_planner_matches_product;
+          Alcotest.test_case "index nested loop" `Quick test_inl_matches_product;
+        ] );
+    ]

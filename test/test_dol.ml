@@ -404,7 +404,7 @@ let gen_program =
             (fun (s, d) b ->
               D.Move
                 { mname = fresh "m"; src = s; dst = d; dest_table = "tmp";
-                  query = b })
+                  query = b; reduce = None })
             (pair ident ident) block );
         (1, map (fun i -> D.Set_status i) (int_bound 9));
       ]

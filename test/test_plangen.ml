@@ -22,7 +22,7 @@ let rec find_tasks = function
 (* projections of inline-record constructors *)
 let rec find_moves = function
   | [] -> []
-  | D.Move { mname; src; dst; dest_table; query } :: rest ->
+  | D.Move { mname; src; dst; dest_table; query; _ } :: rest ->
       (mname, src, dst, dest_table, query) :: find_moves rest
   | D.Parallel inner :: rest -> find_moves inner @ find_moves rest
   | D.If (_, a, b) :: rest -> find_moves a @ find_moves b @ find_moves rest
