@@ -355,9 +355,166 @@ let p9_join_scaling () =
       { jrows = n; hash_ns; product_ns })
     [ 200; 1000; 5000 ]
 
+(* ---- P10: session reuse layer ablation ------------------------------------ *)
+
+(* A long-lived session executing a Zipf-skewed mix of repeated global
+   joins over three sites — the workload the session performance layer is
+   built for. Each ablation turns on one more reuse mechanism (connection
+   pool, compiled-plan cache, shipped-result cache) and replays the exact
+   same statement sequence. *)
+
+type p10_row = {
+  p10_config : string;
+  p10_sps : float;  (* statements per wall-clock second *)
+  p10_virt_ms : float;
+  p10_bytes : int;
+  p10_msgs : int;
+  p10_pool_hits : int;
+  p10_plan_hits : int;
+  p10_result_hits : int;
+}
+
+(* three sites: a small hub of sales orders plus two large catalogues; the
+   hub owns the first reference of every query, so it coordinates and the
+   big relations are what ships *)
+let p10_setup ~rows =
+  let world = Netsim.World.create () in
+  let directory = Narada.Directory.create () in
+  let session = M.create ~world ~directory () in
+  let col = Schema.column in
+  let catalogue_schema =
+    [ col "rid" Ty.Int; col ~width:40 "rname" Ty.Str; col "price" Ty.Float ]
+  in
+  let catalogue n =
+    List.init rows (fun i ->
+        [| Value.Int i;
+           Value.Str (Printf.sprintf "%s-%05d-with-a-long-catalogue-entry" n i);
+           Value.Float (float_of_int ((i * 13) mod 100)) |])
+  in
+  let hub = Ldbms.Database.create "hub" in
+  Ldbms.Database.load hub ~name:"sales"
+    [ col "sid" Ty.Int; col "part_id" Ty.Int; col "qty" Ty.Int ]
+    (List.init (max 8 (rows / 32)) (fun i ->
+         [| Value.Int i; Value.Int ((i * 7) mod rows); Value.Int (1 + (i mod 9)) |]));
+  let depot = Ldbms.Database.create "depot" in
+  Ldbms.Database.load depot ~name:"parts" catalogue_schema (catalogue "part");
+  let mill = Ldbms.Database.create "mill" in
+  Ldbms.Database.load mill ~name:"supplies" catalogue_schema (catalogue "sup");
+  List.iter
+    (fun (site, db) ->
+      Netsim.World.add_site world (Netsim.Site.make site);
+      Narada.Directory.register directory
+        (Narada.Service.make ~site ~caps:Ldbms.Capabilities.ingres_like db);
+      let name = Ldbms.Database.name db in
+      (match M.incorporate_auto session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      match M.import_all session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    [ ("h1", hub); ("d2", depot); ("m3", mill) ];
+  (session, world)
+
+(* the statement mix: 20 distinct templates, half against each catalogue,
+   drawn Zipf-fashion so a handful of statements dominate the stream *)
+let p10_template i =
+  let db, table = if i mod 2 = 0 then ("depot", "parts") else ("mill", "supplies") in
+  Printf.sprintf
+    "USE hub %s SELECT s.sid, r.rname, s.qty FROM hub.sales s, %s.%s r \
+     WHERE s.part_id = r.rid AND r.price < %d"
+    db db table
+    (5 * ((i / 2) + 1))
+
+let p10_mix ~seed ~k ~n =
+  let s = 1.1 in
+  let weights = Array.init k (fun i -> 1.0 /. ((float_of_int (i + 1)) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cum = Array.make k 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cum.(i) <- !acc)
+    weights;
+  let rng = Random.State.make [| seed |] in
+  List.init n (fun _ ->
+      let u = Random.State.float rng 1.0 in
+      let rec find i = if i >= k - 1 || cum.(i) >= u then i else find (i + 1) in
+      find 0)
+
+let p10_run ~rows ~n ~config ~pool ~plan ~result =
+  let session, world = p10_setup ~rows in
+  M.set_pooling session pool;
+  M.set_plan_cache session plan;
+  M.set_result_cache session result;
+  let mix = p10_mix ~seed:42 ~k:20 ~n in
+  Netsim.World.reset_stats world;
+  Netsim.World.reset_clock world;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun i ->
+      match M.exec session (p10_template i) with
+      | Ok (M.Multitable _) -> ()
+      | Ok r -> failwith ("P10: unexpected result " ^ M.result_to_string r)
+      | Error m -> failwith ("P10: " ^ m))
+    mix;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let st = Netsim.World.stats world in
+  let cs = M.cache_stats session in
+  {
+    p10_config = config;
+    p10_sps = float_of_int n /. wall_s;
+    p10_virt_ms = Netsim.World.now_ms world;
+    p10_bytes = st.Netsim.World.bytes_moved;
+    p10_msgs = st.Netsim.World.messages;
+    p10_pool_hits = cs.M.pool_hits;
+    p10_plan_hits = cs.M.plan_hits;
+    p10_result_hits = cs.M.result_hits;
+  }
+
+let p10_session_reuse ?(rows = 6000) ?(n = 150) () =
+  header
+    "P10: session reuse ablation (Zipf statement mix, 3 sites, same sequence)";
+  Printf.printf "%-22s %12s %12s %10s %7s %6s %6s %6s\n" "config" "stmts/s"
+    "virt ms" "bytes" "msgs" "pool" "plan" "rslt";
+  List.map
+    (fun (config, pool, plan, result) ->
+      let r = p10_run ~rows ~n ~config ~pool ~plan ~result in
+      Printf.printf "%-22s %12.1f %12.2f %10d %7d %6d %6d %6d\n" r.p10_config
+        r.p10_sps r.p10_virt_ms r.p10_bytes r.p10_msgs r.p10_pool_hits
+        r.p10_plan_hits r.p10_result_hits;
+      r)
+    [
+      ("all-off", false, false, false);
+      ("pool", true, false, false);
+      ("pool+plan", true, true, false);
+      ("pool+plan+result", true, true, true);
+    ]
+
+(* the reuse layer must never cost traffic: the fully enabled session has
+   to move strictly fewer bytes and messages than the cold baseline for
+   the identical statement stream — checked in CI before the numbers are
+   published *)
+let p10_assert_smoke p10 =
+  let find c = List.find (fun r -> String.equal r.p10_config c) p10 in
+  let cold = find "all-off" and hot = find "pool+plan+result" in
+  if hot.p10_bytes >= cold.p10_bytes then begin
+    Printf.eprintf "P10 smoke FAILED: %d bytes with caches vs %d cold\n"
+      hot.p10_bytes cold.p10_bytes;
+    exit 1
+  end;
+  if hot.p10_msgs >= cold.p10_msgs then begin
+    Printf.eprintf "P10 smoke FAILED: %d messages with caches vs %d cold\n"
+      hot.p10_msgs cold.p10_msgs;
+    exit 1
+  end;
+  Printf.printf
+    "P10 smoke assertion passed: %d < %d bytes, %d < %d messages\n"
+    hot.p10_bytes cold.p10_bytes hot.p10_msgs cold.p10_msgs
+
 (* machine-readable record of the perf-critical experiments, consumed by
    the CI bench-smoke step *)
-let write_perf_json ~path p4 p9 =
+let write_perf_json ~path p4 p9 p10 =
   let oc = open_out path in
   let p4_json r =
     Printf.sprintf
@@ -369,9 +526,27 @@ let write_perf_json ~path p4 p9 =
       {|    {"rows": %d, "hash_join_ns": %.0f, "product_ns": %.0f, "speedup": %.2f}|}
       r.jrows r.hash_ns r.product_ns (r.product_ns /. r.hash_ns)
   in
-  Printf.fprintf oc "{\n  \"p4_data_shipping\": [\n%s\n  ],\n  \"p9_join_executor\": [\n%s\n  ]\n}\n"
+  let p10_json r =
+    Printf.sprintf
+      {|    {"config": "%s", "stmts_per_sec": %.1f, "virtual_ms": %.2f, "bytes_moved": %d, "messages": %d, "pool_hits": %d, "plan_hits": %d, "result_hits": %d}|}
+      r.p10_config r.p10_sps r.p10_virt_ms r.p10_bytes r.p10_msgs
+      r.p10_pool_hits r.p10_plan_hits r.p10_result_hits
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"p4_data_shipping\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"p9_join_executor\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"p10_session_reuse\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
     (String.concat ",\n" (List.map p4_json p4))
-    (String.concat ",\n" (List.map p9_json p9));
+    (String.concat ",\n" (List.map p9_json p9))
+    (String.concat ",\n" (List.map p10_json p10));
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
@@ -613,7 +788,11 @@ let () =
   if smoke then begin
     let p4 = p4_shipping () in
     let p9 = p9_join_scaling () in
-    write_perf_json ~path:"BENCH_perf.json" p4 p9;
+    (* reduced P10: the traffic assertion is deterministic (virtual
+       network), so the small configuration checks the same invariant *)
+    let p10 = p10_session_reuse ~rows:800 ~n:60 () in
+    p10_assert_smoke p10;
+    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10;
     print_newline ()
   end
   else begin
@@ -627,7 +806,9 @@ let () =
     p7_outcome_distribution ();
     p8_function_replication ();
     let p9 = p9_join_scaling () in
-    write_perf_json ~path:"BENCH_perf.json" p4 p9;
+    let p10 = p10_session_reuse () in
+    p10_assert_smoke p10;
+    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10;
     run_bechamel ();
     print_newline ()
   end

@@ -8,10 +8,15 @@ type entry = {
   drop_commit : bool;
 }
 
-type t = (string, entry) Hashtbl.t
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable version : int;
+      (* bumped on every INCORPORATE: the plan-cache invalidation epoch *)
+}
 
-let create () = Hashtbl.create 16
+let create () = { entries = Hashtbl.create 16; version = 0 }
 let key = String.lowercase_ascii
+let version t = t.version
 
 let entry_of_incorporate (i : Ast.incorporate) =
   {
@@ -24,13 +29,16 @@ let entry_of_incorporate (i : Ast.incorporate) =
     drop_commit = i.Ast.inc_drop_commit;
   }
 
-let register t e = Hashtbl.replace t (key e.service) e
+let register t e =
+  t.version <- t.version + 1;
+  Hashtbl.replace t.entries (key e.service) e
+
 let incorporate t i = register t (entry_of_incorporate i)
 
-let find t name = Hashtbl.find_opt t (key name)
+let find t name = Hashtbl.find_opt t.entries (key name)
 
 let services t =
-  Hashtbl.fold (fun _ e acc -> e.service :: acc) t []
+  Hashtbl.fold (fun _ e acc -> e.service :: acc) t.entries []
   |> List.sort Sqlcore.Names.compare
 
 let supports_2pc e = e.commitmode = Ast.Supports_prepare

@@ -20,6 +20,12 @@ type entry = {
 type t
 
 val create : unit -> t
+
+val version : t -> int
+(** Monotone epoch, bumped on every {!register}/{!incorporate} — part of
+    the compiled-plan cache key, since AD entries decide task modes and
+    sites. *)
+
 val incorporate : t -> Ast.incorporate -> unit
 (** Insert or replace the entry for the statement's service. *)
 

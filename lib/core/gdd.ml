@@ -5,10 +5,16 @@ type t = {
       (* db key -> (table key -> (display name, schema)) *)
   cards : (string * string, int) Hashtbl.t;
       (* (db key, table key) -> row count observed at IMPORT time *)
+  mutable version : int;
+      (* bumped on every mutation: the plan-cache invalidation epoch *)
 }
 
-let create () = { schemas = Hashtbl.create 16; cards = Hashtbl.create 16 }
+let create () =
+  { schemas = Hashtbl.create 16; cards = Hashtbl.create 16; version = 0 }
+
 let key = String.lowercase_ascii
+let version t = t.version
+let bump t = t.version <- t.version + 1
 
 let db_tbl t db =
   match Hashtbl.find_opt t.schemas (key db) with
@@ -19,6 +25,7 @@ let db_tbl t db =
       tbl
 
 let import_table t ~db ~table schema =
+  bump t;
   Hashtbl.replace (db_tbl t db) (key table) (table, schema)
 
 let import_columns t ~db ~table schema columns =
@@ -42,11 +49,13 @@ let import_database t ~db catalog =
   List.iter (fun (table, schema) -> import_table t ~db ~table schema) catalog
 
 let set_cardinality t ~db ~table n =
+  bump t;
   Hashtbl.replace t.cards (key db, key table) n
 
 let cardinality t ~db ~table = Hashtbl.find_opt t.cards (key db, key table)
 
 let forget_database t db =
+  bump t;
   Hashtbl.remove t.schemas (key db);
   Hashtbl.iter
     (fun ((dbk, _) as k) _ -> if String.equal dbk (key db) then Hashtbl.remove t.cards k)

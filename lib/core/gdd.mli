@@ -9,6 +9,12 @@ type t
 
 val create : unit -> t
 
+val version : t -> int
+(** Monotone epoch, bumped on every mutation (imports, cardinality
+    updates, forgets). Cached artifacts derived from the GDD — compiled
+    plans above all — key on this and so miss after any IMPORT changes
+    what a statement should expand to. *)
+
 val import_table : t -> db:string -> table:string -> Sqlcore.Schema.t -> unit
 (** Insert or replace one table definition. *)
 

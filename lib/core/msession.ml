@@ -45,9 +45,33 @@ type t = {
   mutable last_outcome : Engine.outcome option;
   virtual_dbs : (string, Ast.use_item list) Hashtbl.t;
   triggers : (string, Ast.trigger_def) Hashtbl.t;
-  mutable trigger_order : string list;  (* creation order, oldest first *)
+  mutable trigger_order : string list;  (* creation order, newest first *)
   mutable trigger_log : string list;  (* oldest first *)
   mutable firing_depth : int;  (* cascade guard *)
+  (* --- session performance layer (all off by default) --- *)
+  mutable pool : Narada.Pool.t option;  (* Some = pooling enabled *)
+  mutable plan_cache_on : bool;
+  plan_cache : (string, Plangen.plan) Hashtbl.t;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable result_cache_on : bool;
+  result_cache : (string * string * string, int * Sqlcore.Relation.t) Hashtbl.t;
+      (* (src, dst, shipped query) -> (dictionary epoch at store, rows) *)
+  mutable result_hits : int;
+  mutable result_misses : int;
+  mutable mdb_epoch : int;
+      (* bumped on CREATE/DROP MULTIDATABASE; part of the plan-cache key
+         alongside the Gdd/Ad versions *)
+}
+
+type cache_stats = {
+  pool_hits : int;
+  pool_misses : int;
+  pool_discarded : int;
+  plan_hits : int;
+  plan_misses : int;
+  result_hits : int;
+  result_misses : int;
 }
 
 let create ?world ?directory () =
@@ -68,6 +92,16 @@ let create ?world ?directory () =
     trigger_order = [];
     trigger_log = [];
     firing_depth = 0;
+    pool = None;
+    plan_cache_on = false;
+    plan_cache = Hashtbl.create 32;
+    plan_hits = 0;
+    plan_misses = 0;
+    result_cache_on = false;
+    result_cache = Hashtbl.create 32;
+    result_hits = 0;
+    result_misses = 0;
+    mdb_epoch = 0;
   }
 
 let world t = t.world
@@ -77,7 +111,7 @@ let triggers t =
   List.filter_map
     (fun name ->
       Option.map (fun d -> (name, d)) (Hashtbl.find_opt t.triggers name))
-    t.trigger_order
+    (List.rev t.trigger_order)
 
 let trigger_log t = List.rev t.trigger_log
 let set_optimize t b = t.optimize <- b
@@ -88,12 +122,104 @@ let set_retry_policy t p = t.retry <- p
 let last_engine_outcome t = t.last_outcome
 let optimize_enabled t = t.optimize
 
+(* ---- session performance layer ---------------------------------------- *)
+
+let set_pooling t b =
+  match b, t.pool with
+  | true, None -> t.pool <- Some (Narada.Pool.create t.world)
+  | false, Some p ->
+      Narada.Pool.drain p;
+      t.pool <- None
+  | true, Some _ | false, None -> ()
+
+let pooling_enabled t = t.pool <> None
+let set_plan_cache t b =
+  if not b then Hashtbl.reset t.plan_cache;
+  t.plan_cache_on <- b
+
+let plan_cache_enabled t = t.plan_cache_on
+
+let set_result_cache t b =
+  if not b then Hashtbl.reset t.result_cache;
+  t.result_cache_on <- b
+
+let result_cache_enabled t = t.result_cache_on
+
+let cache_stats t =
+  let ps =
+    match t.pool with
+    | Some p -> Narada.Pool.stats p
+    | None -> { Narada.Pool.hits = 0; misses = 0; discarded = 0 }
+  in
+  {
+    pool_hits = ps.Narada.Pool.hits;
+    pool_misses = ps.Narada.Pool.misses;
+    pool_discarded = ps.Narada.Pool.discarded;
+    plan_hits = t.plan_hits;
+    plan_misses = t.plan_misses;
+    result_hits = t.result_hits;
+    result_misses = t.result_misses;
+  }
+
+(* epoch stamped on shipped-result entries: any dictionary change (IMPORT,
+   INCORPORATE) makes older entries unrecognizable, since a re-import may
+   have changed the source schema or statistics *)
+let dict_epoch t = Gdd.version t.gdd + Ad.version t.ad
+
+let rc_key src dst query =
+  (String.lowercase_ascii src, String.lowercase_ascii dst, query)
+
+let move_cache t =
+  if not t.result_cache_on then None
+  else
+    Some
+      {
+        Narada.Lam.tc_lookup =
+          (fun ~src ~dst ~query ->
+            let k = rc_key src dst query in
+            match Hashtbl.find_opt t.result_cache k with
+            | Some (epoch, rel) when epoch = dict_epoch t ->
+                t.result_hits <- t.result_hits + 1;
+                Some rel
+            | Some _ ->
+                (* stale dictionary epoch: drop and re-ship *)
+                Hashtbl.remove t.result_cache k;
+                t.result_misses <- t.result_misses + 1;
+                None
+            | None ->
+                t.result_misses <- t.result_misses + 1;
+                None);
+        tc_store =
+          (fun ~src ~dst ~query rel ->
+            if Hashtbl.length t.result_cache > 256 then
+              Hashtbl.reset t.result_cache;
+            Hashtbl.replace t.result_cache (rc_key src dst query)
+              (dict_epoch t, rel));
+      }
+
+(* drop shipped results touching any of the written databases: a write to
+   the source changes what the shipped query returns, a write to the
+   destination changes the semijoin key set the shipped query was reduced
+   with (service names equal database names here) *)
+let invalidate_shipped t dbs =
+  if dbs <> [] && Hashtbl.length t.result_cache > 0 then begin
+    let canon = List.map String.lowercase_ascii dbs in
+    let doomed =
+      Hashtbl.fold
+        (fun ((src, dst, _) as k) _ acc ->
+          if List.exists (fun db -> db = src || db = dst) canon then k :: acc
+          else acc)
+        t.result_cache []
+    in
+    List.iter (Hashtbl.remove t.result_cache) doomed
+  end
+
 (* run the DOL engine with the session's trace sink and retry policy,
    remembering the outcome for {!last_engine_outcome} *)
 let engine_run t program =
   match
-    Engine.run ?on_event:t.trace ?retry:t.retry ~directory:t.directory
-      ~world:t.world program
+    Engine.run ?on_event:t.trace ?retry:t.retry ?pool:t.pool
+      ?move_cache:(move_cache t) ~directory:t.directory ~world:t.world program
   with
   | Error _ as e -> e
   | Ok outcome ->
@@ -135,7 +261,9 @@ let effective_scope t (q : Ast.query) =
       List.filter (fun u -> not (shadowed u)) t.scope
       @ expand_virtual t q.Ast.scope
   in
-  t.scope <- scope;
+  (* the session scope is NOT committed here: a statement whose plan fails
+     to generate must leave the current scope untouched, so persisting is
+     the caller's job once a plan exists *)
   { q with Ast.scope; use_current = false }
 let directory t = t.directory
 let ad t = t.ad
@@ -322,20 +450,60 @@ let plan_of_query t (q : Ast.query) =
         Plangen.plan_transfer t.ad ~tdb ~tuse ~ttable ~tcolumns
           (Decompose.decompose ~semijoin:t.semijoin ~gselect ~grefs))
 
+(* memoized plan generation: the key covers everything a plan depends on —
+   the effective-scope query itself plus the dictionary versions and the
+   planner flags.  A dictionary mutation bumps its version, so stale plans
+   are never served; they are evicted wholesale when the table grows. *)
+let plan_key t (q : Ast.query) =
+  Printf.sprintf "%d|%d|%d|%b|%b|%s" (Gdd.version t.gdd) (Ad.version t.ad)
+    t.mdb_epoch t.optimize t.semijoin
+    (Marshal.to_string q [])
+
+let plan_of_query_cached t (q : Ast.query) =
+  if not t.plan_cache_on then plan_of_query t q
+  else
+    let k = plan_key t q in
+    match Hashtbl.find_opt t.plan_cache k with
+    | Some plan ->
+        t.plan_hits <- t.plan_hits + 1;
+        plan
+    | None ->
+        let plan = plan_of_query t q in
+        t.plan_misses <- t.plan_misses + 1;
+        if Hashtbl.length t.plan_cache > 128 then Hashtbl.reset t.plan_cache;
+        Hashtbl.replace t.plan_cache k plan;
+        plan
+
+(* databases whose state a successful execution changed *)
+let written_of_details details =
+  List.filter_map
+    (fun r ->
+      match r.rstatus, r.raffected with
+      | D.C, Some n when n > 0 -> Some r.rdb
+      | _ -> None)
+    details
+
+let written_dbs = function
+  | Update_report { details; _ } | Mtx_report { details; _ } ->
+      written_of_details details
+  | Multitable _ | Info _ -> []
+
 let run_query t (q : Ast.query) =
   let q = effective_scope t q in
   if q.Ast.scope = [] then
     Error "empty query scope (no current scope established yet?)"
   else
-  match plan_of_query t q with
+  match plan_of_query_cached t q with
   | exception Expand.Error m -> Error m
   | exception Decompose.Error m -> Error m
   | exception Plangen.Error m -> Error m
   | plan -> (
+      t.scope <- q.Ast.scope;
       match engine_run t plan.Plangen.program with
       | Error m -> Error m
       | Ok outcome ->
           let details = report_of_bindings outcome plan.Plangen.task_bindings in
+          invalidate_shipped t (written_of_details details);
           if Ast.is_retrieval q then
             if outcome.Engine.dolstatus = 0 then
               Ok (Multitable (build_multitable outcome plan.Plangen.task_bindings))
@@ -381,6 +549,7 @@ let run_mtx t (mtx : Ast.multitransaction) =
           | Error m -> Error m
           | Ok outcome ->
               let details = report_of_bindings outcome plan.Plangen.task_bindings in
+              invalidate_shipped t (written_of_details details);
               let status_of db =
                 match
                   List.find_opt (fun r -> Names.equal r.rdb db) details
@@ -437,17 +606,6 @@ let run_mtx t (mtx : Ast.multitransaction) =
 
 let max_trigger_depth = 4
 
-(* databases whose state a successful execution changed *)
-let written_dbs = function
-  | Update_report { details; _ } | Mtx_report { details; _ } ->
-      List.filter_map
-        (fun r ->
-          match r.rstatus, r.raffected with
-          | D.C, Some n when n > 0 -> Some r.rdb
-          | _ -> None)
-        details
-  | Multitable _ | Info _ -> []
-
 (* Trigger conditions are evaluated by the monitored database's LAM
    locally; here that is a direct read of the service's database. *)
 let condition_fires t (d : Ast.trigger_def) =
@@ -464,8 +622,11 @@ let condition_fires t (d : Ast.trigger_def) =
 
 let rec translate_toplevel t = function
   | Ast.Query q -> (
-      match plan_of_query t (effective_scope t q) with
-      | plan -> Ok plan.Plangen.program
+      let q = effective_scope t q in
+      match plan_of_query_cached t q with
+      | plan ->
+          t.scope <- q.Ast.scope;
+          Ok plan.Plangen.program
       | exception Expand.Error m -> Error m
       | exception Decompose.Error m -> Error m
       | exception Plangen.Error m -> Error m)
@@ -541,7 +702,8 @@ and exec_toplevel t = function
              d.Ast.trg_name d.Ast.trg_db)
       else begin
         Hashtbl.replace t.triggers d.Ast.trg_name d;
-        t.trigger_order <- t.trigger_order @ [ d.Ast.trg_name ];
+        (* newest first: O(1) per registration, reversed on read *)
+        t.trigger_order <- d.Ast.trg_name :: t.trigger_order;
         Ok (Info (Printf.sprintf "trigger %s created on %s" d.Ast.trg_name d.Ast.trg_db))
       end
   | Ast.Drop_trigger name ->
@@ -576,11 +738,13 @@ and exec_toplevel t = function
         | None ->
             Hashtbl.replace t.virtual_dbs (Names.canon mdb_name)
               (expand_virtual t mdb_members);
+            t.mdb_epoch <- t.mdb_epoch + 1;
             Ok (Info (Printf.sprintf "multidatabase %s created" mdb_name))
       end
   | Ast.Drop_multidatabase name ->
       if Hashtbl.mem t.virtual_dbs (Names.canon name) then begin
         Hashtbl.remove t.virtual_dbs (Names.canon name);
+        t.mdb_epoch <- t.mdb_epoch + 1;
         Ok (Info (Printf.sprintf "multidatabase %s dropped" name))
       end
       else Error (Printf.sprintf "no multidatabase named %s" name)

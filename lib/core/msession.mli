@@ -39,6 +39,16 @@ type result =
     }
   | Info of string  (** INCORPORATE / IMPORT acknowledgement *)
 
+type cache_stats = {
+  pool_hits : int;  (** OPENs served by an idle pooled connection *)
+  pool_misses : int;  (** OPENs that dialed *)
+  pool_discarded : int;  (** pooled connections dropped as stale *)
+  plan_hits : int;  (** statements served a memoized compiled plan *)
+  plan_misses : int;  (** statements planned from scratch *)
+  result_hits : int;  (** MOVEs served from the shipped-result cache *)
+  result_misses : int;  (** MOVEs that shipped over the network *)
+}
+
 type t
 
 val create :
@@ -102,6 +112,41 @@ val set_semijoin : t -> bool -> unit
     {!Decompose.decompose}. *)
 
 val semijoin_enabled : t -> bool
+
+(** {2 Session performance layer}
+
+    Three independent reuse mechanisms, each off by default so that
+    translated programs and traffic match the paper's per-statement shape
+    unless asked otherwise. All are exercised as ablations by bench P10. *)
+
+val set_pooling : t -> bool -> unit
+(** Keep LAM connections in a {!Narada.Pool} owned by the session: OPEN
+    checks out an idle healthy connection instead of dialing and CLOSE
+    parks it instead of hanging up. Stale connections (site down while
+    idle, orphaned transaction) are validated out at checkout. Disabling
+    drains the pool. *)
+
+val pooling_enabled : t -> bool
+
+val set_plan_cache : t -> bool -> unit
+(** Memoize plan generation, keyed on the effective-scope statement, the
+    planner flags and the {!Gdd.version}/{!Ad.version} epochs — any
+    IMPORT, INCORPORATE or CREATE/DROP MULTIDATABASE therefore misses.
+    Disabling clears the cache. *)
+
+val plan_cache_enabled : t -> bool
+
+val set_result_cache : t -> bool -> unit
+(** Cache the relation each MOVE ships, keyed on (source, destination,
+    shipped SQL after semijoin reduction — the key set is part of the
+    text). A hit moves zero bytes. Entries are dropped when a committed
+    update reports affected rows against their source or destination
+    database, and on any dictionary change. Disabling clears the cache. *)
+
+val result_cache_enabled : t -> bool
+
+val cache_stats : t -> cache_stats
+(** Hit/miss counters of all three layers (zeros where a layer is off). *)
 
 val triggers : t -> (string * Ast.trigger_def) list
 (** Registered interdatabase triggers, in creation order. *)

@@ -30,6 +30,10 @@ type state = {
   world : World.t;
   policy : Retry_policy.t;
   grace_ms : float;
+  pool : Pool.t option;
+      (* OPEN checks out of / CLOSE checks into this pool instead of
+         dialing and hanging up *)
+  move_cache : Lam.transfer_cache option;  (* shipped-result cache hook *)
   aliases : (string, conn) Hashtbl.t;
   services : (string, Service.t) Hashtbl.t;
       (* alias -> service, remembered past CLOSE so the recovery pass can
@@ -62,6 +66,22 @@ let retry_observer st ~where ~op ~attempt ~delay_ms ~reason =
   st.retries <- st.retries + 1;
   emit st "retry %s@%s attempt %d (+%.2f ms backoff): %s" op where attempt
     delay_ms reason
+
+(* connect through the pool when one is installed; [reused] reports
+   whether an idle connection was picked up instead of dialing *)
+let dial st (svc : Service.t) =
+  let on_retry = retry_observer st ~where:svc.Service.site in
+  match st.pool with
+  | Some p ->
+      let hits_before = (Pool.stats p).Pool.hits in
+      let r = Pool.checkout ~retry:st.policy ~on_retry p svc in
+      (r, (Pool.stats p).Pool.hits > hits_before)
+  | None -> (Lam.connect ~retry:st.policy ~on_retry st.world svc, false)
+
+let release st lam =
+  match st.pool with
+  | Some p -> Pool.checkin p lam
+  | None -> Lam.disconnect lam
 
 let declare st name target =
   let k = akey name in
@@ -226,7 +246,10 @@ let exec_move st ~mname ~src ~dst ~dest_table ~query ~reduce =
   match conn_of st src, conn_of st dst with
   | Unavailable _, _ | _, Unavailable _ -> set_status st mname E
   | Available src_lam, Available dst_lam -> (
-      match Lam.transfer ~reduce ~src:src_lam ~dst:dst_lam ~query ~dest_table with
+      match
+        Lam.transfer ~cache:st.move_cache ~reduce ~src:src_lam ~dst:dst_lam
+          ~query ~dest_table
+      with
       | Ok _ -> set_status st mname C
       | Error f -> set_status st mname (fail_status f))
 
@@ -431,15 +454,12 @@ let rec exec_stmt st = function
               err "service %s is at site %s, not %s" service svc.Service.site s
           | Some _ | None -> ());
           let conn =
-            match
-              Lam.connect ~retry:st.policy
-                ~on_retry:(retry_observer st ~where:svc.Service.site)
-                st.world svc
-            with
-            | Ok lam ->
-                emit st "OPEN %s AT %s AS %s" service svc.Service.site alias;
+            match dial st svc with
+            | Ok lam, reused ->
+                emit st "OPEN %s AT %s AS %s%s" service svc.Service.site alias
+                  (if reused then " (pooled)" else "");
                 Available lam
-            | Error f ->
+            | Error f, _ ->
                 emit st "OPEN %s failed: %s" service (Lam.failure_message f);
                 Unavailable (Lam.failure_message f)
           in
@@ -459,7 +479,7 @@ let rec exec_stmt st = function
                  | Some Ldbms.Txn.Prepared ->
                      ignore (Ldbms.Session.rollback (Lam.session lam))
                  | Some _ | None -> ());
-              Lam.disconnect lam;
+              release st lam;
               Hashtbl.remove st.aliases (akey alias)
           | Some (Unavailable _) -> Hashtbl.remove st.aliases (akey alias)
           | None -> err "CLOSE of unopened alias %s" alias)
@@ -498,13 +518,15 @@ let rec exec_stmt st = function
       st.dolstatus <- n
 
 let run ?(on_event = fun _ -> ()) ?(retry = Retry_policy.default)
-    ?(recovery_grace_ms = 500.0) ~directory ~world program =
+    ?(recovery_grace_ms = 500.0) ?pool ?move_cache ~directory ~world program =
   let st =
     {
       directory;
       world;
       policy = retry;
       grace_ms = recovery_grace_ms;
+      pool;
+      move_cache;
       aliases = Hashtbl.create 8;
       services = Hashtbl.create 8;
       statuses = Hashtbl.create 8;
@@ -545,7 +567,7 @@ let run ?(on_event = fun _ -> ()) ?(retry = Retry_policy.default)
                  | Some Ldbms.Txn.Prepared ->
                      ignore (Ldbms.Session.rollback (Lam.session lam))
                  | Some _ | None -> ());
-              Lam.disconnect lam
+              release st lam
           | Unavailable _ -> ())
         st.aliases;
       let statuses =
@@ -576,9 +598,12 @@ let run ?(on_event = fun _ -> ()) ?(retry = Retry_policy.default)
           vital_split = st.vital_split;
         }
 
-let run_text ?on_event ?retry ?recovery_grace_ms ~directory ~world text =
+let run_text ?on_event ?retry ?recovery_grace_ms ?pool ?move_cache ~directory
+    ~world text =
   match Dol_parser.parse text with
-  | program -> run ?on_event ?retry ?recovery_grace_ms ~directory ~world program
+  | program ->
+      run ?on_event ?retry ?recovery_grace_ms ?pool ?move_cache ~directory
+        ~world program
   | exception Dol_parser.Error (m, l, c) ->
       Error (Printf.sprintf "DOL parse error at %d:%d: %s" l c m)
 

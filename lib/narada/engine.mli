@@ -47,6 +47,8 @@ val run :
   ?on_event:(string -> unit) ->
   ?retry:Retry_policy.t ->
   ?recovery_grace_ms:float ->
+  ?pool:Pool.t ->
+  ?move_cache:Lam.transfer_cache ->
   directory:Directory.t ->
   world:Netsim.World.t ->
   Dol_ast.program ->
@@ -59,12 +61,20 @@ val run :
     [retry] (default {!Retry_policy.default}) governs every LAM
     operation. [recovery_grace_ms] (default 500) bounds how long, in
     virtual time, the end-of-program resolution pass waits for sites
-    holding in-doubt transactions to recover. *)
+    holding in-doubt transactions to recover.
+
+    [pool] makes OPEN check an idle connection out of the pool instead of
+    dialing (stale ones are validated out, see {!Pool}) and CLOSE check
+    it back in instead of disconnecting — including the implicit CLOSE of
+    aliases the program forgot. [move_cache] is consulted by every MOVE:
+    a hit ships nothing (see {!Lam.transfer}). *)
 
 val run_text :
   ?on_event:(string -> unit) ->
   ?retry:Retry_policy.t ->
   ?recovery_grace_ms:float ->
+  ?pool:Pool.t ->
+  ?move_cache:Lam.transfer_cache ->
   directory:Directory.t ->
   world:Netsim.World.t ->
   string ->

@@ -89,6 +89,13 @@ let connect_exn world service =
 let service t = t.service
 let session t = t.session
 let site t = t.service.Service.site
+let world t = t.world
+
+let with_policy ?(retry = Retry_policy.default) ?(on_retry = no_on_retry) t =
+  (* a pooled connection outlives the engine run that opened it: rebind
+     the policy and observer so retries are charged to the current run,
+     not to the defunct one that originally connected *)
+  { t with policy = retry; on_retry }
 
 let with_retry t ~op ~classify f =
   Retry_policy.run t.policy t.world
@@ -219,7 +226,14 @@ let restrict_query ~col keys query =
       in
       Sqlfront.Sql_pp.select_to_string { sel with A.where }
 
-let transfer ~reduce ~src ~dst ~query ~dest_table =
+type transfer_cache = {
+  tc_lookup :
+    src:string -> dst:string -> query:string -> Sqlcore.Relation.t option;
+  tc_store :
+    src:string -> dst:string -> query:string -> Sqlcore.Relation.t -> unit;
+}
+
+let transfer ~cache ~reduce ~src ~dst ~query ~dest_table =
   (* Semijoin reduction: fetch the distinct join-key values from the
      destination (the coordinator already holds its side of the join) and
      rewrite the shipped query's WHERE with them. The probe's cost — query
@@ -242,35 +256,59 @@ let transfer ~reduce ~src ~dst ~query ~dest_table =
             in
             restrict_query ~col keys query)
   in
-  (* command goes engine -> src; data goes src -> dst directly. The source
-     query is a SELECT and the destination load replaces the table, so the
-     whole transfer is idempotent and retried as a unit. *)
-  with_retry src ~op:"transfer" ~classify:classify_local_aware (fun () ->
-      match
-        guard_site (fun () ->
-            World.send src.world ~src:"mdbs" ~dst:(site src)
-              ~bytes:(String.length query);
-            match Ldbms.Session.exec_sql src.session query with
-            | Ok (Ldbms.Session.Rows rel) -> Ok rel
-            | Ok _ -> Error (Local "MOVE query did not produce rows")
-            | Error m -> Error (Local m))
-      with
-      | Error f -> Error f
-      | Ok rel -> (
+  let src_name = src.service.Service.service_name in
+  let dst_name = dst.service.Service.service_name in
+  let materialize rel =
+    Ldbms.Database.load
+      dst.service.Service.database
+      ~name:dest_table
+      (Sqlcore.Relation.schema rel)
+      (Sqlcore.Relation.rows rel);
+    Sqlcore.Relation.cardinality rel
+  in
+  (* Shipped-result cache: the key is the final query text — after the
+     semijoin rewrite, so the key set is part of the key — plus both
+     endpoints. A hit re-materializes the relation at the destination
+     without touching the network or the source at all: zero messages,
+     zero bytes, zero virtual time. The destination must still be
+     reachable (the engine is about to run the coordinator join there). *)
+  let cached =
+    match cache with
+    | Some c when not (World.is_down dst.world (site dst)) ->
+        c.tc_lookup ~src:src_name ~dst:dst_name ~query
+    | Some _ | None -> None
+  in
+  match cached with
+  | Some rel -> Ok (materialize rel)
+  | None ->
+      (* command goes engine -> src; data goes src -> dst directly. The
+         source query is a SELECT and the destination load replaces the
+         table, so the whole transfer is idempotent and retried as a
+         unit. *)
+      with_retry src ~op:"transfer" ~classify:classify_local_aware (fun () ->
           match
             guard_site (fun () ->
-                World.send dst.world ~src:(site src) ~dst:(site dst)
-                  ~bytes:(Sqlcore.Relation.size_bytes rel + ack_bytes);
-                Ok ())
+                World.send src.world ~src:"mdbs" ~dst:(site src)
+                  ~bytes:(String.length query);
+                match Ldbms.Session.exec_sql src.session query with
+                | Ok (Ldbms.Session.Rows rel) -> Ok rel
+                | Ok _ -> Error (Local "MOVE query did not produce rows")
+                | Error m -> Error (Local m))
           with
           | Error f -> Error f
-          | Ok () ->
-              Ldbms.Database.load
-                dst.service.Service.database
-                ~name:dest_table
-                (Sqlcore.Relation.schema rel)
-                (Sqlcore.Relation.rows rel);
-              Ok (Sqlcore.Relation.cardinality rel)))
+          | Ok rel -> (
+              match
+                guard_site (fun () ->
+                    World.send dst.world ~src:(site src) ~dst:(site dst)
+                      ~bytes:(Sqlcore.Relation.size_bytes rel + ack_bytes);
+                    Ok ())
+              with
+              | Error f -> Error f
+              | Ok () ->
+                  (match cache with
+                  | Some c -> c.tc_store ~src:src_name ~dst:dst_name ~query rel
+                  | None -> ());
+                  Ok (materialize rel)))
 
 let disconnect t =
   (* The LDBMS aborts an orphaned {e active} transaction when the session

@@ -51,6 +51,13 @@ val connect_exn : Netsim.World.t -> Service.t -> t
 val service : t -> Service.t
 val session : t -> Ldbms.Session.t
 val site : t -> string
+val world : t -> Netsim.World.t
+
+val with_policy : ?retry:Retry_policy.t -> ?on_retry:on_retry -> t -> t
+(** The same connection under a different retry policy and observer
+    (defaults as for {!connect}). Used when a pooled connection is reused
+    by a later engine run: retries must be reported to the run that is
+    executing, not to the one that originally connected. *)
 
 val failure_message : failure -> string
 
@@ -83,7 +90,22 @@ val rollback : t -> (unit, failure) result
 val fetch : t -> string -> (Sqlcore.Relation.t, failure) result
 (** Execute a SELECT and return its result (command out, data back). *)
 
+type transfer_cache = {
+  tc_lookup :
+    src:string -> dst:string -> query:string -> Sqlcore.Relation.t option;
+  tc_store :
+    src:string -> dst:string -> query:string -> Sqlcore.Relation.t -> unit;
+}
+(** Shipped-result cache hook for {!transfer}. [src]/[dst] are service
+    names and [query] is the final shipped SQL {e after} any semijoin
+    rewrite, so the reduction's key set is part of the key. The cache
+    owner (the multidatabase session) is responsible for invalidation —
+    entries must be dropped whenever either endpoint's database takes a
+    committed write, since the shipped relation depends on the source
+    data and, through the semijoin key set, on the destination data. *)
+
 val transfer :
+  cache:transfer_cache option ->
   reduce:(string * string) option ->
   src:t ->
   dst:t ->
@@ -94,6 +116,11 @@ val transfer :
     [dest_table] (replacing it), shipping the data directly between the
     two sites. Returns the number of rows moved. Idempotent end to end,
     retried as a unit under [src]'s policy.
+
+    With [cache = Some _], a lookup hit short-circuits the whole operation: the
+    cached relation is re-materialized at [dst] with zero network traffic
+    (the semijoin probe, if any, has already been paid for). A successful
+    uncached transfer stores its relation.
 
     [reduce = (col, probe)] applies a semijoin reduction first: [probe] is
     evaluated at [dst], and [query] is rewritten with

@@ -1,0 +1,89 @@
+module World = Netsim.World
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable discarded : int;
+}
+
+type entry = {
+  lam : Lam.t;
+  since_ms : float;  (* virtual checkin instant, for staleness tests *)
+}
+
+type t = {
+  world : World.t;
+  conns : (string, entry list) Hashtbl.t;  (* service key -> idle stack *)
+  pstats : stats;
+}
+
+let key = String.lowercase_ascii
+
+let create world =
+  { world; conns = Hashtbl.create 8; pstats = { hits = 0; misses = 0; discarded = 0 } }
+
+let stats t = t.pstats
+
+let size t = Hashtbl.fold (fun _ es acc -> acc + List.length es) t.conns 0
+
+(* A stale connection is one whose transport broke while it idled: the
+   real LDBMS notices the broken session and aborts its orphaned {e
+   active} transaction autonomously, which we model here. A {e prepared}
+   transaction must survive at the site (it awaits the coordinator's
+   verdict), so it is simply left alone. No goodbye message is charged —
+   there is no connection left to say goodbye on. *)
+let abandon lam =
+  match Ldbms.Session.txn_state (Lam.session lam) with
+  | Some Ldbms.Txn.Active -> ignore (Ldbms.Session.rollback (Lam.session lam))
+  | Some _ | None -> ()
+
+let healthy t e =
+  let site = Lam.site e.lam in
+  (not (World.is_down t.world site))
+  && (not (World.down_during t.world site ~since_ms:e.since_ms))
+  && Ldbms.Session.txn_state (Lam.session e.lam) = None
+
+let checkout ?retry ?on_retry t (svc : Service.t) =
+  let k = key svc.Service.service_name in
+  let rec pick () =
+    match Hashtbl.find_opt t.conns k with
+    | Some (e :: rest) ->
+        Hashtbl.replace t.conns k rest;
+        if healthy t e then begin
+          t.pstats.hits <- t.pstats.hits + 1;
+          Ok (Lam.with_policy ?retry ?on_retry e.lam)
+        end
+        else begin
+          t.pstats.discarded <- t.pstats.discarded + 1;
+          abandon e.lam;
+          pick ()
+        end
+    | Some [] | None ->
+        t.pstats.misses <- t.pstats.misses + 1;
+        Lam.connect ?retry ?on_retry t.world svc
+  in
+  pick ()
+
+let checkin t lam =
+  let usable =
+    (not (World.is_down t.world (Lam.site lam)))
+    && Ldbms.Session.txn_state (Lam.session lam) = None
+  in
+  if usable then begin
+    let k = key (Lam.service lam).Service.service_name in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.conns k) in
+    Hashtbl.replace t.conns k
+      ({ lam; since_ms = World.now_ms t.world } :: prev)
+  end
+  else
+    (* an unreachable site or an open transaction disqualifies the
+       session from reuse; Lam.disconnect applies the proper farewell
+       semantics (abort active, preserve prepared, skip the goodbye when
+       the site is down) *)
+    Lam.disconnect lam
+
+let drain t =
+  Hashtbl.iter
+    (fun _ es -> List.iter (fun e -> Lam.disconnect e.lam) es)
+    t.conns;
+  Hashtbl.reset t.conns

@@ -1,0 +1,53 @@
+(** LAM connection pool: amortizes the per-statement OPEN/CLOSE round
+    trips of a long-lived session.
+
+    Every generated DOL program begins by OPENing its participating
+    services and ends by CLOSEing them, so a stream of statements pays a
+    connect handshake per service per statement. A pool owned by the
+    multidatabase session turns that into one handshake per service per
+    {e lifetime}: {!checkout} hands back an idle healthy connection
+    instead of dialing, and {!checkin} parks the connection instead of
+    hanging up.
+
+    Health of an idle connection is validated at checkout, never assumed:
+    the site must be up {e now}, must not have been down at any point
+    since the connection was parked ({!Netsim.World.down_during} — an
+    outage while idle breaks the transport even if the site has since
+    recovered), and the session must hold no transaction. Stale
+    connections are discarded (their orphaned active transaction rolled
+    back, as the LDBMS does autonomously when a session dies) and a fresh
+    connection is dialed transparently. *)
+
+type t
+
+type stats = {
+  mutable hits : int;  (** checkouts served by an idle pooled connection *)
+  mutable misses : int;  (** checkouts that had to dial *)
+  mutable discarded : int;  (** idle connections dropped as stale *)
+}
+
+val create : Netsim.World.t -> t
+
+val stats : t -> stats
+
+val size : t -> int
+(** Idle connections currently parked. *)
+
+val checkout :
+  ?retry:Retry_policy.t ->
+  ?on_retry:Lam.on_retry ->
+  t ->
+  Service.t ->
+  (Lam.t, Lam.failure) result
+(** An idle healthy connection to the service if one is parked (rebound
+    to the given retry policy and observer), else a fresh
+    {!Lam.connect}. Stale parked connections encountered on the way are
+    discarded and counted. *)
+
+val checkin : t -> Lam.t -> unit
+(** Park the connection for reuse. Refused — with full
+    {!Lam.disconnect} semantics instead — when the site is currently
+    down or the session still holds a transaction. *)
+
+val drain : t -> unit
+(** Disconnect and forget every idle connection. *)

@@ -8,6 +8,12 @@ type loss = { prob : float; rng : Random.State.t }
 type t = {
   sites : (string, Site.t) Hashtbl.t;
   outages : (string, outage list) Hashtbl.t;
+  down_history : (string, float) Hashtbl.t;
+      (* site -> latest virtual instant the site is known to have been
+         down, over windows already pruned or cleared; live windows are
+         consulted directly. Lets connection pools ask "was this site
+         ever down since I last used it?" after the window itself is
+         gone. *)
   mutable clock_ms : float;
   stats : stats;
   link_loss : (string * string, loss) Hashtbl.t;
@@ -32,6 +38,7 @@ let create () =
     {
       sites = Hashtbl.create 16;
       outages = Hashtbl.create 4;
+      down_history = Hashtbl.create 4;
       clock_ms = 0.0;
       stats = { messages = 0; bytes_moved = 0; lost = 0 };
       link_loss = Hashtbl.create 4;
@@ -56,7 +63,10 @@ let site_names t =
 
 let now_ms t = t.clock_ms
 let advance_ms t d = t.clock_ms <- t.clock_ms +. d
-let reset_clock t = t.clock_ms <- 0.0
+let reset_clock t =
+  t.clock_ms <- 0.0;
+  (* history instants belong to the old timeline *)
+  Hashtbl.reset t.down_history
 let stats t = t.stats
 
 let reset_stats t =
@@ -71,12 +81,36 @@ let add_outage t name o =
   let prev = Option.value ~default:[] (Hashtbl.find_opt t.outages (key name)) in
   Hashtbl.replace t.outages (key name) (o :: prev)
 
+let note_down_until t name inst =
+  let prev =
+    Option.value ~default:neg_infinity
+      (Hashtbl.find_opt t.down_history (key name))
+  in
+  if inst > prev then Hashtbl.replace t.down_history (key name) inst
+
+(* record the portion of [name]'s windows that already lies in the past,
+   before those windows are discarded *)
+let remember_past_windows t name =
+  match Hashtbl.find_opt t.outages (key name) with
+  | None -> ()
+  | Some windows ->
+      List.iter
+        (fun o ->
+          if o.from_ms <= t.clock_ms && o.until_ms > o.from_ms then
+            note_down_until t name (min o.until_ms t.clock_ms))
+        windows
+
 let set_down t name down =
   ignore (find_site t name);
   if down then
     Hashtbl.replace t.outages (key name)
       [ { from_ms = neg_infinity; until_ms = infinity } ]
-  else Hashtbl.remove t.outages (key name)
+  else begin
+    (* clearing ends any ongoing outage now; the fact that the site was
+       down until this instant stays observable to down_during *)
+    remember_past_windows t name;
+    Hashtbl.remove t.outages (key name)
+  end
 
 let set_down_until t name until_ms =
   add_outage t name { from_ms = t.clock_ms; until_ms }
@@ -88,13 +122,32 @@ let is_down t name =
   match Hashtbl.find_opt t.outages (key name) with
   | None -> false
   | Some windows ->
-      (* prune windows the clock has passed so long runs stay cheap *)
-      let live = List.filter (fun o -> t.clock_ms < o.until_ms) windows in
+      (* prune windows the clock has passed so long runs stay cheap,
+         remembering their end instants for down_during *)
+      let live, expired =
+        List.partition (fun o -> t.clock_ms < o.until_ms) windows
+      in
+      List.iter
+        (fun o ->
+          if o.until_ms > o.from_ms then note_down_until t name o.until_ms)
+        expired;
       if live = [] then Hashtbl.remove t.outages (key name)
       else Hashtbl.replace t.outages (key name) live;
       List.exists
         (fun o -> o.from_ms <= t.clock_ms && t.clock_ms < o.until_ms)
         live
+
+let down_during t name ~since_ms =
+  (match Hashtbl.find_opt t.down_history (key name) with
+  | Some e -> e >= since_ms
+  | None -> false)
+  ||
+  match Hashtbl.find_opt t.outages (key name) with
+  | None -> false
+  | Some windows ->
+      List.exists
+        (fun o -> o.from_ms <= t.clock_ms && o.until_ms > since_ms)
+        windows
 
 let next_recovery_ms t name =
   match Hashtbl.find_opt t.outages (key name) with
@@ -125,6 +178,8 @@ let lose_next t ~src ~dst =
   Hashtbl.replace t.lose_next k (n + 1)
 
 let clear_faults t =
+  Hashtbl.iter (fun name _ -> remember_past_windows t name)
+    (Hashtbl.copy t.outages);
   Hashtbl.reset t.outages;
   Hashtbl.reset t.link_loss;
   Hashtbl.reset t.lose_next;

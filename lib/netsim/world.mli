@@ -66,6 +66,16 @@ val is_down : t -> string -> bool
 (** Whether the site is inside an outage window at the current virtual
     time. *)
 
+val down_during : t -> string -> since_ms:float -> bool
+(** Whether the site was inside an outage window at any virtual instant in
+    [[since_ms, now]] — including windows that have since expired or been
+    cleared with {!set_down}[ false]/{!clear_faults}. This is the staleness
+    test a connection pool needs: a session checked in at [since_ms] whose
+    site went down (and possibly recovered) in between is broken even
+    though the site answers now. Conservative at the boundary: an outage
+    ending exactly at [since_ms] counts. History is forgotten by
+    {!reset_clock} (a new timeline). *)
+
 val next_recovery_ms : t -> string -> float option
 (** If the site is currently down, the virtual time at which it recovers
     ([Some infinity] for a permanent outage); [None] if it is up. *)

@@ -147,6 +147,112 @@ let test_semijoin_saves_bytes () =
     (Printf.sprintf "fewer bytes (%d < %d)" bytes_on bytes_off)
     true (bytes_on < bytes_off)
 
+(* ---- session performance layer --------------------------------------- *)
+
+let enable_all session =
+  M.set_pooling session true;
+  M.set_plan_cache session true;
+  M.set_result_cache session true
+
+(* the global-vs-merged differential again with pooling, plan cache and
+   result cache all on, every query run twice so the repeat is served by
+   the caches — rows must be identical to the merged database either way *)
+let test_matrix_all_layers () =
+  List.iter
+    (fun seed ->
+      let parts, sales = gen_data ~seed ~n_parts:60 ~n_sales:90 in
+      let session, _world = make_fed ~parts ~sales in
+      enable_all session;
+      let merged = merged_session ~parts ~sales in
+      List.iter
+        (fun cutoff ->
+          let want = local_rows merged (local_query ~cutoff ~extra:"") in
+          let first = global_rows session (global_query ~cutoff ~extra:"") in
+          let again = global_rows session (global_query ~cutoff ~extra:"") in
+          Alcotest.(check bool)
+            (Printf.sprintf "cold run (seed=%d cutoff=%.0f)" seed cutoff)
+            true
+            (Relation.equal_unordered first want);
+          Alcotest.(check bool)
+            (Printf.sprintf "cached run (seed=%d cutoff=%.0f)" seed cutoff)
+            true
+            (Relation.equal_unordered again want))
+        [ 10.0; 50.0; 90.0 ];
+      let st = M.cache_stats session in
+      Alcotest.(check bool) "plans reused" true (st.M.plan_hits > 0);
+      Alcotest.(check bool) "shipped results reused" true (st.M.result_hits > 0);
+      Alcotest.(check bool) "connections reused" true (st.M.pool_hits > 0))
+    [ 1; 2; 3 ]
+
+(* a re-IMPORT changes what the planner knows (schema, cardinality), so a
+   memoized plan keyed on the old dictionary version must not be served *)
+let test_plan_cache_misses_after_import () =
+  let parts, sales = gen_data ~seed:5 ~n_parts:30 ~n_sales:40 in
+  let session, _ = make_fed ~parts ~sales in
+  M.set_plan_cache session true;
+  let q = global_query ~cutoff:50.0 ~extra:"" in
+  ignore (global_rows session q);
+  ignore (global_rows session q);
+  let st = M.cache_stats session in
+  Alcotest.(check int) "repeat is a hit" 1 st.M.plan_hits;
+  (* grow the store database behind the federation's back, then re-import:
+     the recorded cardinality changes and the version epoch moves *)
+  let store =
+    (Option.get (Narada.Directory.find_opt (M.directory session) "store"))
+      .Narada.Service.database
+  in
+  let store_sess = Ldbms.Session.connect store Caps.ingres_like in
+  (match
+     Ldbms.Session.exec_sql store_sess
+       "INSERT INTO parts VALUES (999, 'extra', 1.0)"
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Ldbms.Session.commit store_sess with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match M.import_all session ~service:"store" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  ignore (global_rows session q);
+  let st' = M.cache_stats session in
+  Alcotest.(check int) "import forces a re-plan" st.M.plan_hits st'.M.plan_hits;
+  Alcotest.(check bool) "miss counted" true (st'.M.plan_misses > st.M.plan_misses)
+
+(* a committed update against the source database of a cached shipped
+   result must evict it; the re-shipped rows reflect the new data *)
+let test_result_cache_misses_after_update () =
+  let parts, sales = gen_data ~seed:6 ~n_parts:60 ~n_sales:90 in
+  let session, world = make_fed ~parts ~sales in
+  M.set_result_cache session true;
+  let q = global_query ~cutoff:50.0 ~extra:"" in
+  ignore (global_rows session q);
+  Netsim.World.reset_stats world;
+  ignore (global_rows session q);
+  let st = M.cache_stats session in
+  Alcotest.(check bool) "repeat served from cache" true (st.M.result_hits > 0);
+  (* every part now costs nothing, so the < 50.0 probe matches them all *)
+  (match M.exec session "USE store UPDATE store.parts SET price = 0.0" with
+  | Ok (M.Update_report { outcome = M.Success; _ }) -> ()
+  | Ok r -> Alcotest.fail (M.result_to_string r)
+  | Error m -> Alcotest.fail m);
+  let fresh = global_rows session q in
+  let st' = M.cache_stats session in
+  Alcotest.(check int) "update evicted the entry" st.M.result_hits
+    st'.M.result_hits;
+  let merged = merged_session ~parts ~sales in
+  (match
+     Ldbms.Session.exec_sql merged "UPDATE parts SET price = 0.0"
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Ldbms.Session.commit merged with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let want = local_rows merged (local_query ~cutoff:50.0 ~extra:"") in
+  Alcotest.(check bool) "re-shipped rows reflect the update" true
+    (Relation.equal_unordered fresh want)
+
 (* ---- hash-join planner vs naive product ----------------------------- *)
 
 let rows_with_planner session enabled sql =
@@ -208,6 +314,15 @@ let () =
           Alcotest.test_case "empty key set" `Quick test_empty_keyset;
           Alcotest.test_case "semijoin saves bytes" `Quick
             test_semijoin_saves_bytes;
+        ] );
+      ( "session caches",
+        [
+          Alcotest.test_case "matrix, all layers on" `Quick
+            test_matrix_all_layers;
+          Alcotest.test_case "plan cache misses after import" `Quick
+            test_plan_cache_misses_after_import;
+          Alcotest.test_case "result cache misses after update" `Quick
+            test_result_cache_misses_after_update;
         ] );
       ( "planner vs product",
         [

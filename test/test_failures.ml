@@ -394,6 +394,109 @@ let test_message_loss_storm_still_consistent () =
       Alcotest.(check bool) "deterministic replay" true (r1 = r2))
     [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
+(* ---- connection pool ------------------------------------------------------ *)
+
+module Pool = Narada.Pool
+module M = Msql.Msession
+
+let pool_service () =
+  let db = Ldbms.Database.create "adb" in
+  Ldbms.Database.load db ~name:"t"
+    [ Schema.column "x" Ty.Int ]
+    [ [| Value.Int 1 |] ];
+  Narada.Service.make ~site:"alpha" ~caps:Caps.ingres_like db
+
+let checkout_exn pool svc =
+  match Pool.checkout pool svc with
+  | Ok lam -> lam
+  | Error f -> Alcotest.fail (Lam.failure_message f)
+
+(* a parked connection whose site failed while it idled is broken even
+   after the site recovers: checkout must notice, discard it, and dial a
+   working replacement *)
+let test_pool_stale_after_outage () =
+  let w = two_sites () in
+  let svc = pool_service () in
+  let pool = Pool.create w in
+  let lam1 = checkout_exn pool svc in
+  Pool.checkin pool lam1;
+  Alcotest.(check int) "parked" 1 (Pool.size pool);
+  let lam2 = checkout_exn pool svc in
+  Alcotest.(check int) "healthy reuse" 1 (Pool.stats pool).Pool.hits;
+  Pool.checkin pool lam2;
+  (* outage opens and closes entirely while the connection idles *)
+  World.advance_ms w 100.0;
+  World.schedule_outage w "alpha" ~from_ms:110.0 ~until_ms:120.0;
+  World.advance_ms w 50.0;
+  Alcotest.(check bool) "site is back up" false (World.is_down w "alpha");
+  let lam3 = checkout_exn pool svc in
+  Alcotest.(check int) "stale one discarded" 1 (Pool.stats pool).Pool.discarded;
+  Alcotest.(check int) "re-dialed" 2 (Pool.stats pool).Pool.misses;
+  (match Lam.fetch lam3 "SELECT x FROM t" with
+  | Ok rel -> Alcotest.(check int) "replacement works" 1 (Relation.cardinality rel)
+  | Error f -> Alcotest.fail (Lam.failure_message f));
+  Pool.checkin pool lam3
+
+(* a session holding an open transaction must never be parked: the orphan
+   is rolled back by the disconnect, exactly as the LDBMS aborts the
+   victim when its client dies *)
+let test_pool_refuses_open_txn () =
+  let w = two_sites () in
+  let svc = pool_service () in
+  let pool = Pool.create w in
+  let lam = checkout_exn pool svc in
+  (match Ldbms.Session.exec_sql (Lam.session lam) "UPDATE t SET x = 2" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "txn open" true
+    (Ldbms.Session.in_transaction (Lam.session lam));
+  Pool.checkin pool lam;
+  Alcotest.(check int) "not parked" 0 (Pool.size pool);
+  let lam2 = checkout_exn pool svc in
+  Alcotest.(check int) "dialed fresh" 2 (Pool.stats pool).Pool.misses;
+  (match Lam.fetch lam2 "SELECT x FROM t" with
+  | Ok rel ->
+      Alcotest.(check value) "orphan rolled back" (Value.Int 1)
+        (List.hd (Relation.rows rel)).(0)
+  | Error f -> Alcotest.fail (Lam.failure_message f))
+
+(* session level: with pooling on, a site failing between statements costs
+   one discarded connection, not a failed statement *)
+let test_pooled_session_survives_outage () =
+  let w = two_sites () in
+  let directory = Narada.Directory.create () in
+  let session = M.create ~world:w ~directory () in
+  let db = Ldbms.Database.create "adb" in
+  Ldbms.Database.load db ~name:"t"
+    [ Schema.column "x" Ty.Int ]
+    [ [| Value.Int 1 |]; [| Value.Int 2 |] ];
+  Narada.Directory.register directory
+    (Narada.Service.make ~site:"alpha" ~caps:Caps.ingres_like db);
+  (match M.incorporate_auto session ~service:"adb" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match M.import_all session ~service:"adb" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  M.set_pooling session true;
+  let select () =
+    match M.exec session "USE adb SELECT x FROM adb.t" with
+    | Ok (M.Multitable _) -> ()
+    | Ok r -> Alcotest.fail (M.result_to_string r)
+    | Error m -> Alcotest.fail m
+  in
+  select ();
+  select ();
+  Alcotest.(check bool) "reused between statements" true
+    ((M.cache_stats session).M.pool_hits > 0);
+  (* the site crashes and recovers between two statements *)
+  let now = World.now_ms w in
+  World.schedule_outage w "alpha" ~from_ms:(now +. 1.0) ~until_ms:(now +. 2.0);
+  World.advance_ms w 10.0;
+  select ();
+  Alcotest.(check bool) "stale connection discarded" true
+    ((M.cache_stats session).M.pool_discarded > 0)
+
 let () =
   Alcotest.run "failures"
     [
@@ -434,5 +537,13 @@ let () =
             test_transient_exec_outage_aborts_cleanly;
           Alcotest.test_case "loss storm consistent" `Quick
             test_message_loss_storm_still_consistent;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "stale after outage" `Quick
+            test_pool_stale_after_outage;
+          Alcotest.test_case "refuses open txn" `Quick test_pool_refuses_open_txn;
+          Alcotest.test_case "pooled session survives outage" `Quick
+            test_pooled_session_survives_outage;
         ] );
     ]

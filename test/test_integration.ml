@@ -285,6 +285,28 @@ let test_use_current_scope () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty current scope must error"
 
+(* a statement that fails before a plan exists must not disturb the
+   session's current scope: USE names an unimported database, planning
+   fails, and the previous scope still answers USE CURRENT *)
+let test_failed_plan_leaves_scope_intact () =
+  let fx = F.make () in
+  let s = fx.F.session in
+  (match M.exec s "USE avis SELECT code FROM cars" with
+  | Ok (M.Multitable _) -> ()
+  | _ -> Alcotest.fail "seed scope");
+  let before = List.map (fun u -> u.Msql.Ast.db) (M.current_scope s) in
+  Alcotest.(check (list string)) "seeded" [ "avis" ] before;
+  (match M.exec s "USE ghostdb SELECT x FROM ghostdb.t" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unimported database must fail to plan");
+  Alcotest.(check (list string)) "scope untouched" [ "avis" ]
+    (List.map (fun u -> u.Msql.Ast.db) (M.current_scope s));
+  (* and USE CURRENT still resolves against the surviving scope *)
+  match M.exec s "USE CURRENT SELECT code FROM cars" with
+  | Ok (M.Multitable _) -> ()
+  | Ok r -> Alcotest.fail (M.result_to_string r)
+  | Error m -> Alcotest.fail m
+
 let test_data_transfer_insert_select () =
   let fx = F.make () in
   (* copy national's available vehicles into avis's cars fleet (§2: data
@@ -447,6 +469,8 @@ let () =
           Alcotest.test_case "insert" `Quick test_insert_through_msql;
           Alcotest.test_case "delete" `Quick test_delete_through_msql;
           Alcotest.test_case "use current" `Quick test_use_current_scope;
+          Alcotest.test_case "failed plan keeps scope" `Quick
+            test_failed_plan_leaves_scope_intact;
           Alcotest.test_case "virtual databases" `Quick test_virtual_databases;
           Alcotest.test_case "explain" `Quick test_explain_returns_plan;
           Alcotest.test_case "data transfer" `Quick test_data_transfer_insert_select;
