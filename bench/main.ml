@@ -550,6 +550,47 @@ let write_perf_json ~path p4 p9 p10 =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+(* ---- session metrics export (observability layer) -------------------------------- *)
+
+(* Replay the P4 workload once on a fresh session and export that session's
+   metrics registry. Before writing anything, cross-check the two byte
+   ledgers the registry reports: delivered traffic is charged to exactly
+   one sender, so the per-site [sent_bytes] figures must sum to the global
+   [bytes_moved] exactly — a drifting counter fails the smoke run before
+   the JSON is uploaded. *)
+let write_metrics_json ~path =
+  let session, world = p4_setup 200 in
+  Netsim.World.reset_stats world;
+  Netsim.World.reset_clock world;
+  (match M.exec session (p4_query 50) with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  let st = Netsim.World.stats world in
+  let site_sent_bytes, site_sent_msgs =
+    List.fold_left
+      (fun (b, m) (_, s) ->
+        (b + s.Netsim.World.sent_bytes, m + s.Netsim.World.sent_msgs))
+      (0, 0) (Netsim.World.per_site world)
+  in
+  if site_sent_bytes <> st.Netsim.World.bytes_moved then begin
+    Printf.eprintf "metrics smoke FAILED: per-site sent bytes %d <> bytes_moved %d\n"
+      site_sent_bytes st.Netsim.World.bytes_moved;
+    exit 1
+  end;
+  if site_sent_msgs <> st.Netsim.World.messages then begin
+    Printf.eprintf "metrics smoke FAILED: per-site sent msgs %d <> messages %d\n"
+      site_sent_msgs st.Netsim.World.messages;
+    exit 1
+  end;
+  Printf.printf
+    "metrics smoke assertion passed: per-site sums match world stats \
+     (%d bytes, %d messages)\n"
+    site_sent_bytes site_sent_msgs;
+  let oc = open_out path in
+  output_string oc (M.metrics_json session);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* ---- P5: DOL optimizer ablation (Â§5 future work) ------------------------------- *)
 
 let p5_optimizer_ablation () =
@@ -793,6 +834,7 @@ let () =
     let p10 = p10_session_reuse ~rows:800 ~n:60 () in
     p10_assert_smoke p10;
     write_perf_json ~path:"BENCH_perf.json" p4 p9 p10;
+    write_metrics_json ~path:"BENCH_metrics.json";
     print_newline ()
   end
   else begin
@@ -809,6 +851,7 @@ let () =
     let p10 = p10_session_reuse () in
     p10_assert_smoke p10;
     write_perf_json ~path:"BENCH_perf.json" p4 p9 p10;
+    write_metrics_json ~path:"BENCH_metrics.json";
     run_bechamel ();
     print_newline ()
   end

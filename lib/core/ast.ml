@@ -59,6 +59,7 @@ type toplevel =
   | Create_trigger of trigger_def
   | Drop_trigger of string
   | Explain of toplevel
+  | Explain_multiple of query
   | Create_multidatabase of { mdb_name : string; mdb_members : use_item list }
   | Drop_multidatabase of string
 

@@ -99,6 +99,10 @@ type toplevel =
   | Explain of toplevel
       (** [EXPLAIN <statement>]: return the generated DOL evaluation plan
           instead of executing it *)
+  | Explain_multiple of query
+      (** [EXPLAIN MULTIPLE <query>]: run the full pipeline (expansion,
+          decomposition with the semijoin cost decision, plan generation)
+          without executing, and render every phase *)
   | Create_multidatabase of { mdb_name : string; mdb_members : use_item list }
       (** a virtual database (§2): a named scope; [USE <name>] expands to
           its members *)

@@ -11,11 +11,21 @@ type semijoin = {
   sj_probe : Sqlfront.Ast.select;
 }
 
+(* why a shipped subquery was (not) semijoin-reduced; the cost numbers are
+   kept so EXPLAIN MULTIPLE can show the gate's arithmetic *)
+type sj_gate =
+  | Sj_applied of { key_bytes : int; est_bytes : int }
+  | Sj_declined of { key_bytes : int; est_bytes : int }
+  | Sj_no_stats
+  | Sj_no_edge
+  | Sj_off
+
 type shipped = {
   sdb : string;
   subquery : Sqlfront.Ast.select;
   tmp_table : string;
   reduce : semijoin option;
+  sj_gate : sj_gate;
 }
 
 type plan = {
@@ -231,7 +241,7 @@ let decompose ~semijoin ~gselect ~grefs =
     | Some _ | None -> 8
   in
   let semijoin_for db idxs =
-    if not semijoin then None
+    if not semijoin then (None, Sj_off)
     else
       (* first cross-database equi-join conjunct linking [db] to a
          coordinator table; [owned] pairs each conjunct with its owner and
@@ -259,7 +269,7 @@ let decompose ~semijoin ~gselect ~grefs =
           owned
       in
       match edge with
-      | None -> None
+      | None -> (None, Sj_no_edge)
       | Some ((si, ship_col), (ci, coord_col)) -> (
           let gc = gref ci in
           let shipped_rows =
@@ -283,7 +293,9 @@ let decompose ~semijoin ~gselect ~grefs =
                   0 idxs
               in
               let key_bytes = coord_card * col_width gc coord_col in
-              if 2 * key_bytes >= rows * row_width then None
+              let est_bytes = rows * row_width in
+              if 2 * key_bytes >= est_bytes then
+                (None, Sj_declined { key_bytes; est_bytes })
               else begin
                 (* the probe also applies the coordinator-local conjuncts
                    confined to the joined table, so selective coordinator
@@ -316,10 +328,11 @@ let decompose ~semijoin ~gselect ~grefs =
                     ~from:[ { S.table = gc.Expand.gtable; alias = gc.Expand.galias } ]
                     ?where:probe_where ()
                 in
-                Some
-                  { sj_col = label (gref si) ^ "." ^ ship_col; sj_probe = probe }
+                ( Some
+                    { sj_col = label (gref si) ^ "." ^ ship_col; sj_probe = probe },
+                  Sj_applied { key_bytes; est_bytes } )
               end
-          | _ -> None)
+          | _ -> (None, Sj_no_stats))
   in
   let shipped =
     List.mapi
@@ -359,11 +372,13 @@ let decompose ~semijoin ~gselect ~grefs =
                  | _ -> None)
                owned)
         in
+        let reduce, sj_gate = semijoin_for db idxs in
         {
           sdb = db;
           subquery = S.select ~projections ~from ?where ();
           tmp_table = tmp_name (k + 1);
-          reduce = semijoin_for db idxs;
+          reduce;
+          sj_gate;
         })
       shipped_dbs
   in
@@ -462,12 +477,26 @@ let decompose ~semijoin ~gselect ~grefs =
     cleanup = List.map (fun s -> s.tmp_table) shipped;
   }
 
+let sj_gate_to_string = function
+  | Sj_applied { key_bytes; est_bytes } ->
+      Printf.sprintf
+        "semijoin APPLIED: %d key byte(s) vs est. %d shipped byte(s) (2*%d < %d)"
+        key_bytes est_bytes key_bytes est_bytes
+  | Sj_declined { key_bytes; est_bytes } ->
+      Printf.sprintf
+        "semijoin DECLINED: %d key byte(s) vs est. %d shipped byte(s) (2*%d >= %d)"
+        key_bytes est_bytes key_bytes est_bytes
+  | Sj_no_stats -> "semijoin not considered: no cardinality statistics"
+  | Sj_no_edge -> "semijoin not applicable: no equi-join edge to the coordinator"
+  | Sj_off -> "semijoin disabled"
+
 let pp_plan ppf p =
   Format.fprintf ppf "coordinator: %s@\n" p.coordinator;
   List.iter
     (fun s ->
       Format.fprintf ppf "ship %s <- [%s] %s@\n" s.tmp_table s.sdb
         (Sqlfront.Sql_pp.select_to_string s.subquery);
+      Format.fprintf ppf "  %s@\n" (sj_gate_to_string s.sj_gate);
       match s.reduce with
       | None -> ()
       | Some sj ->

@@ -28,6 +28,19 @@ type semijoin = {
           to be evaluated at the coordinator just before the MOVE *)
 }
 
+type sj_gate =
+  | Sj_applied of { key_bytes : int; est_bytes : int }
+      (** the reduction passed the cost gate: shipping [key_bytes] of
+          coordinator keys is expected to save half of [est_bytes] *)
+  | Sj_declined of { key_bytes : int; est_bytes : int }
+      (** an equi-join edge exists but the keys cost too much
+          ([2 * key_bytes >= est_bytes]) *)
+  | Sj_no_stats  (** a cardinality needed by the gate was never imported *)
+  | Sj_no_edge
+      (** no cross-database equi-join conjunct links this subquery to a
+          coordinator table *)
+  | Sj_off  (** semijoin reduction disabled for the session *)
+
 type shipped = {
   sdb : string;  (** source database *)
   subquery : Sqlfront.Ast.select;  (** largest local subquery *)
@@ -38,6 +51,9 @@ type shipped = {
           Present only when a cross-database equi-join conjunct links this
           subquery to a coordinator table and the GDD's cardinalities say
           the key set costs less than the bytes it is expected to save. *)
+  sj_gate : sj_gate;
+      (** why [reduce] is or is not present, with the gate's cost numbers
+          — rendered by [EXPLAIN MULTIPLE] *)
 }
 
 type plan = {
@@ -56,5 +72,8 @@ val decompose :
 (** [semijoin] enables the cost-gated semijoin reduction of shipped
     subqueries; with it off every MOVE ships the full filtered
     subrelation. *)
+
+val sj_gate_to_string : sj_gate -> string
+(** One-line rendering of the gate decision with its cost arithmetic. *)
 
 val pp_plan : Format.formatter -> plan -> unit

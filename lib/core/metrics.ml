@@ -1,0 +1,228 @@
+(* Session metrics registry: mutable counters the session and the engine
+   feed while statements run, exportable as JSON for the benches and CI.
+   Planning counters are bumped by Msession's pipeline; engine counters
+   are folded from the typed trace stream ({!observe}) and from the
+   engine outcome; network counters are read live from the world's
+   per-site ledger at export time. *)
+
+type cache_stats = {
+  pool_hits : int;
+  pool_misses : int;
+  pool_discarded : int;
+  plan_hits : int;
+  plan_misses : int;
+  result_hits : int;
+  result_misses : int;
+}
+
+type t = {
+  (* planning: phases 1-4 of the pipeline *)
+  mutable statements : int;
+  mutable plans_replicated : int;
+  mutable plans_global : int;
+  mutable plans_transfer : int;
+  mutable plans_mtx : int;
+  mutable subqueries_shipped : int;
+  mutable semijoins_applied : int;
+  mutable semijoins_declined : int;
+  mutable explains : int;
+  (* engine: execution *)
+  mutable engine_runs : int;
+  mutable engine_errors : int;
+  mutable engine_virtual_ms : float;
+  mutable retries : int;
+  mutable decisions_commit : int;
+  mutable decisions_abort : int;
+  mutable recovered : int;
+  mutable in_doubt : int;
+  mutable vital_splits : int;
+  mutable moves : int;
+  mutable moved_rows : int;
+  mutable moved_bytes : int;
+  mutable moves_reduced : int;
+  mutable moves_cached : int;
+  site_retries : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    statements = 0;
+    plans_replicated = 0;
+    plans_global = 0;
+    plans_transfer = 0;
+    plans_mtx = 0;
+    subqueries_shipped = 0;
+    semijoins_applied = 0;
+    semijoins_declined = 0;
+    explains = 0;
+    engine_runs = 0;
+    engine_errors = 0;
+    engine_virtual_ms = 0.0;
+    retries = 0;
+    decisions_commit = 0;
+    decisions_abort = 0;
+    recovered = 0;
+    in_doubt = 0;
+    vital_splits = 0;
+    moves = 0;
+    moved_rows = 0;
+    moved_bytes = 0;
+    moves_reduced = 0;
+    moves_cached = 0;
+    site_retries = Hashtbl.create 8;
+  }
+
+let reset m =
+  m.statements <- 0;
+  m.plans_replicated <- 0;
+  m.plans_global <- 0;
+  m.plans_transfer <- 0;
+  m.plans_mtx <- 0;
+  m.subqueries_shipped <- 0;
+  m.semijoins_applied <- 0;
+  m.semijoins_declined <- 0;
+  m.explains <- 0;
+  m.engine_runs <- 0;
+  m.engine_errors <- 0;
+  m.engine_virtual_ms <- 0.0;
+  m.retries <- 0;
+  m.decisions_commit <- 0;
+  m.decisions_abort <- 0;
+  m.recovered <- 0;
+  m.in_doubt <- 0;
+  m.vital_splits <- 0;
+  m.moves <- 0;
+  m.moved_rows <- 0;
+  m.moved_bytes <- 0;
+  m.moves_reduced <- 0;
+  m.moves_cached <- 0;
+  Hashtbl.reset m.site_retries
+
+(* fold one typed trace event; events with no metric dimension are
+   ignored (cache consultations are counted by the owning cache's own
+   stats, statuses/branches are control flow) *)
+let observe m (ev : Narada.Trace.event) =
+  match ev.Narada.Trace.kind with
+  | Narada.Trace.Retry { site; _ } ->
+      m.retries <- m.retries + 1;
+      let k = String.lowercase_ascii site in
+      Hashtbl.replace m.site_retries k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt m.site_retries k))
+  | Narada.Trace.Decision { verdict = Narada.Trace.Commit; _ } ->
+      m.decisions_commit <- m.decisions_commit + 1
+  | Narada.Trace.Decision { verdict = Narada.Trace.Abort; _ } ->
+      m.decisions_abort <- m.decisions_abort + 1
+  | Narada.Trace.Recovered _ -> m.recovered <- m.recovered + 1
+  | Narada.Trace.Moved { rows; bytes; reduced; cached; _ } ->
+      m.moves <- m.moves + 1;
+      m.moved_rows <- m.moved_rows + rows;
+      m.moved_bytes <- m.moved_bytes + bytes;
+      if reduced then m.moves_reduced <- m.moves_reduced + 1;
+      if cached then m.moves_cached <- m.moves_cached + 1
+  | Narada.Trace.Opened _ | Narada.Trace.Open_failed _ | Narada.Trace.Closed _
+  | Narada.Trace.Status _ | Narada.Trace.Branch _ | Narada.Trace.Pool_stale _
+  | Narada.Trace.Cache _ | Narada.Trace.Dolstatus _ | Narada.Trace.Note _ ->
+      ()
+
+let note_decomposition m (dp : Decompose.plan) =
+  List.iter
+    (fun (s : Decompose.shipped) ->
+      m.subqueries_shipped <- m.subqueries_shipped + 1;
+      match s.Decompose.sj_gate with
+      | Decompose.Sj_applied _ -> m.semijoins_applied <- m.semijoins_applied + 1
+      | Decompose.Sj_declined _ ->
+          m.semijoins_declined <- m.semijoins_declined + 1
+      | Decompose.Sj_no_stats | Decompose.Sj_no_edge | Decompose.Sj_off -> ())
+    dp.Decompose.shipped
+
+(* ---- JSON export -------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json m ~world ~cache =
+  let b = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let ws = Netsim.World.stats world in
+  addf "{\n";
+  addf "  \"virtual_now_ms\": %.2f,\n" (Netsim.World.now_ms world);
+  addf "  \"planning\": {\n";
+  addf "    \"statements\": %d,\n" m.statements;
+  addf
+    "    \"plans\": {\"replicated\": %d, \"global\": %d, \"transfer\": %d, \
+     \"multitransaction\": %d},\n"
+    m.plans_replicated m.plans_global m.plans_transfer m.plans_mtx;
+  addf "    \"subqueries_shipped\": %d,\n" m.subqueries_shipped;
+  addf "    \"semijoins_applied\": %d,\n" m.semijoins_applied;
+  addf "    \"semijoins_declined\": %d,\n" m.semijoins_declined;
+  addf "    \"explains\": %d\n" m.explains;
+  addf "  },\n";
+  addf "  \"engine\": {\n";
+  addf "    \"runs\": %d,\n" m.engine_runs;
+  addf "    \"errors\": %d,\n" m.engine_errors;
+  addf "    \"virtual_ms\": %.2f,\n" m.engine_virtual_ms;
+  addf "    \"retries\": %d,\n" m.retries;
+  addf "    \"decisions\": {\"commit\": %d, \"abort\": %d},\n" m.decisions_commit
+    m.decisions_abort;
+  addf "    \"recovered\": %d,\n" m.recovered;
+  addf "    \"in_doubt\": %d,\n" m.in_doubt;
+  addf "    \"vital_splits\": %d,\n" m.vital_splits;
+  addf
+    "    \"moves\": {\"count\": %d, \"rows\": %d, \"bytes\": %d, \
+     \"semijoin_reduced\": %d, \"cache_hits\": %d}\n"
+    m.moves m.moved_rows m.moved_bytes m.moves_reduced m.moves_cached;
+  addf "  },\n";
+  addf "  \"caches\": {\n";
+  addf "    \"pool\": {\"hits\": %d, \"misses\": %d, \"discarded\": %d},\n"
+    cache.pool_hits cache.pool_misses cache.pool_discarded;
+  addf "    \"plan\": {\"hits\": %d, \"misses\": %d},\n" cache.plan_hits
+    cache.plan_misses;
+  addf "    \"result\": {\"hits\": %d, \"misses\": %d}\n" cache.result_hits
+    cache.result_misses;
+  addf "  },\n";
+  addf "  \"network\": {\"messages\": %d, \"bytes_moved\": %d, \"lost\": %d},\n"
+    ws.Netsim.World.messages ws.Netsim.World.bytes_moved ws.Netsim.World.lost;
+  addf "  \"sites\": [\n";
+  let sites = Netsim.World.per_site world in
+  (* a site can retry without delivering anything; make sure it appears *)
+  let names =
+    List.map fst sites
+    @ Hashtbl.fold
+        (fun s _ acc ->
+          if List.mem_assoc s sites then acc else s :: acc)
+        m.site_retries []
+  in
+  List.iteri
+    (fun i name ->
+      let sent_m, sent_b, recv_m, recv_b =
+        match List.assoc_opt name sites with
+        | Some s ->
+            ( s.Netsim.World.sent_msgs,
+              s.Netsim.World.sent_bytes,
+              s.Netsim.World.recv_msgs,
+              s.Netsim.World.recv_bytes )
+        | None -> (0, 0, 0, 0)
+      in
+      let retries =
+        Option.value ~default:0 (Hashtbl.find_opt m.site_retries name)
+      in
+      addf
+        "    {\"site\": \"%s\", \"sent_messages\": %d, \"sent_bytes\": %d, \
+         \"recv_messages\": %d, \"recv_bytes\": %d, \"retries\": %d}%s\n"
+        (json_escape name) sent_m sent_b recv_m recv_b retries
+        (if i = List.length names - 1 then "" else ","))
+    names;
+  addf "  ]\n";
+  addf "}\n";
+  Buffer.contents b

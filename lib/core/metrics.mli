@@ -1,0 +1,75 @@
+(** Session metrics registry.
+
+    One mutable registry per {!Msession.t} aggregates three families of
+    counters:
+
+    - {e planning} — phases 1–4: statements run, plan shapes chosen,
+      subqueries shipped, semijoin gate outcomes, EXPLAINs;
+    - {e engine} — execution: runs, errors, virtual time, retries (total
+      and per site), 2PC verdicts, in-doubt recoveries, vital splits, and
+      MOVE traffic (rows/bytes, semijoin-reduced and cache-served moves),
+      folded from the typed {!Narada.Trace} stream and the engine outcome;
+    - {e caches} and {e network} — read at export time from the session's
+      caches and the {!Netsim.World} per-site ledger.
+
+    {!to_json} renders everything as one self-contained JSON document;
+    [bench/main.ml] records it and CI asserts the per-site byte totals
+    reproduce the world's global stats. *)
+
+type cache_stats = {
+  pool_hits : int;
+  pool_misses : int;
+  pool_discarded : int;
+  plan_hits : int;
+  plan_misses : int;
+  result_hits : int;
+  result_misses : int;
+}
+(** Hit/miss counters of the session performance layer (connection pool,
+    plan cache, shipped-result cache). Defined here so {!to_json} can
+    embed them; re-exported by {!Msession.cache_stats}. *)
+
+type t = {
+  mutable statements : int;
+  mutable plans_replicated : int;
+  mutable plans_global : int;
+  mutable plans_transfer : int;
+  mutable plans_mtx : int;
+  mutable subqueries_shipped : int;
+  mutable semijoins_applied : int;
+  mutable semijoins_declined : int;
+  mutable explains : int;
+  mutable engine_runs : int;
+  mutable engine_errors : int;
+  mutable engine_virtual_ms : float;
+  mutable retries : int;
+  mutable decisions_commit : int;
+  mutable decisions_abort : int;
+  mutable recovered : int;
+  mutable in_doubt : int;
+  mutable vital_splits : int;
+  mutable moves : int;
+  mutable moved_rows : int;
+  mutable moved_bytes : int;
+  mutable moves_reduced : int;
+  mutable moves_cached : int;
+  site_retries : (string, int) Hashtbl.t;  (** site name -> retry count *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val observe : t -> Narada.Trace.event -> unit
+(** Fold one typed trace event into the registry (retries, 2PC
+    decisions, recoveries, MOVE traffic). Events carrying no metric
+    dimension are ignored. *)
+
+val note_decomposition : t -> Decompose.plan -> unit
+(** Count a decomposition's shipped subqueries and semijoin gate
+    outcomes. *)
+
+val to_json : t -> world:Netsim.World.t -> cache:cache_stats -> string
+(** Render the registry plus live network/cache state as a JSON
+    document. The [sites] array mirrors {!Netsim.World.per_site}
+    (delivered traffic only), so summing its [sent_bytes] reproduces the
+    global [network.bytes_moved] exactly. *)

@@ -245,7 +245,14 @@ let parse_use_items ts =
   items [ item () ]
 
 let rec parse_toplevel_at ts =
-  if Tstream.accept_kw ts "explain" then Explain (parse_toplevel_at ts)
+  if Tstream.accept_kw ts "explain" then
+    (* EXPLAIN MULTIPLE <query> renders all pipeline phases; plain
+       EXPLAIN wraps any statement and yields just the DOL program *)
+    if Tstream.at_kw ts "multiple" && Tstream.at_kw2 ts "use" then begin
+      Tstream.advance ts;
+      Explain_multiple (parse_query_at ts)
+    end
+    else Explain (parse_toplevel_at ts)
   else if Tstream.at_kw ts "use" then Query (parse_query_at ts)
   else if Tstream.at_kw ts "create" && Tstream.at_kw2 ts "multidatabase" then begin
     Tstream.advance ts;

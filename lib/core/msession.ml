@@ -40,6 +40,8 @@ type t = {
   mutable optimize : bool;
   mutable semijoin : bool;
   mutable trace : (string -> unit) option;
+  mutable typed_trace : (Narada.Trace.event -> unit) option;
+  metrics : Metrics.t;
   mutable retry : Narada.Retry_policy.t option;
       (* None -> the engine's default policy *)
   mutable last_outcome : Engine.outcome option;
@@ -64,7 +66,7 @@ type t = {
          alongside the Gdd/Ad versions *)
 }
 
-type cache_stats = {
+type cache_stats = Metrics.cache_stats = {
   pool_hits : int;
   pool_misses : int;
   pool_discarded : int;
@@ -85,6 +87,8 @@ let create ?world ?directory () =
     optimize = false;
     semijoin = true;
     trace = None;
+    typed_trace = None;
+    metrics = Metrics.create ();
     retry = None;
     last_outcome = None;
     virtual_dbs = Hashtbl.create 8;
@@ -118,6 +122,15 @@ let set_optimize t b = t.optimize <- b
 let set_semijoin t b = t.semijoin <- b
 let semijoin_enabled t = t.semijoin
 let set_trace t sink = t.trace <- sink
+let set_typed_trace t sink = t.typed_trace <- sink
+let metrics t = t.metrics
+
+(* every typed trace event — engine or pool — feeds the registry and is
+   then forwarded to the application's sink, if any *)
+let observe t ev =
+  Metrics.observe t.metrics ev;
+  match t.typed_trace with Some f -> f ev | None -> ()
+
 let set_retry_policy t p = t.retry <- p
 let last_engine_outcome t = t.last_outcome
 let optimize_enabled t = t.optimize
@@ -126,7 +139,10 @@ let optimize_enabled t = t.optimize
 
 let set_pooling t b =
   match b, t.pool with
-  | true, None -> t.pool <- Some (Narada.Pool.create t.world)
+  | true, None ->
+      let p = Narada.Pool.create t.world in
+      Narada.Pool.set_trace p (observe t);
+      t.pool <- Some p
   | false, Some p ->
       Narada.Pool.drain p;
       t.pool <- None
@@ -160,6 +176,9 @@ let cache_stats t =
     result_hits = t.result_hits;
     result_misses = t.result_misses;
   }
+
+let metrics_json t =
+  Metrics.to_json t.metrics ~world:t.world ~cache:(cache_stats t)
 
 (* epoch stamped on shipped-result entries: any dictionary change (IMPORT,
    INCORPORATE) makes older entries unrecognizable, since a re-import may
@@ -217,12 +236,24 @@ let invalidate_shipped t dbs =
 (* run the DOL engine with the session's trace sink and retry policy,
    remembering the outcome for {!last_engine_outcome} *)
 let engine_run t program =
+  t.metrics.Metrics.engine_runs <- t.metrics.Metrics.engine_runs + 1;
   match
-    Engine.run ?on_event:t.trace ?retry:t.retry ?pool:t.pool
-      ?move_cache:(move_cache t) ~directory:t.directory ~world:t.world program
+    Engine.run ?on_event:t.trace ~on_trace:(observe t) ?retry:t.retry
+      ?pool:t.pool ?move_cache:(move_cache t) ~directory:t.directory
+      ~world:t.world program
   with
-  | Error _ as e -> e
+  | Error _ as e ->
+      t.metrics.Metrics.engine_errors <- t.metrics.Metrics.engine_errors + 1;
+      e
   | Ok outcome ->
+      (* retries/decisions/recoveries/moves were already folded from the
+         trace stream; the outcome supplies what only the epilogue knows *)
+      t.metrics.Metrics.engine_virtual_ms <-
+        t.metrics.Metrics.engine_virtual_ms +. outcome.Engine.elapsed_ms;
+      t.metrics.Metrics.in_doubt <-
+        t.metrics.Metrics.in_doubt + outcome.Engine.in_doubt;
+      if outcome.Engine.vital_split then
+        t.metrics.Metrics.vital_splits <- t.metrics.Metrics.vital_splits + 1;
       t.last_outcome <- Some outcome;
       Ok outcome
 
@@ -438,6 +469,8 @@ let plan_of_query t (q : Ast.query) =
               (if List.length elems = 1 then "y" else "ies")
               (String.concat ", "
                  (List.map (fun (e : Expand.elementary) -> e.Expand.edb) elems)));
+        t.metrics.Metrics.plans_replicated <-
+          t.metrics.Metrics.plans_replicated + 1;
         Plangen.plan_replicated t.ad q elems
     | Expand.Global { gselect; grefs } ->
         let dp = Decompose.decompose ~semijoin:t.semijoin ~gselect ~grefs in
@@ -445,10 +478,14 @@ let plan_of_query t (q : Ast.query) =
             f "decomposed global query: coordinator %s, %d shipped subqueries"
               dp.Decompose.coordinator
               (List.length dp.Decompose.shipped));
+        t.metrics.Metrics.plans_global <- t.metrics.Metrics.plans_global + 1;
+        Metrics.note_decomposition t.metrics dp;
         Plangen.plan_global t.ad q dp
     | Expand.Transfer { tdb; tuse; ttable; tcolumns; gselect; grefs } ->
-        Plangen.plan_transfer t.ad ~tdb ~tuse ~ttable ~tcolumns
-          (Decompose.decompose ~semijoin:t.semijoin ~gselect ~grefs))
+        let dp = Decompose.decompose ~semijoin:t.semijoin ~gselect ~grefs in
+        t.metrics.Metrics.plans_transfer <- t.metrics.Metrics.plans_transfer + 1;
+        Metrics.note_decomposition t.metrics dp;
+        Plangen.plan_transfer t.ad ~tdb ~tuse ~ttable ~tcolumns dp)
 
 (* memoized plan generation: the key covers everything a plan depends on —
    the effective-scope query itself plus the dictionary versions and the
@@ -545,6 +582,7 @@ let run_mtx t (mtx : Ast.multitransaction) =
       match maybe_optimize t (Plangen.plan_mtx t.ad mtx expanded) with
       | exception Plangen.Error m -> Error m
       | plan -> (
+          t.metrics.Metrics.plans_mtx <- t.metrics.Metrics.plans_mtx + 1;
           match engine_run t plan.Plangen.program with
           | Error m -> Error m
           | Ok outcome ->
@@ -618,6 +656,85 @@ let condition_fires t (d : Ast.trigger_def) =
       | rel -> Ok (not (Sqlcore.Relation.is_empty rel))
       | exception Ldbms.Exec.Error m -> Error m)
 
+(* ---- EXPLAIN MULTIPLE -------------------------------------------------- *)
+
+(* Run phases 1-4 of the pipeline (scope resolution, expansion,
+   decomposition, plan generation) and render each one, executing
+   nothing: the engine is never entered, so the world's clock and
+   message counters do not move. *)
+let explain_multiple t (q : Ast.query) =
+  let q = effective_scope t q in
+  if q.Ast.scope = [] then
+    Error "empty query scope (no current scope established yet?)"
+  else
+    let render () =
+      let b = Buffer.create 1024 in
+      let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      let use_item_str (u : Ast.use_item) =
+        u.Ast.db
+        ^ (match u.Ast.alias with Some a -> " " ^ a | None -> "")
+        ^ match u.Ast.vital with Ast.Vital -> " VITAL" | Ast.Non_vital -> ""
+      in
+      addf "== phase 1-2: scope and expansion ==\n";
+      addf "scope: %s\n"
+        (String.concat ", " (List.map use_item_str q.Ast.scope));
+      addf "statement: %s\n" (Sqlfront.Sql_pp.stmt_to_string q.Ast.body);
+      let plan =
+        match Expand.expand t.gdd q with
+        | Expand.Replicated elems ->
+            addf "expansion: replicated into %d elementary quer%s\n"
+              (List.length elems)
+              (if List.length elems = 1 then "y" else "ies");
+            List.iter
+              (fun (e : Expand.elementary) ->
+                List.iter
+                  (fun st ->
+                    addf "  [%s] %s\n" e.Expand.edb
+                      (Sqlfront.Sql_pp.stmt_to_string st))
+                  e.Expand.stmts)
+              elems;
+            addf
+              "== phase 3: decomposition ==\n\
+               not needed: every elementary query is single-database\n";
+            Plangen.plan_replicated t.ad q elems
+        | Expand.Global { gselect; grefs } ->
+            addf "expansion: global join over %d table reference(s): %s\n"
+              (List.length grefs)
+              (String.concat ", "
+                 (List.map
+                    (fun (r : Expand.global_ref) ->
+                      r.Expand.gdb ^ "." ^ r.Expand.gtable)
+                    grefs));
+            let dp = Decompose.decompose ~semijoin:t.semijoin ~gselect ~grefs in
+            Metrics.note_decomposition t.metrics dp;
+            addf "== phase 3: decomposition ==\n%s\n"
+              (Format.asprintf "%a" Decompose.pp_plan dp);
+            Plangen.plan_global t.ad q dp
+        | Expand.Transfer { tdb; tuse; ttable; tcolumns; gselect; grefs } ->
+            addf
+              "expansion: transfer into table %s of %s from %d global \
+               reference(s)\n"
+              ttable tdb (List.length grefs);
+            let dp = Decompose.decompose ~semijoin:t.semijoin ~gselect ~grefs in
+            Metrics.note_decomposition t.metrics dp;
+            addf "== phase 3: decomposition ==\n%s\n"
+              (Format.asprintf "%a" Decompose.pp_plan dp);
+            Plangen.plan_transfer t.ad ~tdb ~tuse ~ttable ~tcolumns dp
+      in
+      let plan = maybe_optimize t plan in
+      addf "== phase 4: DOL program ==\n%s"
+        (Narada.Dol_pp.program_to_string plan.Plangen.program);
+      Buffer.contents b
+    in
+    match render () with
+    | rendered ->
+        t.scope <- q.Ast.scope;
+        t.metrics.Metrics.explains <- t.metrics.Metrics.explains + 1;
+        Ok (Info rendered)
+    | exception Expand.Error m -> Error m
+    | exception Decompose.Error m -> Error m
+    | exception Plangen.Error m -> Error m
+
 (* ---- translation (no execution) --------------------------------------------- *)
 
 let rec translate_toplevel t = function
@@ -647,6 +764,7 @@ let rec translate_toplevel t = function
       | exception Expand.Error m -> Error m
       | exception Plangen.Error m -> Error m)
   | Ast.Explain inner -> translate_toplevel t inner
+  | Ast.Explain_multiple q -> translate_toplevel t (Ast.Query q)
   | Ast.Incorporate _ | Ast.Import _ | Ast.Create_trigger _ | Ast.Drop_trigger _
   | Ast.Create_multidatabase _ | Ast.Drop_multidatabase _ ->
       Error "dictionary and trigger statements have no DOL translation"
@@ -680,7 +798,9 @@ let rec fire_triggers t result =
                 | Error m -> log_trigger t "trigger %s action failed: %s" name m))
         (triggers t)
 
-and exec_toplevel t = function
+and exec_toplevel t tl =
+  t.metrics.Metrics.statements <- t.metrics.Metrics.statements + 1;
+  match tl with
   | Ast.Query q -> (
       match run_query t q with
       | Ok r ->
@@ -716,8 +836,11 @@ and exec_toplevel t = function
       else Error (Printf.sprintf "no trigger named %s" name)
   | Ast.Explain inner -> (
       match translate_toplevel t inner with
-      | Ok prog -> Ok (Info (Narada.Dol_pp.program_to_string prog))
+      | Ok prog ->
+          t.metrics.Metrics.explains <- t.metrics.Metrics.explains + 1;
+          Ok (Info (Narada.Dol_pp.program_to_string prog))
       | Error m -> Error m)
+  | Ast.Explain_multiple q -> explain_multiple t q
   | Ast.Create_multidatabase { mdb_name; mdb_members } ->
       if Hashtbl.mem t.virtual_dbs (Names.canon mdb_name) then
         Error (Printf.sprintf "multidatabase %s already exists" mdb_name)

@@ -39,7 +39,7 @@ type result =
     }
   | Info of string  (** INCORPORATE / IMPORT acknowledgement *)
 
-type cache_stats = {
+type cache_stats = Metrics.cache_stats = {
   pool_hits : int;  (** OPENs served by an idle pooled connection *)
   pool_misses : int;  (** OPENs that dialed *)
   pool_discarded : int;  (** pooled connections dropped as stale *)
@@ -88,6 +88,28 @@ val run_mtx : t -> Ast.multitransaction -> (result, string) Stdlib.result
 val set_trace : t -> (string -> unit) option -> unit
 (** Install an execution-trace sink: every DOL engine coordination event
     of subsequent queries is passed to it (see {!Narada.Engine.run}). *)
+
+val set_typed_trace : t -> (Narada.Trace.event -> unit) option -> unit
+(** Install a {e typed} trace sink: the same event stream as {!set_trace}
+    but as {!Narada.Trace.event} values (plus pool validation events),
+    before rendering. Both sinks may be installed at once. The session's
+    {!metrics} registry observes the stream regardless. *)
+
+val metrics : t -> Metrics.t
+(** The session's metrics registry: planning counters bumped by the
+    pipeline, engine counters folded from the typed trace stream and the
+    engine outcomes. Live — read at any time, {!Metrics.reset} to zero. *)
+
+val metrics_json : t -> string
+(** {!Metrics.to_json} of the registry against the session's world and
+    {!cache_stats} — one self-contained JSON document. *)
+
+val explain_multiple : t -> Ast.query -> (result, string) Stdlib.result
+(** [EXPLAIN MULTIPLE <query>]: run phases 1–4 (scope resolution,
+    expansion, decomposition with the semijoin cost decision, DOL plan
+    generation) and return an [Info] rendering every phase, without
+    executing anything — the world's clock and message counters do not
+    move. Like execution, it persists the effective scope. *)
 
 val set_retry_policy : t -> Narada.Retry_policy.t option -> unit
 (** Override the retry policy applied to every LAM operation of

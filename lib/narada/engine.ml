@@ -45,6 +45,7 @@ type state = {
   rowcounts : (string, int) Hashtbl.t;
   mutable dolstatus : int;
   on_event : string -> unit;
+  on_trace : Trace.event -> unit;
   rlog : Recovery_log.t;
   comps : (string, comp_handler) Hashtbl.t;  (* compensated task -> handler *)
   mutable retries : int;
@@ -55,17 +56,19 @@ type state = {
 let err fmt = Printf.ksprintf (fun m -> raise (Program_error m)) fmt
 let akey = String.lowercase_ascii
 
-let emit st fmt =
-  Printf.ksprintf
-    (fun m ->
-      Log.debug (fun f -> f "%.2fms %s" (World.now_ms st.world) m);
-      st.on_event (Printf.sprintf "[%8.2f ms] %s" (World.now_ms st.world) m))
-    fmt
+(* every event goes to both sinks: typed to [on_trace], rendered to the
+   historical string sink *)
+let tell st kind =
+  let ev = { Trace.at_ms = World.now_ms st.world; kind } in
+  Log.debug (fun f -> f "%.2fms %s" ev.Trace.at_ms (Trace.render_kind kind));
+  st.on_trace ev;
+  st.on_event (Trace.render ev)
+
+let emit st fmt = Printf.ksprintf (fun m -> tell st (Trace.Note m)) fmt
 
 let retry_observer st ~where ~op ~attempt ~delay_ms ~reason =
   st.retries <- st.retries + 1;
-  emit st "retry %s@%s attempt %d (+%.2f ms backoff): %s" op where attempt
-    delay_ms reason
+  tell st (Trace.Retry { op; site = where; attempt; delay_ms; reason })
 
 (* connect through the pool when one is installed; [reused] reports
    whether an idle connection was picked up instead of dialing *)
@@ -91,7 +94,7 @@ let declare st name target =
   Hashtbl.replace st.task_target k (akey target)
 
 let set_status st name s =
-  emit st "%s -> %s" name (status_to_string s);
+  tell st (Trace.Status { task = name; status = s });
   Hashtbl.replace st.statuses (akey name) s
 
 let get_status st name =
@@ -250,7 +253,24 @@ let exec_move st ~mname ~src ~dst ~dest_table ~query ~reduce =
         Lam.transfer ~cache:st.move_cache ~reduce ~src:src_lam ~dst:dst_lam
           ~query ~dest_table
       with
-      | Ok _ -> set_status st mname C
+      | Ok ts ->
+          if st.move_cache <> None then
+            tell st
+              (Trace.Cache
+                 { layer = "result"; hit = ts.Lam.cached; key = dest_table });
+          tell st
+            (Trace.Moved
+               {
+                 mname;
+                 src = Lam.site src_lam;
+                 dst = Lam.site dst_lam;
+                 dest_table;
+                 rows = ts.Lam.moved_rows;
+                 bytes = ts.Lam.moved_bytes;
+                 reduced = ts.Lam.reduced;
+                 cached = ts.Lam.cached;
+               });
+          set_status st mname C
       | Error f -> set_status st mname (fail_status f))
 
 (* ---- in-doubt resolution ------------------------------------------------- *)
@@ -276,7 +296,16 @@ let resolve_entry st (e : Recovery_log.entry) =
         set_status st e.Recovery_log.task s;
         Recovery_log.mark_resolved st.rlog e.Recovery_log.task;
         st.recovered <- st.recovered + 1;
-        emit st "recovered %s -> %s" e.Recovery_log.task (status_to_string s)
+        tell st
+          (Trace.Recovered
+             {
+               task = e.Recovery_log.task;
+               site;
+               verdict =
+                 (match verdict with
+                 | Recovery_log.Commit -> Trace.Commit
+                 | Recovery_log.Abort -> Trace.Abort);
+             })
     | Error (Lam.Local _) ->
         (* the LDBMS resolved it unilaterally (local abort) *)
         set_status st e.Recovery_log.task A;
@@ -456,11 +485,22 @@ let rec exec_stmt st = function
           let conn =
             match dial st svc with
             | Ok lam, reused ->
-                emit st "OPEN %s AT %s AS %s%s" service svc.Service.site alias
-                  (if reused then " (pooled)" else "");
+                if st.pool <> None then
+                  tell st
+                    (Trace.Cache { layer = "pool"; hit = reused; key = service });
+                tell st
+                  (Trace.Opened
+                     {
+                       service;
+                       site = svc.Service.site;
+                       alias;
+                       pooled = reused;
+                     });
                 Available lam
             | Error f, _ ->
-                emit st "OPEN %s failed: %s" service (Lam.failure_message f);
+                tell st
+                  (Trace.Open_failed
+                     { service; reason = Lam.failure_message f });
                 Unavailable (Lam.failure_message f)
           in
           Hashtbl.replace st.aliases k conn)
@@ -480,6 +520,7 @@ let rec exec_stmt st = function
                      ignore (Ldbms.Session.rollback (Lam.session lam))
                  | Some _ | None -> ());
               release st lam;
+              tell st (Trace.Closed { alias });
               Hashtbl.remove st.aliases (akey alias)
           | Some (Unavailable _) -> Hashtbl.remove st.aliases (akey alias)
           | None -> err "CLOSE of unopened alias %s" alias)
@@ -494,31 +535,57 @@ let rec exec_stmt st = function
            (List.map (fun s () -> exec_stmt st s) stmts))
   | If (cond, then_b, else_b) ->
       let taken = eval_cond st cond in
-      emit st "IF %s => %s" (Dol_pp.cond_to_string cond)
-        (if taken then "THEN" else "ELSE");
+      tell st (Trace.Branch { cond = Dol_pp.cond_to_string cond; taken });
       if taken then List.iter (exec_stmt st) then_b
       else List.iter (exec_stmt st) else_b
   | Commit_tasks names ->
       (* log the global verdict before the second phase: this is the
          coordinator's decision record that makes in-doubt outcomes
          resolvable *)
-      Recovery_log.record_decision st.rlog Recovery_log.Commit
-        (List.filter (fun n -> get_status st n = P) names);
+      let prepared = List.filter (fun n -> get_status st n = P) names in
+      if prepared <> [] then
+        tell st (Trace.Decision { verdict = Trace.Commit; tasks = prepared });
+      Recovery_log.record_decision st.rlog Recovery_log.Commit prepared;
       List.iter (commit_task st) names
   | Abort_tasks names ->
-      Recovery_log.record_decision st.rlog Recovery_log.Abort
-        (List.filter (fun n -> get_status st n = P) names);
+      let prepared = List.filter (fun n -> get_status st n = P) names in
+      if prepared <> [] then
+        tell st (Trace.Decision { verdict = Trace.Abort; tasks = prepared });
+      Recovery_log.record_decision st.rlog Recovery_log.Abort prepared;
       List.iter (abort_task st) names
   | Comp { cname; compensates; target; commands } ->
       exec_comp st ~cname ~compensates ~target ~commands
   | Move { mname; src; dst; dest_table; query; reduce } ->
       exec_move st ~mname ~src ~dst ~dest_table ~query ~reduce
   | Set_status n ->
-      emit st "DOLSTATUS = %d" n;
+      tell st (Trace.Dolstatus n);
       st.dolstatus <- n
 
-let run ?(on_event = fun _ -> ()) ?(retry = Retry_policy.default)
-    ?(recovery_grace_ms = 500.0) ?pool ?move_cache ~directory ~world program =
+(* Release every connection the program still holds, rolling back prepared
+   work whose verdict is settled by presumed abort (no surviving decision
+   entry). This is the epilogue of a normal run, but it must also run when
+   the program dies on a [Program_error]: connections checked out of the
+   pool before the faulty statement would otherwise never be checked back
+   in, and their transactions never settled. *)
+let release_all st =
+  Hashtbl.iter
+    (fun alias conn ->
+      match conn with
+      | Available lam ->
+          (if Recovery_log.unresolved_for_alias st.rlog alias = [] then
+             match Ldbms.Session.txn_state (Lam.session lam) with
+             | Some Ldbms.Txn.Prepared ->
+                 ignore (Ldbms.Session.rollback (Lam.session lam))
+             | Some _ | None -> ());
+          release st lam;
+          tell st (Trace.Closed { alias })
+      | Unavailable _ -> ())
+    st.aliases;
+  Hashtbl.reset st.aliases
+
+let run ?(on_event = fun _ -> ()) ?(on_trace = fun _ -> ())
+    ?(retry = Retry_policy.default) ?(recovery_grace_ms = 500.0) ?pool
+    ?move_cache ~directory ~world program =
   let st =
     {
       directory;
@@ -536,6 +603,7 @@ let run ?(on_event = fun _ -> ()) ?(retry = Retry_policy.default)
       rowcounts = Hashtbl.create 8;
       dolstatus = -1;
       on_event;
+      on_trace;
       rlog = Recovery_log.create ();
       comps = Hashtbl.create 4;
       retries = 0;
@@ -552,24 +620,17 @@ let run ?(on_event = fun _ -> ()) ?(retry = Retry_policy.default)
       f "running DOL program: %d statements, %d tasks" (List.length program)
         (List.length (task_names program)));
   match List.iter (exec_stmt st) program with
-  | exception Program_error m -> Error m
+  | exception Program_error m ->
+      (* the program itself is faulty, but the connections it opened are
+         not: run the release/presumed-abort pass before reporting *)
+      release_all st;
+      Error m
   | () ->
       (* settle stranded 2PC decisions, then judge the commit groups *)
       final_recovery st;
       settle_splits st;
       (* close any aliases the program forgot *)
-      Hashtbl.iter
-        (fun alias conn ->
-          match conn with
-          | Available lam ->
-              (if Recovery_log.unresolved_for_alias st.rlog alias = [] then
-                 match Ldbms.Session.txn_state (Lam.session lam) with
-                 | Some Ldbms.Txn.Prepared ->
-                     ignore (Ldbms.Session.rollback (Lam.session lam))
-                 | Some _ | None -> ());
-              release st lam
-          | Unavailable _ -> ())
-        st.aliases;
+      release_all st;
       let statuses =
         List.rev_map (fun k -> (k, Hashtbl.find st.statuses k)) st.status_order
       in
@@ -598,12 +659,12 @@ let run ?(on_event = fun _ -> ()) ?(retry = Retry_policy.default)
           vital_split = st.vital_split;
         }
 
-let run_text ?on_event ?retry ?recovery_grace_ms ?pool ?move_cache ~directory
-    ~world text =
+let run_text ?on_event ?on_trace ?retry ?recovery_grace_ms ?pool ?move_cache
+    ~directory ~world text =
   match Dol_parser.parse text with
   | program ->
-      run ?on_event ?retry ?recovery_grace_ms ?pool ?move_cache ~directory
-        ~world program
+      run ?on_event ?on_trace ?retry ?recovery_grace_ms ?pool ?move_cache
+        ~directory ~world program
   | exception Dol_parser.Error (m, l, c) ->
       Error (Printf.sprintf "DOL parse error at %d:%d: %s" l c m)
 

@@ -45,6 +45,7 @@ type outcome = {
 
 val run :
   ?on_event:(string -> unit) ->
+  ?on_trace:(Trace.event -> unit) ->
   ?retry:Retry_policy.t ->
   ?recovery_grace_ms:float ->
   ?pool:Pool.t ->
@@ -53,10 +54,18 @@ val run :
   world:Netsim.World.t ->
   Dol_ast.program ->
   (outcome, string) result
-(** [on_event] receives one line per coordination step (opens, task
-    status transitions, branch decisions, commits/aborts/compensations,
-    data moves, retries, in-doubt resolutions), prefixed with the
-    virtual-clock time — the engine's execution trace.
+(** [on_trace] receives one typed {!Trace.event} per coordination step
+    (opens/closes, task status transitions, branch decisions, data moves
+    with byte counts and semijoin/cache provenance, retries, 2PC
+    decisions, in-doubt recoveries, cache consultations), timestamped
+    with the virtual clock. [on_event] receives {!Trace.render} of the
+    same stream — the historical line-oriented trace; both sinks may be
+    installed at once.
+
+    A [Program_error] (the [Error _] return) still runs the
+    release/presumed-abort epilogue: connections the faulty program
+    already opened are checked back into the pool (or disconnected) and
+    their undecided prepared transactions rolled back.
 
     [retry] (default {!Retry_policy.default}) governs every LAM
     operation. [recovery_grace_ms] (default 500) bounds how long, in
@@ -71,6 +80,7 @@ val run :
 
 val run_text :
   ?on_event:(string -> unit) ->
+  ?on_trace:(Trace.event -> unit) ->
   ?retry:Retry_policy.t ->
   ?recovery_grace_ms:float ->
   ?pool:Pool.t ->

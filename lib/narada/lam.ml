@@ -233,6 +233,13 @@ type transfer_cache = {
     src:string -> dst:string -> query:string -> Sqlcore.Relation.t -> unit;
 }
 
+type transfer_stats = {
+  moved_rows : int;
+  moved_bytes : int;
+  reduced : bool;
+  cached : bool;
+}
+
 let transfer ~cache ~reduce ~src ~dst ~query ~dest_table =
   (* Semijoin reduction: fetch the distinct join-key values from the
      destination (the coordinator already holds its side of the join) and
@@ -240,12 +247,12 @@ let transfer ~cache ~reduce ~src ~dst ~query ~dest_table =
      to [dst], key set back — is charged to the network like any fetch, so
      the bytes_moved ledger reflects the real SDD-1 tradeoff. Best-effort:
      if the probe fails, the MOVE proceeds unreduced. *)
-  let query =
+  let query, reduced =
     match reduce with
-    | None -> query
+    | None -> (query, false)
     | Some (col, probe) -> (
         match fetch dst probe with
-        | Error _ -> query
+        | Error _ -> (query, false)
         | Ok rel ->
             let keys =
               List.filter_map
@@ -254,7 +261,7 @@ let transfer ~cache ~reduce ~src ~dst ~query ~dest_table =
                   if Sqlcore.Value.is_null v then None else Some v)
                 (Sqlcore.Relation.rows rel)
             in
-            restrict_query ~col keys query)
+            (restrict_query ~col keys query, true))
   in
   let src_name = src.service.Service.service_name in
   let dst_name = dst.service.Service.service_name in
@@ -279,7 +286,8 @@ let transfer ~cache ~reduce ~src ~dst ~query ~dest_table =
     | Some _ | None -> None
   in
   match cached with
-  | Some rel -> Ok (materialize rel)
+  | Some rel ->
+      Ok { moved_rows = materialize rel; moved_bytes = 0; reduced; cached = true }
   | None ->
       (* command goes engine -> src; data goes src -> dst directly. The
          source query is a SELECT and the destination load replaces the
@@ -308,7 +316,13 @@ let transfer ~cache ~reduce ~src ~dst ~query ~dest_table =
                   (match cache with
                   | Some c -> c.tc_store ~src:src_name ~dst:dst_name ~query rel
                   | None -> ());
-                  Ok (materialize rel)))
+                  Ok
+                    {
+                      moved_rows = materialize rel;
+                      moved_bytes = Sqlcore.Relation.size_bytes rel;
+                      reduced;
+                      cached = false;
+                    }))
 
 let disconnect t =
   (* The LDBMS aborts an orphaned {e active} transaction when the session

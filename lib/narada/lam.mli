@@ -104,6 +104,15 @@ type transfer_cache = {
     committed write, since the shipped relation depends on the source
     data and, through the semijoin key set, on the destination data. *)
 
+type transfer_stats = {
+  moved_rows : int;  (** rows materialized at the destination *)
+  moved_bytes : int;
+      (** payload bytes shipped on the [src -> dst] wire; [0] on a cache
+          hit (protocol overhead excluded) *)
+  reduced : bool;  (** the semijoin rewrite was actually applied *)
+  cached : bool;  (** served from the shipped-result cache *)
+}
+
 val transfer :
   cache:transfer_cache option ->
   reduce:(string * string) option ->
@@ -111,10 +120,10 @@ val transfer :
   dst:t ->
   query:string ->
   dest_table:string ->
-  (int, failure) result
+  (transfer_stats, failure) result
 (** Run [query] at [src] and materialize the result at [dst] under
     [dest_table] (replacing it), shipping the data directly between the
-    two sites. Returns the number of rows moved. Idempotent end to end,
+    two sites. Returns what moved and how. Idempotent end to end,
     retried as a unit under [src]'s policy.
 
     With [cache = Some _], a lookup hit short-circuits the whole operation: the

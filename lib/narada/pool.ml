@@ -15,12 +15,22 @@ type t = {
   world : World.t;
   conns : (string, entry list) Hashtbl.t;  (* service key -> idle stack *)
   pstats : stats;
+  mutable on_trace : Trace.event -> unit;
 }
 
 let key = String.lowercase_ascii
 
 let create world =
-  { world; conns = Hashtbl.create 8; pstats = { hits = 0; misses = 0; discarded = 0 } }
+  {
+    world;
+    conns = Hashtbl.create 8;
+    pstats = { hits = 0; misses = 0; discarded = 0 };
+    on_trace = ignore;
+  }
+
+let set_trace t sink = t.on_trace <- sink
+
+let tell t kind = t.on_trace { Trace.at_ms = World.now_ms t.world; kind }
 
 let stats t = t.pstats
 
@@ -55,6 +65,12 @@ let checkout ?retry ?on_retry t (svc : Service.t) =
         end
         else begin
           t.pstats.discarded <- t.pstats.discarded + 1;
+          tell t
+            (Trace.Pool_stale
+               {
+                 service = svc.Service.service_name;
+                 site = Lam.site e.lam;
+               });
           abandon e.lam;
           pick ()
         end

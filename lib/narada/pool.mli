@@ -28,6 +28,11 @@ type stats = {
 
 val create : Netsim.World.t -> t
 
+val set_trace : t -> (Trace.event -> unit) -> unit
+(** Install a typed-event sink; the pool reports discarded stale
+    connections ({!Trace.Pool_stale}) through it. Replaces any previous
+    sink. *)
+
 val stats : t -> stats
 
 val size : t -> int

@@ -1,0 +1,64 @@
+(** Typed trace events emitted by the engine, the connection pool and the
+    LAM layer, timestamped with the virtual clock.
+
+    The engine's historical string trace ([Engine.run ~on_event]) is now a
+    {!render}ing of this stream: every string the engine ever printed is
+    [render] of some event, so textual consumers are unaffected while
+    structured consumers ([Engine.run ~on_trace], the [Msql.Metrics]
+    registry) can match on {!kind} instead of parsing. *)
+
+type verdict = Commit | Abort
+
+type kind =
+  | Opened of { service : string; site : string; alias : string; pooled : bool }
+      (** OPEN established a session; [pooled] when it was an idle pool
+          connection rather than a fresh dial. *)
+  | Open_failed of { service : string; reason : string }
+  | Closed of { alias : string }
+      (** The session behind [alias] was released — by CLOSE or by the
+          end-of-program epilogue. *)
+  | Status of { task : string; status : Dol_ast.status }
+      (** A task status transition (the [t1 -> P] lines). *)
+  | Branch of { cond : string; taken : bool }  (** An IF was evaluated. *)
+  | Moved of {
+      mname : string;
+      src : string;
+      dst : string;
+      dest_table : string;
+      rows : int;
+      bytes : int;  (** payload bytes shipped; [0] on a cache hit *)
+      reduced : bool;  (** the semijoin rewrite restricted the query *)
+      cached : bool;  (** served from the shipped-result cache *)
+    }  (** A MOVE completed. *)
+  | Retry of {
+      op : string;
+      site : string;
+      attempt : int;
+      delay_ms : float;
+      reason : string;
+    }  (** A retried operation, as observed via [Lam]'s retry callback. *)
+  | Decision of { verdict : verdict; tasks : string list }
+      (** The coordinator logged its global 2PC verdict over the prepared
+          tasks, before driving the second phase. *)
+  | Recovered of { task : string; site : string; verdict : verdict }
+      (** An in-doubt transaction was driven to its logged verdict. *)
+  | Pool_stale of { service : string; site : string }
+      (** The pool discarded an idle connection that went stale. *)
+  | Cache of { layer : string; hit : bool; key : string }
+      (** A cache consultation; [layer] is ["pool"], ["plan"] or
+          ["result"]. *)
+  | Dolstatus of int
+  | Note of string
+      (** Free-form diagnostics that have no structured shape (recovery
+          narration, split settlement, ...). *)
+
+type event = { at_ms : float; kind : kind }
+
+val verdict_to_string : verdict -> string
+val status_of_verdict : verdict -> Dol_ast.status
+
+val render_kind : kind -> string
+(** The message text without the timestamp prefix. *)
+
+val render : event -> string
+(** The full historical line: [Printf.sprintf "[%8.2f ms] %s"]. *)

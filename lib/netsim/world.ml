@@ -16,6 +16,9 @@ type t = {
          gone. *)
   mutable clock_ms : float;
   stats : stats;
+  site_stats : (string, site_stat) Hashtbl.t;
+      (* per-site ledger of delivered traffic; the sums over all sites
+         equal [stats.messages]/[stats.bytes_moved] *)
   link_loss : (string * string, loss) Hashtbl.t;
   mutable default_loss : loss option;
   lose_next : (string * string, int) Hashtbl.t;  (* queued one-shot losses *)
@@ -25,6 +28,13 @@ and stats = {
   mutable messages : int;
   mutable bytes_moved : int;
   mutable lost : int;
+}
+
+and site_stat = {
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable recv_msgs : int;
+  mutable recv_bytes : int;
 }
 
 exception Unknown_site of string
@@ -41,6 +51,7 @@ let create () =
       down_history = Hashtbl.create 4;
       clock_ms = 0.0;
       stats = { messages = 0; bytes_moved = 0; lost = 0 };
+      site_stats = Hashtbl.create 8;
       link_loss = Hashtbl.create 4;
       default_loss = None;
       lose_next = Hashtbl.create 4;
@@ -72,7 +83,21 @@ let stats t = t.stats
 let reset_stats t =
   t.stats.messages <- 0;
   t.stats.bytes_moved <- 0;
-  t.stats.lost <- 0
+  t.stats.lost <- 0;
+  Hashtbl.reset t.site_stats
+
+let site_stat_of t name =
+  let k = key name in
+  match Hashtbl.find_opt t.site_stats k with
+  | Some s -> s
+  | None ->
+      let s = { sent_msgs = 0; sent_bytes = 0; recv_msgs = 0; recv_bytes = 0 } in
+      Hashtbl.replace t.site_stats k s;
+      s
+
+let per_site t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.site_stats []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ---- failures ------------------------------------------------------------ *)
 
@@ -217,7 +242,14 @@ let send t ~src ~dst ~bytes =
   end;
   advance_ms t (Site.message_cost_ms s ~bytes +. Site.message_cost_ms d ~bytes);
   t.stats.messages <- t.stats.messages + 1;
-  t.stats.bytes_moved <- t.stats.bytes_moved + bytes
+  t.stats.bytes_moved <- t.stats.bytes_moved + bytes;
+  (* only delivered traffic enters the per-site ledger, mirroring the
+     global counters above *)
+  let ss = site_stat_of t src and ds = site_stat_of t dst in
+  ss.sent_msgs <- ss.sent_msgs + 1;
+  ss.sent_bytes <- ss.sent_bytes + bytes;
+  ds.recv_msgs <- ds.recv_msgs + 1;
+  ds.recv_bytes <- ds.recv_bytes + bytes
 
 let parallel t thunks =
   let t0 = t.clock_ms in

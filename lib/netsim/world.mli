@@ -35,6 +35,17 @@ type stats = {
   mutable lost : int;       (** messages dropped by loss injection *)
 }
 
+type site_stat = {
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable recv_msgs : int;
+  mutable recv_bytes : int;
+}
+(** Per-site view of delivered traffic. Lost messages are charged to
+    neither side (mirroring {!stats}, which counts delivered messages
+    only), so summing [sent_msgs]/[sent_bytes] over all sites reproduces
+    [stats.messages]/[stats.bytes_moved] exactly. *)
+
 val create : unit -> t
 (** Contains one built-in site ["mdbs"] (latency 0): the multidatabase
     engine's own node. *)
@@ -48,6 +59,11 @@ val advance_ms : t -> float -> unit
 val reset_clock : t -> unit
 val stats : t -> stats
 val reset_stats : t -> unit
+(** Also clears the per-site ledger. *)
+
+val per_site : t -> (string * site_stat) list
+(** Per-site traffic counters for every site that has sent or received at
+    least one delivered message, sorted by (lowercased) site name. *)
 
 val set_down : t -> string -> bool -> unit
 (** [set_down t name true] marks the site permanently unreachable

@@ -100,11 +100,21 @@ let product a b =
 
 (* Join keys are class-prefixed strings so values of distinct classes never
    collide; Int and Float share the numeric class because SQL equality
-   compares them numerically. NULL has no key: NULL = x is never true. *)
+   compares them numerically. NULL has no key: NULL = x is never true.
+
+   Keys must be exact: routing Int through string_of_float would fold
+   integers above 2^53 onto their nearest double and join rows the
+   filtered-product path rejects. An integral Float in the OCaml int range
+   shares the Int's decimal key, so Int 5 and Float 5.0 still match; any
+   other float gets its exact hex rendering ("%h" always contains an 'x',
+   so it can never collide with a decimal integer key). *)
 let join_key_of_value = function
   | Value.Null -> None
-  | Value.Int i -> Some ("n" ^ string_of_float (float_of_int i))
-  | Value.Float f -> Some ("n" ^ string_of_float f)
+  | Value.Int i -> Some ("n" ^ string_of_int i)
+  | Value.Float f ->
+      if Float.is_integer f && f >= -0x1p62 && f < 0x1p62 then
+        Some ("n" ^ string_of_int (int_of_float f))
+      else Some ("n" ^ Printf.sprintf "%h" f)
   | Value.Str s -> Some ("s" ^ s)
   | Value.Bool true -> Some "bt"
   | Value.Bool false -> Some "bf"

@@ -5,15 +5,6 @@ type t =
   | Str of string
   | Bool of bool
 
-let equal a b =
-  match a, b with
-  | Null, Null -> true
-  | Int a, Int b -> a = b
-  | Float a, Float b -> Float.equal a b
-  | Str a, Str b -> String.equal a b
-  | Bool a, Bool b -> a = b
-  | (Null | Int _ | Float _ | Str _ | Bool _), _ -> false
-
 (* Null < numbers < strings < bools; ints and floats interleave numerically *)
 let class_rank = function
   | Null -> 0
@@ -21,16 +12,37 @@ let class_rank = function
   | Str _ -> 2
   | Bool _ -> 3
 
+(* Int-vs-float comparison must be exact: rounding the int to a double
+   first merges adjacent ints above 2^53 and makes the numeric order
+   non-transitive (Int (2^53) = Float 2^53. = Int (2^53+1) while the two
+   ints differ), which breaks sorting and hash-join keying. Compare in
+   the integer domain instead; NaN keeps [Float.compare]'s convention
+   (equal to itself, below every number). *)
+let compare_int_float a b =
+  if Float.is_nan b then 1
+  else if b >= 0x1p62 then -1 (* every int is below 2^62 *)
+  else if b < -0x1p62 then 1
+  else
+    let fl = Float.floor b in
+    let il = int_of_float fl in
+    (* exact: |fl| <= 2^62 and integral *)
+    if a < il then -1 else if a > il then 1 else if fl = b then 0 else -1
+
 let compare a b =
   match a, b with
   | Null, Null -> 0
   | Int a, Int b -> Stdlib.compare a b
   | Float a, Float b -> Float.compare a b
-  | Int a, Float b -> Float.compare (float_of_int a) b
-  | Float a, Int b -> Float.compare a (float_of_int b)
+  | Int a, Float b -> compare_int_float a b
+  | Float a, Int b -> -compare_int_float b a
   | Str a, Str b -> String.compare a b
   | Bool a, Bool b -> Bool.compare a b
   | _, _ -> Stdlib.compare (class_rank a) (class_rank b)
+
+(* Equality is [compare] agreement, so Int 1 = Float 1.0: a sort by
+   [compare] followed by a pairwise [equal] walk (Relation.equal_unordered)
+   can never disagree with the order it sorted by. *)
+let equal a b = compare a b = 0
 
 let ty = function
   | Null -> None

@@ -11,12 +11,16 @@ type t =
   | Bool of bool
 
 val equal : t -> t -> bool
-(** Structural equality; [Int 1] and [Float 1.0] are {e not} equal here
-    (numeric coercion lives in the evaluator). *)
+(** Equality as agreement of {!compare}: [Int 1] and [Float 1.0] {e are}
+    equal, matching the evaluator's numeric coercion and the order used to
+    sort multisets before pairwise comparison. *)
 
 val compare : t -> t -> int
 (** Total order used for ORDER BY, MIN/MAX and index lookups. [Null] sorts
-    first; ints and floats compare numerically across the two types. *)
+    first; ints and floats compare numerically across the two types. The
+    cross-type comparison is {e exact} (performed in the integer domain),
+    so adjacent ints above 2^53 are not merged by a detour through
+    double rounding and the order stays transitive. *)
 
 val ty : t -> Ty.t option
 (** Type of a non-null value; [None] for [Null]. *)

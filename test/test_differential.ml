@@ -295,6 +295,22 @@ let test_planner_matches_product () =
       List.iter (check_planner_identical session) planner_queries)
     [ 11; 12; 13 ]
 
+(* keys above 2^53: adjacent ints are indistinguishable once routed
+   through a float, so the hash join's buckets must be built from exact
+   keys or it joins rows the filtered product rejects *)
+let test_planner_bigint_keys () =
+  let big = 9007199254740992 (* 2^53 *) in
+  let parts =
+    [ [| i big; s "even"; f 1.0 |]; [| i (big + 1); s "odd"; f 2.0 |] ]
+  in
+  let sales =
+    [ [| i 1; i big; i 3 |]; [| i 2; i (big + 1); i 4 |];
+      [| i 3; i (big + 2); i 5 |] ]
+  in
+  let session = merged_session ~parts ~sales in
+  check_planner_identical session
+    "SELECT s.sid, p.pname FROM sales s, parts p WHERE s.part_id = p.pid"
+
 (* same matrix with a declared index on the join column, so the planner
    takes the index-nested-loop path instead of building a hash table *)
 let test_inl_matches_product () =
@@ -327,6 +343,7 @@ let () =
       ( "planner vs product",
         [
           Alcotest.test_case "hash join" `Quick test_planner_matches_product;
+          Alcotest.test_case "keys above 2^53" `Quick test_planner_bigint_keys;
           Alcotest.test_case "index nested loop" `Quick test_inl_matches_product;
         ] );
     ]

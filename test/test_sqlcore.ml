@@ -13,10 +13,80 @@ let test_value_compare () =
     (Value.compare (Value.Int 999) (Value.Str "0") < 0)
 
 let test_value_equal () =
-  Alcotest.(check bool) "int/float not equal" false
+  (* equal must agree with compare, in both directions: a mixed Int/Float
+     pair that compares 0 is equal *)
+  Alcotest.(check bool) "int = float" true
     (Value.equal (Value.Int 1) (Value.Float 1.0));
+  Alcotest.(check bool) "float = int" true
+    (Value.equal (Value.Float 1.0) (Value.Int 1));
+  Alcotest.(check bool) "int <> float" false
+    (Value.equal (Value.Int 1) (Value.Float 1.5));
+  Alcotest.(check bool) "float <> int" false
+    (Value.equal (Value.Float 1.5) (Value.Int 1));
   Alcotest.(check bool) "same string" true (Value.equal (Value.Str "x") (Value.Str "x"));
   Alcotest.(check bool) "null eq null" true (Value.equal Value.Null Value.Null)
+
+let test_value_compare_exact_bigint () =
+  (* the cross-type comparison must not round the int to a double: above
+     2^53 adjacent ints share a float image but stay distinct values *)
+  let big = 9007199254740992 (* 2^53 *) in
+  Alcotest.(check bool) "int = its float image" true
+    (Value.compare (Value.Int big) (Value.Float 9007199254740992.0) = 0);
+  Alcotest.(check bool) "2^53+1 above Float 2^53" true
+    (Value.compare (Value.Int (big + 1)) (Value.Float 9007199254740992.0) > 0);
+  Alcotest.(check bool) "Float 2^53 below 2^53+1" true
+    (Value.compare (Value.Float 9007199254740992.0) (Value.Int (big + 1)) < 0);
+  Alcotest.(check bool) "adjacent ints distinct" true
+    (Value.compare (Value.Int big) (Value.Int (big + 1)) < 0);
+  (* fractions and extremes *)
+  Alcotest.(check bool) "int below its successor's fraction" true
+    (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  Alcotest.(check bool) "negative fraction" true
+    (Value.compare (Value.Int (-3)) (Value.Float (-2.5)) < 0);
+  Alcotest.(check bool) "huge float above max_int" true
+    (Value.compare (Value.Int max_int) (Value.Float 1e19) < 0);
+  Alcotest.(check bool) "huge negative float below min_int" true
+    (Value.compare (Value.Int min_int) (Value.Float (-1e19)) > 0)
+
+let test_hash_join_exact_bigint_keys () =
+  (* regression: keys routed through string_of_float merge adjacent ints
+     above 2^53 into one bucket, joining rows whose values differ *)
+  let big = 9007199254740992 (* 2^53 *) in
+  let mk name vals =
+    Relation.make
+      [ Schema.column name Ty.Int ]
+      (List.map (fun n -> [| Value.Int n |]) vals)
+  in
+  let a = mk "x" [ big; big + 1 ] and b = mk "y" [ big; big + 1; big + 2 ] in
+  let joined = Relation.hash_join a b ~keys:[ (0, 0) ] in
+  Alcotest.(check int) "only exact matches join" 2
+    (Relation.cardinality joined);
+  List.iter
+    (fun row -> Alcotest.check value "key columns agree" row.(0) row.(1))
+    (Relation.rows joined);
+  (* Int and integral Float still share a key across the type boundary *)
+  let c =
+    Relation.make
+      [ Schema.column "z" Ty.Float ]
+      [ [| Value.Float 9007199254740992.0 |] ]
+  in
+  Alcotest.(check int) "int matches its exact float image" 1
+    (Relation.cardinality (Relation.hash_join a c ~keys:[ (0, 0) ]))
+
+let test_equal_unordered_mixed () =
+  (* Int/Float mixed multisets: sorting by compare interleaves the two
+     classes, and equal agrees with the sort order, so numerically equal
+     multisets match regardless of representation *)
+  let open Value in
+  let schema = [ Schema.column "x" Ty.Float ] in
+  let a = Relation.make schema [ [| Int 1 |]; [| Float 2.0 |] ] in
+  let b = Relation.make schema [ [| Float 1.0 |]; [| Int 2 |] ] in
+  Alcotest.(check bool) "mixed multisets equal" true (Relation.equal_unordered a b);
+  Alcotest.(check bool) "mixed multisets equal (flipped)" true
+    (Relation.equal_unordered b a);
+  let c = Relation.make schema [ [| Float 1.5 |]; [| Int 2 |] ] in
+  Alcotest.(check bool) "distinct multisets differ" false
+    (Relation.equal_unordered a c)
 
 let test_value_literal_roundtrip () =
   let cases =
@@ -241,6 +311,8 @@ let () =
       ( "value",
         [
           Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "compare exact above 2^53" `Quick
+            test_value_compare_exact_bigint;
           Alcotest.test_case "equal" `Quick test_value_equal;
           Alcotest.test_case "literal roundtrip" `Quick test_value_literal_roundtrip;
           Alcotest.test_case "to_string" `Quick test_value_to_string;
@@ -266,6 +338,10 @@ let () =
           Alcotest.test_case "union/product" `Quick test_relation_union_product;
           Alcotest.test_case "order/limit" `Quick test_relation_order_limit;
           Alcotest.test_case "equal unordered" `Quick test_relation_equal_unordered;
+          Alcotest.test_case "equal unordered mixed int/float" `Quick
+            test_equal_unordered_mixed;
+          Alcotest.test_case "hash join exact keys above 2^53" `Quick
+            test_hash_join_exact_bigint_keys;
         ] );
       ( "scan",
         [
