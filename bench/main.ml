@@ -7,7 +7,9 @@
    perf-critical tables (P4, P9) are also recorded in BENCH_perf.json.
 
    Run with:  dune exec bench/main.exe
-   CI smoke:  dune exec bench/main.exe -- --perf-smoke  (P4 + P9 only) *)
+   CI smoke:  dune exec bench/main.exe -- --perf-smoke  (P4/P9/P10/P11)
+   Profiling: dune exec bench/main.exe -- --p10-one CONFIG[,CONFIG...]
+              (single P10 configuration; P10_ROWS / P10_N override size) *)
 
 open Sqlcore
 module F = Msql.Fixtures
@@ -361,7 +363,18 @@ let p9_join_scaling () =
    joins over three sites — the workload the session performance layer is
    built for. Each ablation turns on one more reuse mechanism (connection
    pool, compiled-plan cache, shipped-result cache) and replays the exact
-   same statement sequence. *)
+   same statement sequence.
+
+   Measurement: each configuration is timed over several fresh-session
+   repetitions and the best run is reported (min-time estimator). A
+   single-shot timing of this region — tens of milliseconds at smoke
+   size — is dominated by scheduler and hypervisor noise: one preempted
+   quantum shifts the throughput by 30%, which is exactly how an earlier
+   published run showed the pool configuration "slower" than all-off
+   despite moving 25% fewer messages. Profiling the checkout/checkin
+   path (gprofng + interleaved CPU timing) showed its CPU cost is
+   indistinguishable from dialing; the traffic counters are
+   deterministic and identical across repetitions. *)
 
 type p10_row = {
   p10_config : string;
@@ -472,14 +485,30 @@ let p10_run ~rows ~n ~config ~pool ~plan ~result =
     p10_result_hits = cs.M.result_hits;
   }
 
-let p10_session_reuse ?(rows = 6000) ?(n = 150) () =
+(* best of [reps] fresh-session runs; deterministic counters are checked
+   to agree across repetitions so only the wall clock varies *)
+let p10_best ~reps ~rows ~n ~config ~pool ~plan ~result =
+  let first = p10_run ~rows ~n ~config ~pool ~plan ~result in
+  let rec go best i =
+    if i >= reps then best
+    else begin
+      let r = p10_run ~rows ~n ~config ~pool ~plan ~result in
+      if r.p10_bytes <> first.p10_bytes || r.p10_msgs <> first.p10_msgs then
+        failwith
+          (Printf.sprintf "P10 %s: nondeterministic traffic across reps" config);
+      go (if r.p10_sps > best.p10_sps then r else best) (i + 1)
+    end
+  in
+  go first 1
+
+let p10_session_reuse ?(rows = 6000) ?(n = 150) ?(reps = 3) () =
   header
     "P10: session reuse ablation (Zipf statement mix, 3 sites, same sequence)";
   Printf.printf "%-22s %12s %12s %10s %7s %6s %6s %6s\n" "config" "stmts/s"
     "virt ms" "bytes" "msgs" "pool" "plan" "rslt";
   List.map
     (fun (config, pool, plan, result) ->
-      let r = p10_run ~rows ~n ~config ~pool ~plan ~result in
+      let r = p10_best ~reps ~rows ~n ~config ~pool ~plan ~result in
       Printf.printf "%-22s %12.1f %12.2f %10d %7d %6d %6d %6d\n" r.p10_config
         r.p10_sps r.p10_virt_ms r.p10_bytes r.p10_msgs r.p10_pool_hits
         r.p10_plan_hits r.p10_result_hits;
@@ -512,9 +541,231 @@ let p10_assert_smoke p10 =
     "P10 smoke assertion passed: %d < %d bytes, %d < %d messages\n"
     hot.p10_bytes cold.p10_bytes hot.p10_msgs cold.p10_msgs
 
+(* ---- P11: domain-pool execution of parallel blocks (multicore Narada) ----- *)
+
+(* Four 2PC sites with graded latencies; each branch of the PARBEGIN runs
+   a CPU-heavy grouped self-join at its own site, so the block's wall time
+   is dominated by local execution — the part a domain pool can overlap.
+   The table reports wall ms (best of reps) at 1/2/4 domains, the shared
+   virtual cost (identical at every width — the divergence check compares
+   the full rendered event streams), and the 2PC commit-phase window,
+   which the concurrent second-phase fan-out accounts as the slowest
+   branch rather than the sum of all four.
+
+   Wall-clock speedup needs real cores: the recommended-domain count is
+   recorded alongside so a single-core CI run stays legible, and the
+   smoke assertion only demands speedup when at least 4 cores are
+   available. *)
+
+module T = Narada.Trace
+
+type p11_row = {
+  p11_domains : int;
+  p11_wall_ms : float;  (* best of reps *)
+  p11_virt_ms : float;
+  p11_phase_ms : float;  (* commit decision -> last branch committed *)
+  p11_trace : string;  (* rendered event stream, for the divergence check *)
+}
+
+let p11_latencies = [ 10.0; 20.0; 30.0; 40.0 ]
+
+let p11_setup ~rows =
+  let world = Netsim.World.create () in
+  let dir = Narada.Directory.create () in
+  List.iteri
+    (fun idx lat ->
+      let i = idx + 1 in
+      let site = Printf.sprintf "site%d" i in
+      Netsim.World.add_site world
+        (Netsim.Site.make ~latency_ms:lat ~per_byte_ms:0.0 site);
+      let db = Ldbms.Database.create (Printf.sprintf "db%d" i) in
+      Ldbms.Database.load db ~name:"load"
+        [ Schema.column "rid" Ty.Int; Schema.column "grp" Ty.Int;
+          Schema.column "price" Ty.Float ]
+        (List.init rows (fun r ->
+             [| Value.Int r; Value.Int (r mod 8);
+                Value.Float (float_of_int ((r * 37) mod 997)) |]));
+      Narada.Directory.register dir
+        (Narada.Service.make ~site ~caps:Ldbms.Capabilities.ingres_like db))
+    p11_latencies;
+  (world, dir)
+
+(* the branch body: a grouped self-join whose hash join enumerates
+   rows^2/8 pairs but emits few — pure comparison work at the site *)
+let p11_program =
+  let n = List.length p11_latencies in
+  let init f = List.init n (fun i -> f (i + 1)) in
+  let opens =
+    String.concat "\n"
+      (init (fun i -> Printf.sprintf "  OPEN db%d AT site%d AS c%d;" i i i))
+  in
+  let tasks =
+    (* the UPDATE opens the transaction the later PREPARE needs (a bare
+       SELECT runs outside one); the SELECT is the CPU load *)
+    String.concat "\n"
+      (init (fun i ->
+           Printf.sprintf
+             "    TASK T%d NOCOMMIT FOR c%d { UPDATE load SET price = \
+              price WHERE rid = 0; SELECT a.rid FROM load a, load b \
+              WHERE a.grp = b.grp AND a.price > 990.0 AND a.price < \
+              b.price } ENDTASK;"
+             i i))
+  in
+  let all_p = String.concat " AND " (init (Printf.sprintf "(T%d=P)")) in
+  let commits = String.concat ", " (init (Printf.sprintf "T%d")) in
+  let closes = String.concat " " (init (Printf.sprintf "c%d")) in
+  Printf.sprintf
+    "DOLBEGIN\n%s\n  PARBEGIN\n%s\n  PAREND;\n\
+    \  IF %s THEN\n  BEGIN COMMIT %s; DOLSTATUS = 0; END;\n\
+    \  CLOSE %s;\nDOLEND" opens tasks all_p commits closes
+
+let p11_run ~rows ~domains ~reps =
+  let dpool =
+    if domains > 1 then Some (Narada.Dpool.shared ~domains) else None
+  in
+  let one () =
+    let world, dir = p11_setup ~rows in
+    let events = ref [] in
+    let t0 = Unix.gettimeofday () in
+    match
+      Narada.Engine.run_text ?dpool
+        ~on_trace:(fun e -> events := e :: !events)
+        ~directory:dir ~world p11_program
+    with
+    | Ok o when o.Narada.Engine.dolstatus = 0 ->
+        let wall = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let evs = List.rev !events in
+        let decision =
+          List.find_map
+            (fun e ->
+              match e.T.kind with
+              | T.Decision { verdict = T.Commit; _ } -> Some e.T.at_ms
+              | _ -> None)
+            evs
+        in
+        let last_c =
+          List.fold_left
+            (fun acc e ->
+              match e.T.kind with
+              | T.Status { status = D.C; _ } -> max acc e.T.at_ms
+              | _ -> acc)
+            0.0 evs
+        in
+        let phase =
+          match decision with
+          | Some d -> last_c -. d
+          | None -> failwith "P11: no commit decision in trace"
+        in
+        let trace =
+          String.concat "\n"
+            (List.map
+               (fun e ->
+                 Printf.sprintf "%.6f|%s" e.T.at_ms (T.render_kind e.T.kind))
+               evs)
+        in
+        (wall, o.Narada.Engine.elapsed_ms, phase, trace)
+    | Ok o ->
+        failwith
+          (Printf.sprintf "P11: DOLSTATUS %d [%s]" o.Narada.Engine.dolstatus
+             (String.concat ", "
+                (List.map
+                   (fun (n, s) ->
+                     Printf.sprintf "%s=%s" n (D.status_to_string s))
+                   o.Narada.Engine.statuses)))
+    | Error m -> failwith ("P11: " ^ m)
+  in
+  let wall0, virt, phase, trace = one () in
+  let best = ref wall0 in
+  for _ = 2 to reps do
+    let wall, virt', _, trace' = one () in
+    if virt' <> virt || not (String.equal trace' trace) then
+      failwith "P11: nondeterministic trace across repetitions";
+    if wall < !best then best := wall
+  done;
+  {
+    p11_domains = domains;
+    p11_wall_ms = !best;
+    p11_virt_ms = virt;
+    p11_phase_ms = phase;
+    p11_trace = trace;
+  }
+
+let p11_serial_phase_est =
+  2.0 *. List.fold_left ( +. ) 0.0 p11_latencies
+
+let p11_domain_pool ?(rows = 2000) ?(reps = 3) () =
+  header "P11: domain-pool execution of a 4-branch parallel block";
+  let recommended = Domain.recommended_domain_count () in
+  Printf.printf "(machine reports %d recommended domain(s))\n" recommended;
+  Printf.printf "%-8s %12s %12s %10s %14s\n" "domains" "wall ms" "virt ms"
+    "speedup" "2PC phase ms";
+  let rows_out =
+    List.map
+      (fun domains -> p11_run ~rows ~domains ~reps)
+      [ 1; 2; 4 ]
+  in
+  let base = List.hd rows_out in
+  List.iter
+    (fun r ->
+      Printf.printf "%-8d %12.1f %12.2f %9.2fx %14.2f\n" r.p11_domains
+        r.p11_wall_ms r.p11_virt_ms
+        (base.p11_wall_ms /. r.p11_wall_ms)
+        r.p11_phase_ms)
+    rows_out;
+  Printf.printf
+    "commit phase: %.2f ms parallel vs %.2f ms serial-sum estimate\n"
+    base.p11_phase_ms p11_serial_phase_est;
+  (recommended, rows_out)
+
+(* determinism is asserted unconditionally — the full event stream at 2
+   and 4 domains must be byte-identical to the sequential one; wall-clock
+   speedup is only demanded when the machine actually has 4 cores *)
+let p11_assert_smoke (recommended, rows_out) =
+  let base = List.hd rows_out in
+  List.iter
+    (fun r ->
+      if not (String.equal r.p11_trace base.p11_trace) then begin
+        Printf.eprintf
+          "P11 smoke FAILED: trace at %d domains diverges from sequential\n"
+          r.p11_domains;
+        exit 1
+      end;
+      if r.p11_virt_ms <> base.p11_virt_ms then begin
+        Printf.eprintf
+          "P11 smoke FAILED: virtual time %.4f at %d domains vs %.4f\n"
+          r.p11_virt_ms r.p11_domains base.p11_virt_ms;
+        exit 1
+      end)
+    rows_out;
+  if base.p11_phase_ms >= p11_serial_phase_est then begin
+    Printf.eprintf
+      "P11 smoke FAILED: commit phase %.2f ms is not below the serial sum \
+       %.2f ms\n"
+      base.p11_phase_ms p11_serial_phase_est;
+    exit 1
+  end;
+  (if recommended >= 4 then
+     let four = List.find (fun r -> r.p11_domains = 4) rows_out in
+     let speedup = base.p11_wall_ms /. four.p11_wall_ms in
+     if speedup < 1.5 then begin
+       Printf.eprintf
+         "P11 smoke FAILED: %.2fx speedup at 4 domains on a %d-core \
+          machine (wanted >= 1.5x)\n"
+         speedup recommended;
+       exit 1
+     end
+   else
+     Printf.printf
+       "P11: speedup assertion skipped (%d recommended domain(s) < 4)\n"
+       recommended);
+  Printf.printf
+    "P11 smoke assertion passed: traces identical at 1/2/4 domains, \
+     commit phase %.2f < %.2f ms\n"
+    base.p11_phase_ms p11_serial_phase_est
+
 (* machine-readable record of the perf-critical experiments, consumed by
    the CI bench-smoke step *)
-let write_perf_json ~path p4 p9 p10 =
+let write_perf_json ~path p4 p9 p10 p11 =
   let oc = open_out path in
   let p4_json r =
     Printf.sprintf
@@ -532,6 +783,14 @@ let write_perf_json ~path p4 p9 p10 =
       r.p10_config r.p10_sps r.p10_virt_ms r.p10_bytes r.p10_msgs
       r.p10_pool_hits r.p10_plan_hits r.p10_result_hits
   in
+  let p11_recommended, p11_rows = p11 in
+  let p11_base = List.hd p11_rows in
+  let p11_json r =
+    Printf.sprintf
+      {|      {"domains": %d, "wall_ms": %.2f, "virtual_ms": %.2f, "speedup_vs_1": %.2f}|}
+      r.p11_domains r.p11_wall_ms r.p11_virt_ms
+      (p11_base.p11_wall_ms /. r.p11_wall_ms)
+  in
   Printf.fprintf oc
     "{\n\
     \  \"p4_data_shipping\": [\n\
@@ -542,11 +801,21 @@ let write_perf_json ~path p4 p9 p10 =
     \  ],\n\
     \  \"p10_session_reuse\": [\n\
      %s\n\
-    \  ]\n\
+    \  ],\n\
+    \  \"p11_domain_pool\": {\n\
+    \    \"recommended_domains\": %d,\n\
+    \    \"commit_phase_ms\": %.2f,\n\
+    \    \"commit_phase_serial_est_ms\": %.2f,\n\
+    \    \"runs\": [\n\
+     %s\n\
+    \    ]\n\
+    \  }\n\
      }\n"
     (String.concat ",\n" (List.map p4_json p4))
     (String.concat ",\n" (List.map p9_json p9))
-    (String.concat ",\n" (List.map p10_json p10));
+    (String.concat ",\n" (List.map p10_json p10))
+    p11_recommended p11_base.p11_phase_ms p11_serial_phase_est
+    (String.concat ",\n" (List.map p11_json p11_rows));
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
@@ -823,17 +1092,43 @@ let run_bechamel () =
     tests
 
 let () =
-  (* --perf-smoke: only the perf-critical experiments (P4, P9) plus their
-     JSON record — the CI smoke configuration *)
+  (* --perf-smoke: only the perf-critical experiments plus their JSON
+     record — the CI smoke configuration *)
   let smoke = Array.exists (String.equal "--perf-smoke") Sys.argv in
+  (* --p10-one CONFIG: run a single P10 configuration at full size and
+     exit — a profiling target (e.g. under gprofng) *)
+  (match Array.to_list Sys.argv with
+  | _ :: "--p10-one" :: configs :: _ ->
+      let getenv_int v d =
+        match Sys.getenv_opt v with Some s -> int_of_string s | None -> d
+      in
+      let rows = getenv_int "P10_ROWS" 6000 and n = getenv_int "P10_N" 150 in
+      List.iter
+        (fun config ->
+          let pool, plan, result =
+            match config with
+            | "all-off" -> (false, false, false)
+            | "pool" -> (true, false, false)
+            | "pool+plan" -> (true, true, false)
+            | "pool+plan+result" -> (true, true, true)
+            | c -> failwith ("unknown P10 config " ^ c)
+          in
+          let r = p10_run ~rows ~n ~config ~pool ~plan ~result in
+          Printf.printf "%s: %.1f stmts/s\n" r.p10_config r.p10_sps)
+        (String.split_on_char ',' configs);
+      exit 0
+  | _ -> ());
   if smoke then begin
     let p4 = p4_shipping () in
     let p9 = p9_join_scaling () in
-    (* reduced P10: the traffic assertion is deterministic (virtual
-       network), so the small configuration checks the same invariant *)
+    (* reduced P10/P11: the traffic and determinism assertions are
+       deterministic (virtual network), so the small configurations check
+       the same invariants *)
     let p10 = p10_session_reuse ~rows:800 ~n:60 () in
     p10_assert_smoke p10;
-    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10;
+    let p11 = p11_domain_pool ~rows:400 ~reps:2 () in
+    p11_assert_smoke p11;
+    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11;
     write_metrics_json ~path:"BENCH_metrics.json";
     print_newline ()
   end
@@ -850,7 +1145,9 @@ let () =
     let p9 = p9_join_scaling () in
     let p10 = p10_session_reuse () in
     p10_assert_smoke p10;
-    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10;
+    let p11 = p11_domain_pool () in
+    p11_assert_smoke p11;
+    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11;
     write_metrics_json ~path:"BENCH_metrics.json";
     run_bechamel ();
     print_newline ()

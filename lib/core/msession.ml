@@ -52,6 +52,8 @@ type t = {
   mutable firing_depth : int;  (* cascade guard *)
   (* --- session performance layer (all off by default) --- *)
   mutable pool : Narada.Pool.t option;  (* Some = pooling enabled *)
+  mutable domains : int;
+      (* > 1 -> eligible PARBEGIN blocks execute on that many domains *)
   mutable plan_cache_on : bool;
   plan_cache : (string, Plangen.plan) Hashtbl.t;
   mutable plan_hits : int;
@@ -97,6 +99,12 @@ let create ?world ?directory () =
     trigger_log = [];
     firing_depth = 0;
     pool = None;
+    domains =
+      (* the CI matrix exercises domain execution across the whole suite
+         by exporting MSQL_TEST_DOMAINS=n *)
+      (match Sys.getenv_opt "MSQL_TEST_DOMAINS" with
+      | Some s -> ( match int_of_string_opt s with Some n -> max 1 n | None -> 1)
+      | None -> 1);
     plan_cache_on = false;
     plan_cache = Hashtbl.create 32;
     plan_hits = 0;
@@ -149,6 +157,9 @@ let set_pooling t b =
   | true, Some _ | false, None -> ()
 
 let pooling_enabled t = t.pool <> None
+
+let set_domains t n = t.domains <- max 1 n
+let domains t = t.domains
 let set_plan_cache t b =
   if not b then Hashtbl.reset t.plan_cache;
   t.plan_cache_on <- b
@@ -237,9 +248,13 @@ let invalidate_shipped t dbs =
    remembering the outcome for {!last_engine_outcome} *)
 let engine_run t program =
   t.metrics.Metrics.engine_runs <- t.metrics.Metrics.engine_runs + 1;
+  let dpool =
+    if t.domains > 1 then Some (Narada.Dpool.shared ~domains:t.domains)
+    else None
+  in
   match
     Engine.run ?on_event:t.trace ~on_trace:(observe t) ?retry:t.retry
-      ?pool:t.pool ?move_cache:(move_cache t) ~directory:t.directory
+      ?pool:t.pool ?dpool ?move_cache:(move_cache t) ~directory:t.directory
       ~world:t.world program
   with
   | Error _ as e ->

@@ -150,6 +150,18 @@ val set_pooling : t -> bool -> unit
 
 val pooling_enabled : t -> bool
 
+val set_domains : t -> int -> unit
+(** Execute eligible PARBEGIN blocks of engine programs on [n] OCaml
+    domains (a process-wide {!Narada.Dpool} of that width, shared across
+    sessions). Clamped to at least 1; [1] (the default) keeps everything
+    on the calling domain. Results, typed traces and virtual-time
+    accounting are identical at any width — only wall-clock time changes
+    (see {!Narada.Engine.run}). The initial value is read from the
+    [MSQL_TEST_DOMAINS] environment variable, which lets a CI matrix run
+    the whole suite under domain execution. *)
+
+val domains : t -> int
+
 val set_plan_cache : t -> bool -> unit
 (** Memoize plan generation, keyed on the effective-scope statement, the
     planner flags and the {!Gdd.version}/{!Ad.version} epochs — any

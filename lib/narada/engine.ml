@@ -33,6 +33,9 @@ type state = {
   pool : Pool.t option;
       (* OPEN checks out of / CLOSE checks into this pool instead of
          dialing and hanging up *)
+  dpool : Dpool.t option;
+      (* when present, eligible PARBEGIN blocks and 2PC fan-outs execute
+         their branches on separate domains *)
   move_cache : Lam.transfer_cache option;  (* shipped-result cache hook *)
   aliases : (string, conn) Hashtbl.t;
   services : (string, Service.t) Hashtbl.t;
@@ -44,7 +47,10 @@ type state = {
   results : (string, Sqlcore.Relation.t) Hashtbl.t;
   rowcounts : (string, int) Hashtbl.t;
   mutable dolstatus : int;
-  on_event : string -> unit;
+  on_event : (string -> unit) option;
+      (* [None] when no string sink is installed, so [deliver] can skip
+         rendering entirely — the render cost is per event, on the hot
+         path of every statement *)
   on_trace : Trace.event -> unit;
   rlog : Recovery_log.t;
   comps : (string, comp_handler) Hashtbl.t;  (* compensated task -> handler *)
@@ -56,18 +62,51 @@ type state = {
 let err fmt = Printf.ksprintf (fun m -> raise (Program_error m)) fmt
 let akey = String.lowercase_ascii
 
+(* ---- branch effect buffering ----------------------------------------------
+   A branch executing on a worker domain must not touch the engine's
+   shared state (Hashtbls, counters, the recovery log) nor call the
+   application's trace sinks — both would race with sibling branches. So
+   while a branch runs, its typed trace events and its state writes are
+   buffered in a domain-local record; at the join the buffers are replayed
+   on the calling domain in declaration order, which is exactly the order
+   the sequential combinator would have interleaved them. A branch never
+   re-reads its own deferred writes (checked per call site), so buffering
+   is invisible to the branch itself. Outside a branch the buffer is
+   absent and every effect applies immediately — the sequential paths are
+   byte-for-byte the old code. *)
+
+type branch_buf = {
+  mutable bevents : Trace.event list;  (* newest first *)
+  mutable bwrites : (unit -> unit) list;  (* newest first *)
+}
+
+let branch_key : branch_buf option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+(* a state write: immediate outside a branch, deferred to the join inside *)
+let deferred f =
+  match Domain.DLS.get branch_key with
+  | Some b -> b.bwrites <- f :: b.bwrites
+  | None -> f ()
+
+let deliver st ev =
+  Log.debug (fun f ->
+      f "%.2fms %s" ev.Trace.at_ms (Trace.render_kind ev.Trace.kind));
+  st.on_trace ev;
+  match st.on_event with None -> () | Some f -> f (Trace.render ev)
+
 (* every event goes to both sinks: typed to [on_trace], rendered to the
-   historical string sink *)
+   historical string sink — buffered until the join inside a branch *)
 let tell st kind =
   let ev = { Trace.at_ms = World.now_ms st.world; kind } in
-  Log.debug (fun f -> f "%.2fms %s" ev.Trace.at_ms (Trace.render_kind kind));
-  st.on_trace ev;
-  st.on_event (Trace.render ev)
+  match Domain.DLS.get branch_key with
+  | Some b -> b.bevents <- ev :: b.bevents
+  | None -> deliver st ev
 
 let emit st fmt = Printf.ksprintf (fun m -> tell st (Trace.Note m)) fmt
 
 let retry_observer st ~where ~op ~attempt ~delay_ms ~reason =
-  st.retries <- st.retries + 1;
+  deferred (fun () -> st.retries <- st.retries + 1);
   tell st (Trace.Retry { op; site = where; attempt; delay_ms; reason })
 
 (* connect through the pool when one is installed; [reused] reports
@@ -88,14 +127,18 @@ let release st lam =
 
 let declare st name target =
   let k = akey name in
+  (* inside a domain branch this only sees pre-block declarations; the
+     eligibility gate has already checked the block's names against each
+     other and against the existing ones *)
   if Hashtbl.mem st.statuses k then err "duplicate task name %s" name;
-  Hashtbl.replace st.statuses k N;
-  st.status_order <- k :: st.status_order;
-  Hashtbl.replace st.task_target k (akey target)
+  deferred (fun () ->
+      Hashtbl.replace st.statuses k N;
+      st.status_order <- k :: st.status_order;
+      Hashtbl.replace st.task_target k (akey target))
 
 let set_status st name s =
   tell st (Trace.Status { task = name; status = s });
-  Hashtbl.replace st.statuses (akey name) s
+  deferred (fun () -> Hashtbl.replace st.statuses (akey name) s)
 
 let get_status st name =
   match Hashtbl.find_opt st.statuses (akey name) with Some s -> s | None -> N
@@ -150,7 +193,8 @@ let exec_task st (task : task) =
       | Error f -> set_status st task.tname (presumed_abort_status f)
       | Ok results -> (
           (match Lam.last_relation results with
-          | Some rel -> Hashtbl.replace st.results (akey task.tname) rel
+          | Some rel ->
+              deferred (fun () -> Hashtbl.replace st.results (akey task.tname) rel)
           | None -> ());
           let affected =
             List.fold_left
@@ -158,7 +202,8 @@ let exec_task st (task : task) =
                 match r with Ldbms.Session.Affected n -> acc + n | _ -> acc)
               0 results
           in
-          Hashtbl.replace st.rowcounts (akey task.tname) affected;
+          deferred (fun () ->
+              Hashtbl.replace st.rowcounts (akey task.tname) affected);
           match task.mode with
           | No_commit ->
               if
@@ -168,8 +213,9 @@ let exec_task st (task : task) =
                 (match Lam.prepare lam with
                 | Ok () ->
                     set_status st task.tname P;
-                    Recovery_log.record_prepared st.rlog ~task:task.tname
-                      ~alias:task.target lam
+                    deferred (fun () ->
+                        Recovery_log.record_prepared st.rlog ~task:task.tname
+                          ~alias:task.target lam)
                 | Error f -> set_status st task.tname (presumed_abort_status f))
               else
                 (* a NOCOMMIT task on an autocommit-only engine is a plan
@@ -196,10 +242,10 @@ let commit_task st tname =
           match Lam.commit lam with
           | Ok () ->
               set_status st tname C;
-              Recovery_log.mark_resolved st.rlog tname
+              deferred (fun () -> Recovery_log.mark_resolved st.rlog tname)
           | Error (Lam.Local _) ->
               set_status st tname A;
-              Recovery_log.mark_resolved st.rlog tname
+              deferred (fun () -> Recovery_log.mark_resolved st.rlog tname)
           | Error (Lam.Network _ | Lam.Lost _ | Lam.In_doubt _) ->
               emit st "task %s in doubt: commit logged, site unreachable" tname;
               set_status st tname E))
@@ -214,7 +260,7 @@ let abort_task st tname =
           match Lam.rollback lam with
           | Ok () | Error (Lam.Local _) ->
               set_status st tname A;
-              Recovery_log.mark_resolved st.rlog tname
+              deferred (fun () -> Recovery_log.mark_resolved st.rlog tname)
           | Error (Lam.Network _ | Lam.Lost _ | Lam.In_doubt _) ->
               emit st "task %s in doubt: abort logged, site unreachable" tname;
               set_status st tname E))
@@ -273,6 +319,162 @@ let exec_move st ~mname ~src ~dst ~dest_table ~query ~reduce =
           set_status st mname C
       | Error f -> set_status st mname (fail_status f))
 
+(* ---- domain-parallel execution of PARBEGIN blocks ------------------------- *)
+
+(* the connection lane a branch occupies: branches sharing a lane use the
+   same Lam connection and must be serialized onto one domain *)
+let lane_alias = function
+  | Task t -> Some (akey t.target)
+  | Move m -> Some (akey m.src)
+  | _ -> None
+
+let branch_name = function
+  | Task t -> Some (akey t.tname)
+  | Move m -> Some (akey m.mname)
+  | _ -> None
+
+let alias_service st alias = Hashtbl.find_opt st.services alias
+
+(* Can this PARBEGIN block run its branches on worker domains with no
+   observable difference from the sequential combinator? The conditions
+   guarantee that (a) no two domains touch the same connection, session or
+   local database, (b) no shared or order-sensitive PRNG is consulted, and
+   (c) every effect a branch performs is either buffered (trace events,
+   engine-state writes) or confined to resources the branch owns. Anything
+   else falls back to [World.parallel] — the sequential combinator these
+   semantics are defined against. *)
+let domain_eligible st stmts =
+  st.dpool <> None
+  && List.length stmts >= 2
+  && Option.is_none (Domain.DLS.get branch_key) (* no nested blocks *)
+  && (not (World.has_loss st.world)) (* loss draws share one PRNG *)
+  && st.move_cache = None (* cache closures are not ours to lock *)
+  && List.for_all
+       (fun s -> match s with Task _ | Move _ -> true | _ -> false)
+       stmts
+  && (* task/move names fresh and pairwise distinct, so [declare]'s
+        duplicate check answers the same inside every branch *)
+  (let names = List.filter_map branch_name stmts in
+   List.length (List.sort_uniq String.compare names) = List.length names
+   && not (List.exists (fun n -> Hashtbl.mem st.statuses n) names))
+  &&
+  (* every lane resolves to a known service; distinct lanes mean distinct
+     services AND distinct local databases; MOVE destinations all funnel
+     through one alias whose database no lane touches (the Lam
+     per-connection mutex then serializes the destination side) and whose
+     failure injector is quiet (armed injectors fire in arrival order,
+     which a domain race would make nondeterministic) *)
+  let lanes =
+    List.sort_uniq String.compare (List.filter_map lane_alias stmts)
+  in
+  let lane_svcs = List.map (alias_service st) lanes in
+  List.for_all Option.is_some lane_svcs
+  &&
+  let lane_svcs = List.map Option.get lane_svcs in
+  let names =
+    List.map (fun (s : Service.t) -> s.Service.service_name) lane_svcs
+  in
+  List.length (List.sort_uniq String.compare names) = List.length names
+  && (let rec distinct_dbs = function
+        | [] -> true
+        | (s : Service.t) :: rest ->
+            (not
+               (List.exists
+                  (fun (s' : Service.t) ->
+                    s.Service.database == s'.Service.database)
+                  rest))
+            && distinct_dbs rest
+      in
+      distinct_dbs lane_svcs)
+  &&
+  match
+    List.filter_map (function Move m -> Some (akey m.dst) | _ -> None) stmts
+  with
+  | [] -> true
+  | d :: rest -> (
+      List.for_all (String.equal d) rest
+      &&
+      match alias_service st d with
+      | None -> false
+      | Some (dsvc : Service.t) ->
+          (not (Ldbms.Failure_injector.is_armed dsvc.Service.injector))
+          && List.for_all
+               (fun (s : Service.t) ->
+                 s.Service.database != dsvc.Service.database)
+               lane_svcs)
+
+(* Execute the block's branches on the domain pool. Branches are grouped
+   into lanes by connection alias: branches sharing a lane run serially on
+   one domain in declaration order, each still in its own clock frame
+   starting at the block's [t0]. Every branch buffers its trace events and
+   state writes; at the join the buffers are replayed on the calling
+   domain in declaration order — the exact interleaving the sequential
+   combinator produces. If a branch raised, the buffers of the preceding
+   branches plus the failing branch's partial buffer are replayed and the
+   exception rethrown, so the observable prefix matches a sequential run
+   dying at the same statement (with the block's clock, like the
+   sequential combinator's, left at [t0]). *)
+let run_branches_on_domains st dp stmts ~exec =
+  let t0 = World.now_ms st.world in
+  let n = List.length stmts in
+  let bufs = Array.init n (fun _ -> { bevents = []; bwrites = [] }) in
+  let fails : exn option array = Array.make n None in
+  let ends = Array.make n t0 in
+  let lane_tbl = Hashtbl.create 8 in
+  let lanes = ref [] in
+  (* lanes in first-appearance order, each holding (index, stmt) pairs in
+     declaration order *)
+  List.iteri
+    (fun i s ->
+      let a = Option.get (lane_alias s) in
+      match Hashtbl.find_opt lane_tbl a with
+      | Some cell -> cell := (i, s) :: !cell
+      | None ->
+          let cell = ref [ (i, s) ] in
+          Hashtbl.replace lane_tbl a cell;
+          lanes := cell :: !lanes)
+    stmts;
+  let jobs =
+    List.rev_map
+      (fun cell () ->
+        List.iter
+          (fun (i, s) ->
+            Domain.DLS.set branch_key (Some bufs.(i));
+            match
+              Fun.protect
+                ~finally:(fun () -> Domain.DLS.set branch_key None)
+                (fun () ->
+                  World.in_frame st.world ~start_ms:t0 (fun () -> exec s))
+            with
+            | (), end_ms -> ends.(i) <- end_ms
+            | exception e -> fails.(i) <- Some e)
+          (List.rev !cell))
+      !lanes
+  in
+  Dpool.run_all dp jobs;
+  let replay i =
+    List.iter (fun w -> w ()) (List.rev bufs.(i).bwrites);
+    List.iter (deliver st) (List.rev bufs.(i).bevents)
+  in
+  let rec merge i =
+    if i < n then begin
+      replay i;
+      match fails.(i) with Some e -> raise e | None -> merge (i + 1)
+    end
+  in
+  merge 0;
+  World.advance_ms st.world (Array.fold_left max t0 ends -. t0)
+
+(* A fan-out of independent single-site verbs (the second phase of 2PC,
+   the in-doubt resolution pass): account them concurrently so the phase
+   costs one round trip of virtual latency, not one per participant.
+   Execution stays sequential — the combinator serializes effects — so
+   this changes only the virtual-time charge. *)
+let fan_out world f items =
+  match items with
+  | [] | [ _ ] -> List.iter f items
+  | items -> ignore (World.parallel world (List.map (fun x () -> f x) items))
+
 (* ---- in-doubt resolution ------------------------------------------------- *)
 
 (* Drive one stranded prepared transaction to its logged verdict. The 2PC
@@ -294,8 +496,9 @@ let resolve_entry st (e : Recovery_log.entry) =
     | Ok () ->
         let s = match verdict with Recovery_log.Commit -> C | Recovery_log.Abort -> A in
         set_status st e.Recovery_log.task s;
-        Recovery_log.mark_resolved st.rlog e.Recovery_log.task;
-        st.recovered <- st.recovered + 1;
+        deferred (fun () ->
+            Recovery_log.mark_resolved st.rlog e.Recovery_log.task;
+            st.recovered <- st.recovered + 1);
         tell st
           (Trace.Recovered
              {
@@ -309,7 +512,8 @@ let resolve_entry st (e : Recovery_log.entry) =
     | Error (Lam.Local _) ->
         (* the LDBMS resolved it unilaterally (local abort) *)
         set_status st e.Recovery_log.task A;
-        Recovery_log.mark_resolved st.rlog e.Recovery_log.task
+        deferred (fun () ->
+            Recovery_log.mark_resolved st.rlog e.Recovery_log.task)
     | Error (Lam.Network _ | Lam.Lost _ | Lam.In_doubt _) -> ()
   end
 
@@ -325,7 +529,7 @@ let final_recovery st =
   | stranded ->
       emit st "resolution pass: %d in-doubt task(s), grace %.0f ms"
         (List.length stranded) st.grace_ms;
-      List.iter (resolve_entry st) stranded;
+      fan_out st.world (resolve_entry st) stranded;
       let deadline = World.now_ms st.world +. st.grace_ms in
       let rec wait () =
         match Recovery_log.unresolved st.rlog with
@@ -343,7 +547,7 @@ let final_recovery st =
             in
             if next < infinity && next <= deadline then begin
               World.advance_ms st.world (max 0.0 (next -. World.now_ms st.world));
-              List.iter (resolve_entry st) remaining;
+              fan_out st.world (resolve_entry st) remaining;
               wait ()
             end
             else
@@ -526,13 +730,19 @@ let rec exec_stmt st = function
           | None -> err "CLOSE of unopened alias %s" alias)
         aliases
   | Task task -> exec_task st task
-  | Parallel stmts ->
-      (* Declarations must be deterministic regardless of branch timing, so
-         run branches under the world's parallel combinator, which
-         serializes effects but accounts time concurrently. *)
-      ignore
-        (World.parallel st.world
-           (List.map (fun s () -> exec_stmt st s) stmts))
+  | Parallel stmts -> (
+      match st.dpool with
+      | Some dp when domain_eligible st stmts ->
+          (* real parallelism: branches on worker domains, effects buffered
+             and merged in declaration order at the join *)
+          run_branches_on_domains st dp stmts ~exec:(exec_stmt st)
+      | Some _ | None ->
+          (* Declarations must be deterministic regardless of branch
+             timing, so run branches under the world's parallel combinator,
+             which serializes effects but accounts time concurrently. *)
+          ignore
+            (World.parallel st.world
+               (List.map (fun s () -> exec_stmt st s) stmts)))
   | If (cond, then_b, else_b) ->
       let taken = eval_cond st cond in
       tell st (Trace.Branch { cond = Dol_pp.cond_to_string cond; taken });
@@ -546,13 +756,15 @@ let rec exec_stmt st = function
       if prepared <> [] then
         tell st (Trace.Decision { verdict = Trace.Commit; tasks = prepared });
       Recovery_log.record_decision st.rlog Recovery_log.Commit prepared;
-      List.iter (commit_task st) names
+      (* the participants are independent: the commit phase costs one
+         round trip of virtual latency, not one per task *)
+      fan_out st.world (commit_task st) names
   | Abort_tasks names ->
       let prepared = List.filter (fun n -> get_status st n = P) names in
       if prepared <> [] then
         tell st (Trace.Decision { verdict = Trace.Abort; tasks = prepared });
       Recovery_log.record_decision st.rlog Recovery_log.Abort prepared;
-      List.iter (abort_task st) names
+      fan_out st.world (abort_task st) names
   | Comp { cname; compensates; target; commands } ->
       exec_comp st ~cname ~compensates ~target ~commands
   | Move { mname; src; dst; dest_table; query; reduce } ->
@@ -583,8 +795,8 @@ let release_all st =
     st.aliases;
   Hashtbl.reset st.aliases
 
-let run ?(on_event = fun _ -> ()) ?(on_trace = fun _ -> ())
-    ?(retry = Retry_policy.default) ?(recovery_grace_ms = 500.0) ?pool
+let run ?on_event ?(on_trace = fun _ -> ())
+    ?(retry = Retry_policy.default) ?(recovery_grace_ms = 500.0) ?pool ?dpool
     ?move_cache ~directory ~world program =
   let st =
     {
@@ -593,6 +805,7 @@ let run ?(on_event = fun _ -> ()) ?(on_trace = fun _ -> ())
       policy = retry;
       grace_ms = recovery_grace_ms;
       pool;
+      dpool;
       move_cache;
       aliases = Hashtbl.create 8;
       services = Hashtbl.create 8;
@@ -659,12 +872,12 @@ let run ?(on_event = fun _ -> ()) ?(on_trace = fun _ -> ())
           vital_split = st.vital_split;
         }
 
-let run_text ?on_event ?on_trace ?retry ?recovery_grace_ms ?pool ?move_cache
-    ~directory ~world text =
+let run_text ?on_event ?on_trace ?retry ?recovery_grace_ms ?pool ?dpool
+    ?move_cache ~directory ~world text =
   match Dol_parser.parse text with
   | program ->
-      run ?on_event ?on_trace ?retry ?recovery_grace_ms ?pool ?move_cache
-        ~directory ~world program
+      run ?on_event ?on_trace ?retry ?recovery_grace_ms ?pool ?dpool
+        ?move_cache ~directory ~world program
   | exception Dol_parser.Error (m, l, c) ->
       Error (Printf.sprintf "DOL parse error at %d:%d: %s" l c m)
 

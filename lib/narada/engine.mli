@@ -49,6 +49,7 @@ val run :
   ?retry:Retry_policy.t ->
   ?recovery_grace_ms:float ->
   ?pool:Pool.t ->
+  ?dpool:Dpool.t ->
   ?move_cache:Lam.transfer_cache ->
   directory:Directory.t ->
   world:Netsim.World.t ->
@@ -76,7 +77,21 @@ val run :
     dialing (stale ones are validated out, see {!Pool}) and CLOSE check
     it back in instead of disconnecting — including the implicit CLOSE of
     aliases the program forgot. [move_cache] is consulted by every MOVE:
-    a hit ships nothing (see {!Lam.transfer}). *)
+    a hit ships nothing (see {!Lam.transfer}).
+
+    [dpool] enables real parallelism: the branches of a PARBEGIN block
+    whose shape proves they share no connection, database or
+    order-sensitive PRNG (all TASK/MOVE, fresh distinct names, pairwise
+    distinct lane services, MOVEs funnelling into one quiet destination,
+    no message loss, no shipped-result cache, no nesting) execute on
+    separate OCaml domains, with every trace event and engine-state write
+    buffered per branch and replayed in declaration order at the join —
+    the outcome, trace stream and virtual-time accounting are identical
+    to a run without [dpool]. Blocks that do not qualify silently fall
+    back to the sequential combinator. With or without [dpool], 2PC
+    second-phase fan-outs and the in-doubt resolution pass are accounted
+    concurrently in virtual time (one round trip, not one per
+    participant). *)
 
 val run_text :
   ?on_event:(string -> unit) ->
@@ -84,6 +99,7 @@ val run_text :
   ?retry:Retry_policy.t ->
   ?recovery_grace_ms:float ->
   ?pool:Pool.t ->
+  ?dpool:Dpool.t ->
   ?move_cache:Lam.transfer_cache ->
   directory:Directory.t ->
   world:Netsim.World.t ->

@@ -10,6 +10,11 @@ type t = {
   world : World.t;
   policy : Retry_policy.t;
   on_retry : on_retry;
+  lock : Mutex.t;
+      (* serializes local work on this connection when parallel MOVE
+         branches on separate domains share it as their destination: the
+         semijoin probe reads and the materialize writes the same
+         database. [with_policy] copies share the mutex. *)
 }
 
 type failure =
@@ -79,6 +84,7 @@ let connect ?(retry = Retry_policy.default) ?(on_retry = no_on_retry) world
                   world;
                   policy = retry;
                   on_retry;
+                  lock = Mutex.create ();
                 }))
 
 let connect_exn world service =
@@ -247,11 +253,19 @@ let transfer ~cache ~reduce ~src ~dst ~query ~dest_table =
      to [dst], key set back — is charged to the network like any fetch, so
      the bytes_moved ledger reflects the real SDD-1 tradeoff. Best-effort:
      if the probe fails, the MOVE proceeds unreduced. *)
+  (* parallel MOVEs into the same coordinator run on separate domains but
+     share [dst]: its session (probe) and database (materialize) are
+     serialized under the connection's mutex. Virtual time is unaffected —
+     each branch charges its own clock frame. *)
+  let locked_dst f =
+    Mutex.lock dst.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock dst.lock) f
+  in
   let query, reduced =
     match reduce with
     | None -> (query, false)
     | Some (col, probe) -> (
-        match fetch dst probe with
+        match locked_dst (fun () -> fetch dst probe) with
         | Error _ -> (query, false)
         | Ok rel ->
             let keys =
@@ -266,11 +280,12 @@ let transfer ~cache ~reduce ~src ~dst ~query ~dest_table =
   let src_name = src.service.Service.service_name in
   let dst_name = dst.service.Service.service_name in
   let materialize rel =
-    Ldbms.Database.load
-      dst.service.Service.database
-      ~name:dest_table
-      (Sqlcore.Relation.schema rel)
-      (Sqlcore.Relation.rows rel);
+    locked_dst (fun () ->
+        Ldbms.Database.load
+          dst.service.Service.database
+          ~name:dest_table
+          (Sqlcore.Relation.schema rel)
+          (Sqlcore.Relation.rows rel));
     Sqlcore.Relation.cardinality rel
   in
   (* Shipped-result cache: the key is the final query text — after the

@@ -10,10 +10,10 @@ type t = {
   outages : (string, outage list) Hashtbl.t;
   down_history : (string, float) Hashtbl.t;
       (* site -> latest virtual instant the site is known to have been
-         down, over windows already pruned or cleared; live windows are
-         consulted directly. Lets connection pools ask "was this site
-         ever down since I last used it?" after the window itself is
-         gone. *)
+         down, over windows cleared with set_down/clear_faults; live
+         windows are consulted directly. Lets connection pools ask "was
+         this site ever down since I last used it?" after the window
+         itself is gone. *)
   mutable clock_ms : float;
   stats : stats;
   site_stats : (string, site_stat) Hashtbl.t;
@@ -22,6 +22,10 @@ type t = {
   link_loss : (string * string, loss) Hashtbl.t;
   mutable default_loss : loss option;
   lose_next : (string * string, int) Hashtbl.t;  (* queued one-shot losses *)
+  lock : Mutex.t;
+      (* guards the accounting state (stats, site_stats, loss sources)
+         when parallel branches run on separate domains; the clock needs
+         no lock because each branch advances its own frame *)
 }
 
 and stats = {
@@ -55,6 +59,7 @@ let create () =
       link_loss = Hashtbl.create 4;
       default_loss = None;
       lose_next = Hashtbl.create 4;
+      lock = Mutex.create ();
     }
   in
   Hashtbl.replace t.sites (key "mdbs")
@@ -72,8 +77,45 @@ let site_names t =
   Hashtbl.fold (fun _ s acc -> s.Site.site_name :: acc) t.sites []
   |> List.sort String.compare
 
-let now_ms t = t.clock_ms
-let advance_ms t d = t.clock_ms <- t.clock_ms +. d
+(* ---- clock frames --------------------------------------------------------
+   A frame is a private view of the virtual clock for one logically
+   concurrent branch: it starts at the branch's fork instant and advances
+   independently of every sibling. Frames live in domain-local storage, so
+   branches executing on separate domains each read and advance their own
+   clock without synchronization; the sequential [parallel] combinator uses
+   the same mechanism, entering and leaving one frame per branch on the
+   calling domain. Frames nest (a PARBEGIN inside a PARBEGIN forks from the
+   enclosing frame's clock). *)
+
+type frame = { fworld : t; mutable fclock : float }
+
+let frame_key : frame list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let current_frame t =
+  match Domain.DLS.get frame_key with
+  | f :: _ when f.fworld == t -> Some f
+  | _ -> None
+
+let now_ms t =
+  match current_frame t with Some f -> f.fclock | None -> t.clock_ms
+
+let set_now t v =
+  match current_frame t with
+  | Some f -> f.fclock <- v
+  | None -> t.clock_ms <- v
+
+let advance_ms t d = set_now t (now_ms t +. d)
+
+let in_frame t ~start_ms f =
+  let frame = { fworld = t; fclock = start_ms } in
+  let outer = Domain.DLS.get frame_key in
+  Domain.DLS.set frame_key (frame :: outer);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set frame_key outer)
+    (fun () ->
+      let r = f () in
+      (r, frame.fclock))
+
 let reset_clock t =
   t.clock_ms <- 0.0;
   (* history instants belong to the old timeline *)
@@ -121,8 +163,8 @@ let remember_past_windows t name =
   | Some windows ->
       List.iter
         (fun o ->
-          if o.from_ms <= t.clock_ms && o.until_ms > o.from_ms then
-            note_down_until t name (min o.until_ms t.clock_ms))
+          if o.from_ms <= now_ms t && o.until_ms > o.from_ms then
+            note_down_until t name (min o.until_ms (now_ms t)))
         windows
 
 let set_down t name down =
@@ -138,29 +180,23 @@ let set_down t name down =
   end
 
 let set_down_until t name until_ms =
-  add_outage t name { from_ms = t.clock_ms; until_ms }
+  add_outage t name { from_ms = now_ms t; until_ms }
 
 let schedule_outage t name ~from_ms ~until_ms =
   add_outage t name { from_ms; until_ms }
 
+(* Pure: a read of the outage schedule at the caller's (frame) clock.
+   Expired windows are NOT pruned here — pruning driven by one parallel
+   branch's clock could discard a window still live at a sibling branch's
+   earlier instant. Windows are only retired by the explicit clears
+   (set_down false, clear_faults), which record them in down_history. *)
 let is_down t name =
   match Hashtbl.find_opt t.outages (key name) with
   | None -> false
   | Some windows ->
-      (* prune windows the clock has passed so long runs stay cheap,
-         remembering their end instants for down_during *)
-      let live, expired =
-        List.partition (fun o -> t.clock_ms < o.until_ms) windows
-      in
-      List.iter
-        (fun o ->
-          if o.until_ms > o.from_ms then note_down_until t name o.until_ms)
-        expired;
-      if live = [] then Hashtbl.remove t.outages (key name)
-      else Hashtbl.replace t.outages (key name) live;
       List.exists
-        (fun o -> o.from_ms <= t.clock_ms && t.clock_ms < o.until_ms)
-        live
+        (fun o -> o.from_ms <= now_ms t && now_ms t < o.until_ms)
+        windows
 
 let down_during t name ~since_ms =
   (match Hashtbl.find_opt t.down_history (key name) with
@@ -171,7 +207,7 @@ let down_during t name ~since_ms =
   | None -> false
   | Some windows ->
       List.exists
-        (fun o -> o.from_ms <= t.clock_ms && o.until_ms > since_ms)
+        (fun o -> o.from_ms <= now_ms t && o.until_ms >= since_ms)
         windows
 
 let next_recovery_ms t name =
@@ -180,7 +216,7 @@ let next_recovery_ms t name =
   | Some windows -> (
       match
         List.filter
-          (fun o -> o.from_ms <= t.clock_ms && t.clock_ms < o.until_ms)
+          (fun o -> o.from_ms <= now_ms t && now_ms t < o.until_ms)
           windows
       with
       | [] -> None
@@ -201,6 +237,11 @@ let lose_next t ~src ~dst =
   let k = (key src, key dst) in
   let n = Option.value ~default:0 (Hashtbl.find_opt t.lose_next k) in
   Hashtbl.replace t.lose_next k (n + 1)
+
+let has_loss t =
+  t.default_loss <> None
+  || Hashtbl.length t.link_loss > 0
+  || Hashtbl.length t.lose_next > 0
 
 let clear_faults t =
   Hashtbl.iter (fun name _ -> remember_past_windows t name)
@@ -228,40 +269,46 @@ let message_lost t ~src ~dst =
           | Some l -> Random.State.float l.rng 1.0 < l.prob
           | None -> false))
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let send t ~src ~dst ~bytes =
   let s = find_site t src and d = find_site t dst in
   if is_down t src then raise (Site_down src);
   if is_down t dst then raise (Site_down dst);
-  if message_lost t ~src ~dst then begin
+  (* the clock advances on the caller's own frame; only the shared
+     counters (and the loss PRNG draw) need the lock *)
+  if locked t (fun () -> message_lost t ~src ~dst) then begin
     (* the message left the wire and vanished: the sender still pays the
        send cost (and will pay again to detect the loss via its retry
        timeout), but nothing arrives *)
     advance_ms t (Site.message_cost_ms s ~bytes);
-    t.stats.lost <- t.stats.lost + 1;
+    locked t (fun () -> t.stats.lost <- t.stats.lost + 1);
     raise (Lost_message (src, dst))
   end;
   advance_ms t (Site.message_cost_ms s ~bytes +. Site.message_cost_ms d ~bytes);
-  t.stats.messages <- t.stats.messages + 1;
-  t.stats.bytes_moved <- t.stats.bytes_moved + bytes;
-  (* only delivered traffic enters the per-site ledger, mirroring the
-     global counters above *)
-  let ss = site_stat_of t src and ds = site_stat_of t dst in
-  ss.sent_msgs <- ss.sent_msgs + 1;
-  ss.sent_bytes <- ss.sent_bytes + bytes;
-  ds.recv_msgs <- ds.recv_msgs + 1;
-  ds.recv_bytes <- ds.recv_bytes + bytes
+  locked t (fun () ->
+      t.stats.messages <- t.stats.messages + 1;
+      t.stats.bytes_moved <- t.stats.bytes_moved + bytes;
+      (* only delivered traffic enters the per-site ledger, mirroring the
+         global counters above *)
+      let ss = site_stat_of t src and ds = site_stat_of t dst in
+      ss.sent_msgs <- ss.sent_msgs + 1;
+      ss.sent_bytes <- ss.sent_bytes + bytes;
+      ds.recv_msgs <- ds.recv_msgs + 1;
+      ds.recv_bytes <- ds.recv_bytes + bytes)
 
 let parallel t thunks =
-  let t0 = t.clock_ms in
+  let t0 = now_ms t in
   let finishes = ref [] in
   let results =
     List.map
       (fun thunk ->
-        t.clock_ms <- t0;
-        let r = thunk () in
-        finishes := t.clock_ms :: !finishes;
+        let r, fin = in_frame t ~start_ms:t0 thunk in
+        finishes := fin :: !finishes;
         r)
       thunks
   in
-  t.clock_ms <- List.fold_left max t0 !finishes;
+  set_now t (List.fold_left max t0 !finishes);
   results
