@@ -36,6 +36,10 @@ type t = {
   mutable recovered : int;
   mutable in_doubt : int;
   mutable vital_splits : int;
+  mutable snapshots : int;
+  mutable ww_conflicts : int;
+  mutable conflict_retries : int;
+  mutable conflict_aborts : int;
   mutable moves : int;
   mutable moved_rows : int;
   mutable moved_bytes : int;
@@ -64,6 +68,10 @@ let create () =
     recovered = 0;
     in_doubt = 0;
     vital_splits = 0;
+    snapshots = 0;
+    ww_conflicts = 0;
+    conflict_retries = 0;
+    conflict_aborts = 0;
     moves = 0;
     moved_rows = 0;
     moved_bytes = 0;
@@ -91,6 +99,10 @@ let reset m =
   m.recovered <- 0;
   m.in_doubt <- 0;
   m.vital_splits <- 0;
+  m.snapshots <- 0;
+  m.ww_conflicts <- 0;
+  m.conflict_retries <- 0;
+  m.conflict_aborts <- 0;
   m.moves <- 0;
   m.moved_rows <- 0;
   m.moved_bytes <- 0;
@@ -103,8 +115,10 @@ let reset m =
    stats, statuses/branches are control flow) *)
 let observe m (ev : Narada.Trace.event) =
   match ev.Narada.Trace.kind with
-  | Narada.Trace.Retry { site; _ } ->
+  | Narada.Trace.Retry { site; reason; _ } ->
       m.retries <- m.retries + 1;
+      if Ldbms.Txn.is_conflict_message reason then
+        m.conflict_retries <- m.conflict_retries + 1;
       let k = String.lowercase_ascii site in
       Hashtbl.replace m.site_retries k
         (1 + Option.value ~default:0 (Hashtbl.find_opt m.site_retries k))
@@ -119,6 +133,10 @@ let observe m (ev : Narada.Trace.event) =
       m.moved_bytes <- m.moved_bytes + bytes;
       if reduced then m.moves_reduced <- m.moves_reduced + 1;
       if cached then m.moves_cached <- m.moves_cached + 1
+  | Narada.Trace.Snapshot _ -> m.snapshots <- m.snapshots + 1
+  | Narada.Trace.Conflict _ -> m.ww_conflicts <- m.ww_conflicts + 1
+  | Narada.Trace.Conflict_abort _ ->
+      m.conflict_aborts <- m.conflict_aborts + 1
   | Narada.Trace.Opened _ | Narada.Trace.Open_failed _ | Narada.Trace.Closed _
   | Narada.Trace.Status _ | Narada.Trace.Branch _ | Narada.Trace.Pool_stale _
   | Narada.Trace.Cache _ | Narada.Trace.Dolstatus _ | Narada.Trace.Note _ ->
@@ -178,6 +196,10 @@ let to_json m ~world ~cache =
   addf "    \"recovered\": %d,\n" m.recovered;
   addf "    \"in_doubt\": %d,\n" m.in_doubt;
   addf "    \"vital_splits\": %d,\n" m.vital_splits;
+  addf
+    "    \"mvcc\": {\"snapshots\": %d, \"ww_conflicts\": %d, \
+     \"conflict_retries\": %d, \"conflict_aborts\": %d},\n"
+    m.snapshots m.ww_conflicts m.conflict_retries m.conflict_aborts;
   addf
     "    \"moves\": {\"count\": %d, \"rows\": %d, \"bytes\": %d, \
      \"semijoin_reduced\": %d, \"cache_hits\": %d}\n"

@@ -48,6 +48,13 @@ type t = {
   mutable recovered : int;
   mutable in_doubt : int;
   mutable vital_splits : int;
+  mutable snapshots : int;  (** MVCC snapshots acquired by local txns *)
+  mutable ww_conflicts : int;
+      (** first-committer-wins write-write races lost at the sites *)
+  mutable conflict_retries : int;
+      (** retries whose reason was a write-write conflict *)
+  mutable conflict_aborts : int;
+      (** tasks terminally aborted by a write-write conflict *)
   mutable moves : int;
   mutable moved_rows : int;
   mutable moved_bytes : int;
@@ -61,8 +68,8 @@ val reset : t -> unit
 
 val observe : t -> Narada.Trace.event -> unit
 (** Fold one typed trace event into the registry (retries, 2PC
-    decisions, recoveries, MOVE traffic). Events carrying no metric
-    dimension are ignored. *)
+    decisions, recoveries, MOVE traffic, MVCC snapshots and write-write
+    conflicts). Events carrying no metric dimension are ignored. *)
 
 val note_decomposition : t -> Decompose.plan -> unit
 (** Count a decomposition's shipped subqueries and semijoin gate

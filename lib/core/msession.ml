@@ -244,19 +244,20 @@ let invalidate_shipped t dbs =
     List.iter (Hashtbl.remove t.result_cache) doomed
   end
 
-(* run the DOL engine with the session's trace sink and retry policy,
-   remembering the outcome for {!last_engine_outcome} *)
-let engine_run t program =
+(* start a stepped DOL engine run with the session's trace sink and retry
+   policy; [note_outcome] folds the finished result into the metrics and
+   remembers it for {!last_engine_outcome} *)
+let engine_start t program =
   t.metrics.Metrics.engine_runs <- t.metrics.Metrics.engine_runs + 1;
   let dpool =
     if t.domains > 1 then Some (Narada.Dpool.shared ~domains:t.domains)
     else None
   in
-  match
-    Engine.run ?on_event:t.trace ~on_trace:(observe t) ?retry:t.retry
-      ?pool:t.pool ?dpool ?move_cache:(move_cache t) ~directory:t.directory
-      ~world:t.world program
-  with
+  Engine.start ?on_event:t.trace ~on_trace:(observe t) ?retry:t.retry
+    ?pool:t.pool ?dpool ?move_cache:(move_cache t) ~directory:t.directory
+    ~world:t.world program
+
+let note_outcome t = function
   | Error _ as e ->
       t.metrics.Metrics.engine_errors <- t.metrics.Metrics.engine_errors + 1;
       e
@@ -271,6 +272,9 @@ let engine_run t program =
         t.metrics.Metrics.vital_splits <- t.metrics.Metrics.vital_splits + 1;
       t.last_outcome <- Some outcome;
       Ok outcome
+
+let engine_run t program =
+  note_outcome t (Engine.finish (engine_start t program))
 
 let maybe_optimize t (plan : Plangen.plan) =
   if t.optimize then
@@ -540,48 +544,58 @@ let written_dbs = function
       written_of_details details
   | Multitable _ | Info _ -> []
 
-let run_query t (q : Ast.query) =
+(* phases 1-4 for one query: effective scope, plan, persist the scope.
+   Shared by the monolithic path and the stepped path. *)
+let prepare_query t (q : Ast.query) =
   let q = effective_scope t q in
   if q.Ast.scope = [] then
     Error "empty query scope (no current scope established yet?)"
   else
-  match plan_of_query_cached t q with
-  | exception Expand.Error m -> Error m
-  | exception Decompose.Error m -> Error m
-  | exception Plangen.Error m -> Error m
-  | plan -> (
-      t.scope <- q.Ast.scope;
+    match plan_of_query_cached t q with
+    | exception Expand.Error m -> Error m
+    | exception Decompose.Error m -> Error m
+    | exception Plangen.Error m -> Error m
+    | plan ->
+        t.scope <- q.Ast.scope;
+        Ok (q, plan)
+
+let interpret_query t (q : Ast.query) (plan : Plangen.plan)
+    (outcome : Engine.outcome) =
+  let details = report_of_bindings outcome plan.Plangen.task_bindings in
+  invalidate_shipped t (written_of_details details);
+  if Ast.is_retrieval q then
+    if outcome.Engine.dolstatus = 0 then
+      Ok (Multitable (build_multitable outcome plan.Plangen.task_bindings))
+    else
+      let failed =
+        List.filter
+          (fun r -> r.rvital = Ast.Vital && not (committed r.rstatus))
+          details
+      in
+      Error
+        (Printf.sprintf "multiple query aborted: vital subquery failed on %s"
+           (String.concat ", " (List.map (fun r -> r.rdb) failed)))
+  else
+    Ok
+      (Update_report
+         {
+           outcome = classify_update details;
+           details;
+           dolstatus = outcome.Engine.dolstatus;
+           elapsed_ms = outcome.Engine.elapsed_ms;
+         })
+
+let run_query t (q : Ast.query) =
+  match prepare_query t q with
+  | Error m -> Error m
+  | Ok (q, plan) -> (
       match engine_run t plan.Plangen.program with
       | Error m -> Error m
-      | Ok outcome ->
-          let details = report_of_bindings outcome plan.Plangen.task_bindings in
-          invalidate_shipped t (written_of_details details);
-          if Ast.is_retrieval q then
-            if outcome.Engine.dolstatus = 0 then
-              Ok (Multitable (build_multitable outcome plan.Plangen.task_bindings))
-            else
-              let failed =
-                List.filter
-                  (fun r -> r.rvital = Ast.Vital && not (committed r.rstatus))
-                  details
-              in
-              Error
-                (Printf.sprintf
-                   "multiple query aborted: vital subquery failed on %s"
-                   (String.concat ", " (List.map (fun r -> r.rdb) failed)))
-          else
-            Ok
-              (Update_report
-                 {
-                   outcome = classify_update details;
-                   details;
-                   dolstatus = outcome.Engine.dolstatus;
-                   elapsed_ms = outcome.Engine.elapsed_ms;
-                 }))
+      | Ok outcome -> interpret_query t q plan outcome)
 
 (* ---- multitransactions --------------------------------------------------- *)
 
-let run_mtx t (mtx : Ast.multitransaction) =
+let prepare_mtx t (mtx : Ast.multitransaction) =
   let expand_one (q : Ast.query) =
     let q = { q with Ast.scope = expand_virtual t q.Ast.scope } in
     match Expand.expand t.gdd q with
@@ -596,64 +610,116 @@ let run_mtx t (mtx : Ast.multitransaction) =
   | expanded -> (
       match maybe_optimize t (Plangen.plan_mtx t.ad mtx expanded) with
       | exception Plangen.Error m -> Error m
-      | plan -> (
+      | plan ->
           t.metrics.Metrics.plans_mtx <- t.metrics.Metrics.plans_mtx + 1;
-          match engine_run t plan.Plangen.program with
-          | Error m -> Error m
-          | Ok outcome ->
-              let details = report_of_bindings outcome plan.Plangen.task_bindings in
-              invalidate_shipped t (written_of_details details);
-              let status_of db =
-                match
-                  List.find_opt (fun r -> Names.equal r.rdb db) details
-                with
-                | Some r -> r.rstatus
-                | None -> D.N
-              in
-              (* which databases does state i require? resolve aliases *)
-              let dbs_of_state state =
-                List.map
-                  (fun name ->
-                    match
-                      List.find_opt
-                        (fun ((q : Ast.query), _) ->
-                          Ast.find_in_scope q.Ast.scope name <> None)
-                        expanded
-                    with
-                    | Some (q, _) ->
-                        (Option.get (Ast.find_in_scope q.Ast.scope name)).Ast.db
-                    | None -> name)
-                  state
-              in
-              let satisfied state =
-                let dbs = dbs_of_state state in
-                let all_participants = List.map (fun r -> r.rdb) details in
-                List.for_all (fun db -> committed (status_of db)) dbs
-                && List.for_all
-                     (fun db ->
-                       List.exists (Names.equal db) dbs
-                       || undone (status_of db))
-                     all_participants
-              in
-              let chosen =
-                let rec find i = function
-                  | [] -> None
-                  | s :: rest -> if satisfied s then Some i else find (i + 1) rest
-                in
-                find 0 mtx.Ast.acceptable
-              in
-              let all_undone =
-                List.for_all (fun r -> undone r.rstatus) details
-              in
-              let incorrect = chosen = None && not all_undone in
-              Ok
-                (Mtx_report
-                   {
-                     chosen;
-                     incorrect;
-                     details;
-                     elapsed_ms = outcome.Engine.elapsed_ms;
-                   })))
+          Ok (expanded, plan))
+
+let interpret_mtx t (mtx : Ast.multitransaction) expanded
+    (plan : Plangen.plan) (outcome : Engine.outcome) =
+  let details = report_of_bindings outcome plan.Plangen.task_bindings in
+  invalidate_shipped t (written_of_details details);
+  let status_of db =
+    match List.find_opt (fun r -> Names.equal r.rdb db) details with
+    | Some r -> r.rstatus
+    | None -> D.N
+  in
+  (* which databases does state i require? resolve aliases *)
+  let dbs_of_state state =
+    List.map
+      (fun name ->
+        match
+          List.find_opt
+            (fun ((q : Ast.query), _) ->
+              Ast.find_in_scope q.Ast.scope name <> None)
+            expanded
+        with
+        | Some (q, _) ->
+            (Option.get (Ast.find_in_scope q.Ast.scope name)).Ast.db
+        | None -> name)
+      state
+  in
+  let satisfied state =
+    let dbs = dbs_of_state state in
+    let all_participants = List.map (fun r -> r.rdb) details in
+    List.for_all (fun db -> committed (status_of db)) dbs
+    && List.for_all
+         (fun db ->
+           List.exists (Names.equal db) dbs || undone (status_of db))
+         all_participants
+  in
+  let chosen =
+    let rec find i = function
+      | [] -> None
+      | s :: rest -> if satisfied s then Some i else find (i + 1) rest
+    in
+    find 0 mtx.Ast.acceptable
+  in
+  let all_undone = List.for_all (fun r -> undone r.rstatus) details in
+  let incorrect = chosen = None && not all_undone in
+  Ok
+    (Mtx_report
+       { chosen; incorrect; details; elapsed_ms = outcome.Engine.elapsed_ms })
+
+let run_mtx t (mtx : Ast.multitransaction) =
+  match prepare_mtx t mtx with
+  | Error m -> Error m
+  | Ok (expanded, plan) -> (
+      match engine_run t plan.Plangen.program with
+      | Error m -> Error m
+      | Ok outcome -> interpret_mtx t mtx expanded plan outcome)
+
+(* ---- stepped execution ----------------------------------------------------
+   The interleaving harness runs several sessions' statements against
+   shared sites one engine statement at a time. [prepare_text] runs
+   phases 1-4 (parse through plan generation) and starts a stepped engine
+   run without executing anything; [step] executes one DOL statement;
+   [finish] drains the rest, runs the engine epilogue and interprets the
+   outcome exactly as [run_query]/[run_mtx] would. Triggers do not fire
+   on this path — the harness asserts raw outcomes. *)
+
+type prepared = {
+  p_session : t;
+  p_stepper : Engine.stepper;
+  p_interpret : Engine.outcome -> (result, string) Stdlib.result;
+}
+
+let prepare_text t text =
+  match Mparser.parse_toplevel text with
+  | exception Mparser.Error (m, l, c) ->
+      Error (Printf.sprintf "MSQL parse error at %d:%d: %s" l c m)
+  | Ast.Query q -> (
+      t.metrics.Metrics.statements <- t.metrics.Metrics.statements + 1;
+      match prepare_query t q with
+      | Error m -> Error m
+      | Ok (q, plan) ->
+          Ok
+            {
+              p_session = t;
+              p_stepper = engine_start t plan.Plangen.program;
+              p_interpret = interpret_query t q plan;
+            })
+  | Ast.Multitransaction mtx -> (
+      t.metrics.Metrics.statements <- t.metrics.Metrics.statements + 1;
+      match prepare_mtx t mtx with
+      | Error m -> Error m
+      | Ok (expanded, plan) ->
+          Ok
+            {
+              p_session = t;
+              p_stepper = engine_start t plan.Plangen.program;
+              p_interpret = interpret_mtx t mtx expanded plan;
+            })
+  | Ast.Explain _ | Ast.Explain_multiple _ | Ast.Incorporate _ | Ast.Import _
+  | Ast.Create_trigger _ | Ast.Drop_trigger _ | Ast.Create_multidatabase _
+  | Ast.Drop_multidatabase _ ->
+      Error "only queries and multitransactions can be stepped"
+
+let step p = Engine.step p.p_stepper
+
+let finish p =
+  match note_outcome p.p_session (Engine.finish p.p_stepper) with
+  | Error m -> Error m
+  | Ok outcome -> p.p_interpret outcome
 
 (* ---- interdatabase triggers -------------------------------------------------- *)
 

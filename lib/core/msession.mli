@@ -85,6 +85,34 @@ val translate : t -> string -> (Narada.Dol_ast.program, string) Stdlib.result
 val run_query : t -> Ast.query -> (result, string) Stdlib.result
 val run_mtx : t -> Ast.multitransaction -> (result, string) Stdlib.result
 
+(** {2 Stepped execution}
+
+    The interleaving harness ({!Interleave}) runs several sessions'
+    statements against shared sites one DOL statement at a time, under a
+    deterministic schedule. {!prepare_text} runs phases 1–4 of the
+    pipeline (parse → expansion → decomposition → plan generation) and
+    starts a stepped engine run without executing anything; each {!step}
+    executes one top-level DOL statement; {!finish} drains whatever
+    remains, runs the engine epilogue (in-doubt resolution, split
+    settlement, connection release) and interprets the outcome exactly
+    as {!exec} would. Interdatabase triggers do {e not} fire on this
+    path. *)
+
+type prepared
+
+val prepare_text : t -> string -> (prepared, string) Stdlib.result
+(** Plan one MSQL query or multitransaction for stepped execution.
+    Statements with no DOL translation (EXPLAIN, dictionary and trigger
+    statements) are rejected. *)
+
+val step : prepared -> bool
+(** Execute the next DOL statement; [false] when the program is
+    exhausted and only {!finish} remains (see {!Narada.Engine.step}). *)
+
+val finish : prepared -> (result, string) Stdlib.result
+(** Drain remaining statements, run the epilogue and interpret the
+    outcome. Idempotent at the engine level; interpret runs per call. *)
+
 val set_trace : t -> (string -> unit) option -> unit
 (** Install an execution-trace sink: every DOL engine coordination event
     of subsequent queries is passed to it (see {!Narada.Engine.run}). *)

@@ -3,6 +3,12 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   views : (string, string * Sqlfront.Ast.select) Hashtbl.t;
   indexes : (string, string * string) Hashtbl.t;  (* index key -> table, column *)
+  (* Site-local MVCC bookkeeping. Each database is an autonomous LDBS, so
+     it owns its timestamp oracle: commit timestamps and snapshots from
+     different sites are never compared. *)
+  mutable ts : int;  (* monotone timestamp oracle; 0 = initial load *)
+  mutable snapshots : int list;  (* active snapshot timestamps, with dups *)
+  mutable txn_seq : int;  (* local transaction id source *)
 }
 
 exception No_such_table of string
@@ -18,8 +24,35 @@ let create name =
     tables = Hashtbl.create 16;
     views = Hashtbl.create 8;
     indexes = Hashtbl.create 8;
+    ts = 0;
+    snapshots = [];
+    txn_seq = 0;
   }
 let name t = t.name
+
+let next_commit_ts t =
+  t.ts <- t.ts + 1;
+  t.ts
+
+let next_txn_id t =
+  t.txn_seq <- t.txn_seq + 1;
+  t.txn_seq
+
+(* A snapshot is simply the oracle's current value: it sees every version
+   committed so far and nothing after. *)
+let acquire_snapshot t =
+  let s = t.ts in
+  t.snapshots <- s :: t.snapshots;
+  s
+
+let release_snapshot t s =
+  let rec drop_one = function
+    | [] -> []
+    | x :: rest -> if x = s then rest else x :: drop_one rest
+  in
+  t.snapshots <- drop_one t.snapshots
+
+let oldest_snapshot t = List.fold_left min max_int t.snapshots
 let key n = Sqlcore.Names.canon n
 
 let table_names t =
@@ -55,7 +88,11 @@ let catalog t =
 let load t ~name schema rows =
   Hashtbl.remove t.tables (key name);
   let tbl = create_table t ~name schema in
-  List.iter (Table.insert tbl) rows
+  List.iter (Table.insert tbl) rows;
+  (* loaded data is a committed version: a snapshot taken before the load
+     must not observe it (MOVE materializations replace shipped tables
+     mid-flight, and snapshot readers keep their frozen view) *)
+  Table.mark_committed tbl ~ts:(next_commit_ts t)
 
 let find_view_opt t n = Option.map snd (Hashtbl.find_opt t.views (key n))
 

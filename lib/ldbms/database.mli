@@ -13,6 +13,31 @@ val create : string -> t
 val name : t -> string
 val table_names : t -> string list
 
+(** {2 Timestamps and snapshots}
+
+    Each database owns a private, monotone timestamp oracle (site
+    autonomy: timestamps from different LDBSs are never compared). A
+    snapshot is the oracle's value at acquisition time — it sees exactly
+    the versions committed at or before it. *)
+
+val next_commit_ts : t -> int
+(** Draw a fresh commit timestamp, strictly greater than every earlier
+    one. *)
+
+val next_txn_id : t -> int
+(** Draw a fresh local transaction id (for write reservations). *)
+
+val acquire_snapshot : t -> int
+(** Register and return a snapshot at the current timestamp. Must be
+    paired with {!release_snapshot} so old versions can be pruned. *)
+
+val release_snapshot : t -> int -> unit
+(** Drop one registration of the given snapshot. *)
+
+val oldest_snapshot : t -> int
+(** The oldest still-active snapshot, or [max_int] when none is active;
+    version chains may prune anything invisible from this point on. *)
+
 val find_table : t -> string -> Table.t
 (** Raises {!No_such_table}. Case-insensitive. *)
 

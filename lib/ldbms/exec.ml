@@ -18,6 +18,26 @@ let wrap f =
   | Database.No_such_index i -> err "no such index: %s" i
   | Database.Index_exists i -> err "index already exists: %s" i
 
+(* ---- transactional reads ------------------------------------------------ *)
+
+(* The rows a statement sees in a base table: inside a transaction, the
+   transaction's staged intent or its snapshot's version; outside (or when
+   the latest committed version is the visible one), the current rows. *)
+let table_rows txn tbl =
+  match txn with
+  | None -> Table.rows tbl
+  | Some txn -> (
+      match Txn.read txn tbl with
+      | `Current -> Table.rows tbl
+      | `Frozen rows -> rows)
+
+(* Index fast paths read the current version's lookup caches, so they are
+   only sound when that version is the one the statement should see. *)
+let current_view txn tbl =
+  match txn with
+  | None -> true
+  | Some txn -> ( match Txn.read txn tbl with `Current -> true | `Frozen _ -> false)
+
 (* ---- output-schema type inference ------------------------------------- *)
 
 let rec infer_expr_ty schema = function
@@ -78,14 +98,16 @@ type join_leaf = {
   jl_base : (Table.t * string) option;  (* base table + catalog name *)
 }
 
-let load_leaf ~eval_select ~depth db (r : Ast.table_ref) =
+let load_leaf ~eval_select ~depth ?txn db (r : Ast.table_ref) =
   let label = Option.value r.Ast.alias ~default:r.Ast.table in
   let qualifier = Some label in
   match Database.find_table_opt db r.Ast.table with
   | Some tbl ->
       {
         jl_label = label;
-        jl_rel = Relation.requalify qualifier (Table.to_relation tbl);
+        jl_rel =
+          Relation.requalify qualifier
+            (Relation.make (Table.schema tbl) (table_rows txn tbl));
         jl_base = Some (tbl, r.Ast.table);
       }
   | None -> (
@@ -178,11 +200,12 @@ let rec where_conjuncts = function
   | Ast.Binop (Ast.And, a, b) -> where_conjuncts a @ where_conjuncts b
   | e -> [ e ]
 
-let indexed_scan db (s : Ast.select) =
+let indexed_scan ?txn db (s : Ast.select) =
   match s.Ast.from, s.Ast.where with
   | [ { Ast.table; alias } ], Some pred -> (
       match Database.find_table_opt db table with
       | None -> None
+      | Some tbl when not (current_view txn tbl) -> None
       | Some tbl ->
           let schema = Table.schema tbl in
           let label = Option.value alias ~default:table in
@@ -288,7 +311,7 @@ let probe_value col_ty v =
    would on the product path. The caller re-applies the complete WHERE
    clause afterwards: planning is purely physical and the result set is
    identical to filtering the product. *)
-let plan_join_input db leaves (where : Ast.expr) =
+let plan_join_input ?txn db leaves (where : Ast.expr) =
   let n = List.length leaves in
   let leaf = Array.of_list leaves in
   let conjs = where_conjuncts where in
@@ -373,7 +396,9 @@ let plan_join_input db leaves (where : Ast.expr) =
                 match jl.jl_base with
                 | Some (tbl, tname) ->
                     let cd = col_def next col in
-                    if Database.has_index db ~table:tname ~column:cd.Schema.name
+                    if
+                      Database.has_index db ~table:tname ~column:cd.Schema.name
+                      && current_view txn tbl
                     then Some (tbl, cd.Schema.ty)
                     else None
                 | None -> None
@@ -418,23 +443,23 @@ let plan_join_input db leaves (where : Ast.expr) =
 
 (* ---- SELECT ------------------------------------------------------------ *)
 
-let rec run_select db ?outer (s : Ast.select) : Relation.t =
-  wrap (fun () -> select_unwrapped ~depth:0 db ?outer s)
+let rec run_select ?txn db ?outer (s : Ast.select) : Relation.t =
+  wrap (fun () -> select_unwrapped ~depth:0 ?txn db ?outer s)
 
-and select_unwrapped ~depth db ?outer (s : Ast.select) =
+and select_unwrapped ~depth ?txn db ?outer (s : Ast.select) =
   let ctx_plain =
-    { Eval.subquery = (fun env q -> subquery_eval ~depth db env q); agg = None }
+    { Eval.subquery = (fun env q -> subquery_eval ~depth ?txn db env q); agg = None }
   in
   let input =
-    match indexed_scan db s with
+    match indexed_scan ?txn db s with
     | Some rel -> rel
     | None -> (
         if s.Ast.from = [] then err "empty FROM clause";
         let leaves =
           List.map
             (load_leaf
-               ~eval_select:(fun q -> select_unwrapped ~depth:(depth + 1) db q)
-               ~depth db)
+               ~eval_select:(fun q -> select_unwrapped ~depth:(depth + 1) ?txn db q)
+               ~depth ?txn db)
             s.Ast.from
         in
         let product () =
@@ -445,7 +470,7 @@ and select_unwrapped ~depth db ?outer (s : Ast.select) =
         in
         match leaves, s.Ast.where with
         | _ :: _ :: _, Some pred when join_planner_enabled () -> (
-            match plan_join_input db leaves pred with
+            match plan_join_input ?txn db leaves pred with
             | Some rel -> rel
             | None -> product ())
         | _ -> product ())
@@ -462,15 +487,15 @@ and select_unwrapped ~depth db ?outer (s : Ast.select) =
   in
   let result =
     if Ast.is_aggregate_query s then
-      aggregate_select ~depth db ~outer schema filtered s
-    else plain_select ~depth db ~outer schema filtered s
+      aggregate_select ~depth ?txn db ~outer schema filtered s
+    else plain_select ~depth ?txn db ~outer schema filtered s
   in
   if s.Ast.distinct then Relation.distinct result else result
 
-and subquery_eval ~depth db env q =
+and subquery_eval ~depth ?txn db env q =
   (* [env] is the enclosing row environment, which becomes the subquery's
      outer scope for correlated references. *)
-  select_unwrapped ~depth db ?outer:env q
+  select_unwrapped ~depth ?txn db ?outer:env q
 
 and expand_projections schema (projections : Ast.projection list) =
   (* -> (output column, value expr) list, where the expr is either a
@@ -496,9 +521,9 @@ and expand_projections schema (projections : Ast.projection list) =
           ([ (Schema.column name ty, `Expr e) ] : (Schema.column * _) list))
     projections
 
-and plain_select ~depth db ~outer schema input (s : Ast.select) =
+and plain_select ~depth ?txn db ~outer schema input (s : Ast.select) =
   let ctx =
-    { Eval.subquery = (fun env q -> subquery_eval ~depth db env q); agg = None }
+    { Eval.subquery = (fun env q -> subquery_eval ~depth ?txn db env q); agg = None }
   in
   let cols = expand_projections schema s.Ast.projections in
   let out_schema = List.map fst cols in
@@ -537,9 +562,9 @@ and plain_select ~depth db ~outer schema input (s : Ast.select) =
   in
   Relation.make out_schema (List.map eval_row (Relation.rows sorted))
 
-and aggregate_select ~depth db ~outer schema input (s : Ast.select) =
+and aggregate_select ~depth ?txn db ~outer schema input (s : Ast.select) =
   let plain_ctx =
-    { Eval.subquery = (fun env q -> subquery_eval ~depth db env q); agg = None }
+    { Eval.subquery = (fun env q -> subquery_eval ~depth ?txn db env q); agg = None }
   in
   let mkenv row = { (Eval.env schema row) with Eval.outer } in
   (* partition rows into groups by the GROUP BY key *)
@@ -580,7 +605,7 @@ and aggregate_select ~depth db ~outer schema input (s : Ast.select) =
       | _ -> assert false
     in
     {
-      Eval.subquery = (fun env q -> subquery_eval ~depth db env q);
+      Eval.subquery = (fun env q -> subquery_eval ~depth ?txn db env q);
       agg = Some agg_f;
     }
   in
@@ -681,7 +706,11 @@ let run_insert db ~txn ~table ~columns ~source =
       let tbl = Database.find_table db table in
       let schema = Table.schema tbl in
       let ctx =
-        { Eval.subquery = (fun env q -> subquery_eval ~depth:0 db env q); agg = None }
+        {
+          Eval.subquery =
+            (fun env q -> subquery_eval ~depth:0 ~txn db env q);
+          agg = None;
+        }
       in
       let empty_env = Eval.env [] [||] in
       let make_full_row provided_cols values =
@@ -710,14 +739,14 @@ let run_insert db ~txn ~table ~columns ~source =
                 make_full_row columns (List.map (Eval.eval ctx empty_env) row_exprs))
               exprs
         | Ast.Query q ->
-            let r = select_unwrapped ~depth:0 db q in
+            let r = select_unwrapped ~depth:0 ~txn db q in
             List.map
               (fun row -> make_full_row columns (Row.to_list row))
               (Relation.rows r)
       in
-      validate_constraints ~table schema (Table.rows tbl @ rows);
-      Txn.touch_table txn tbl;
-      List.iter (Table.insert tbl) rows;
+      let before = table_rows (Some txn) tbl in
+      validate_constraints ~table schema (before @ rows);
+      Txn.stage txn tbl ~op:"write" (before @ rows);
       List.length rows)
 
 let run_update db ~txn ~table ~assignments ~where =
@@ -725,7 +754,11 @@ let run_update db ~txn ~table ~assignments ~where =
       let tbl = Database.find_table db table in
       let schema = Table.schema tbl in
       let ctx =
-        { Eval.subquery = (fun env q -> subquery_eval ~depth:0 db env q); agg = None }
+        {
+          Eval.subquery =
+            (fun env q -> subquery_eval ~depth:0 ~txn db env q);
+          agg = None;
+        }
       in
       let targets =
         List.map
@@ -742,7 +775,7 @@ let run_update db ~txn ~table ~assignments ~where =
       in
       (* Evaluate the row set (including subqueries in WHERE) against the
          pre-update state, then apply. *)
-      let before = Table.rows tbl in
+      let before = table_rows (Some txn) tbl in
       let planned =
         List.map
           (fun row ->
@@ -759,8 +792,7 @@ let run_update db ~txn ~table ~assignments ~where =
           before
       in
       validate_constraints ~table schema (List.map fst planned);
-      Txn.touch_table txn tbl;
-      Table.set_rows tbl (List.map fst planned);
+      Txn.stage txn tbl ~op:"write" (List.map fst planned);
       List.length (List.filter snd planned))
 
 let run_delete db ~txn ~table ~where =
@@ -768,17 +800,20 @@ let run_delete db ~txn ~table ~where =
       let tbl = Database.find_table db table in
       let schema = Table.schema tbl in
       let ctx =
-        { Eval.subquery = (fun env q -> subquery_eval ~depth:0 db env q); agg = None }
+        {
+          Eval.subquery =
+            (fun env q -> subquery_eval ~depth:0 ~txn db env q);
+          agg = None;
+        }
       in
       let matches row =
         match where with
         | None -> true
         | Some pred -> Eval.truthy (Eval.eval ctx (Eval.env schema row) pred)
       in
-      let before = Table.rows tbl in
+      let before = table_rows (Some txn) tbl in
       let kept = List.filter (fun r -> not (matches r)) before in
-      Txn.touch_table txn tbl;
-      Table.set_rows tbl kept;
+      Txn.stage txn tbl ~op:"write" kept;
       List.length before - List.length kept)
 
 let run_create_table db ~txn ~table ~columns =
@@ -801,7 +836,7 @@ let run_drop_table db ~txn ~table =
 let run_create_view db ~txn ~view ~query =
   wrap (fun () ->
       (* validate by evaluating once; errors surface before registration *)
-      ignore (select_unwrapped ~depth:0 db query);
+      ignore (select_unwrapped ~depth:0 ~txn db query);
       Database.create_view db ~name:view query;
       Txn.log_create_view txn db view)
 

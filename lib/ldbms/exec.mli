@@ -2,7 +2,9 @@
 
     This module is the query processor of an LDBMS; transaction control
     and capability enforcement live in {!Session}. DML callers must pass
-    the enclosing transaction so before-images are journalled. *)
+    the enclosing transaction: reads go through its snapshot (plus its own
+    staged writes) and writes stage intents resolved at commit. A write
+    that loses the first-committer-wins race raises {!Txn.Conflict}. *)
 
 exception Error of string
 (** Semantic error: unknown table/column, ambiguity, type error. *)
@@ -17,7 +19,13 @@ val set_join_planner : bool -> unit
 val join_planner_enabled : unit -> bool
 
 val run_select :
-  Database.t -> ?outer:Eval.env -> Sqlfront.Ast.select -> Sqlcore.Relation.t
+  ?txn:Txn.t ->
+  Database.t ->
+  ?outer:Eval.env ->
+  Sqlfront.Ast.select ->
+  Sqlcore.Relation.t
+(** Without [txn], reads the latest committed versions; with it, the
+    transaction's snapshot view including its staged writes. *)
 
 val run_insert :
   Database.t ->

@@ -8,13 +8,23 @@ type stats = {
   mutable rollbacks : int;
   mutable prepares : int;
   mutable injected_failures : int;
+  mutable snapshots : int;
+  mutable ww_conflicts : int;
 }
+
+(* MVCC observations a transport layer can subscribe to; the session
+   cannot name the multidatabase trace types (layering), so it reports
+   through this small vocabulary and lets the subscriber translate. *)
+type obs =
+  | Obs_snapshot of int
+  | Obs_conflict of { table : string; op : string }
 
 type t = {
   db : Database.t;
   caps : Capabilities.t;
   injector : Failure_injector.t;
   mutable txn : Txn.t option;
+  mutable observer : (obs -> unit) option;
   stats : stats;
 }
 
@@ -25,14 +35,25 @@ let connect ?injector db caps =
     injector =
       (match injector with Some i -> i | None -> Failure_injector.create ());
     txn = None;
+    observer = None;
     stats =
-      { statements = 0; commits = 0; rollbacks = 0; prepares = 0; injected_failures = 0 };
+      {
+        statements = 0;
+        commits = 0;
+        rollbacks = 0;
+        prepares = 0;
+        injected_failures = 0;
+        snapshots = 0;
+        ww_conflicts = 0;
+      };
   }
 
 let database t = t.db
 let capabilities t = t.caps
 let injector t = t.injector
 let stats t = t.stats
+let set_observer t obs = t.observer <- obs
+let observe t o = match t.observer with Some f -> f o | None -> ()
 
 let txn_state t =
   match t.txn with
@@ -45,9 +66,18 @@ let current_txn t =
   match t.txn with
   | Some txn when not (Txn.is_finished txn) -> txn
   | Some _ | None ->
-      let txn = Txn.begin_ () in
+      let txn = Txn.begin_ t.db in
       t.txn <- Some txn;
+      t.stats.snapshots <- t.stats.snapshots + 1;
+      observe t (Obs_snapshot (Txn.snapshot txn));
       txn
+
+(* the open transaction, for reads that must see its snapshot and staged
+   writes; None outside a transaction (read latest committed) *)
+let read_txn t =
+  match t.txn with
+  | Some txn when not (Txn.is_finished txn) -> Some txn
+  | Some _ | None -> None
 
 let abort_current t =
   (match t.txn with
@@ -74,16 +104,27 @@ let injected_message kind point =
     | Failure_injector.Fatal -> "")
     (Failure_injector.point_to_string point)
 
+(* A lost first-committer-wins race: the victim is rolled back, and the
+   error carries the transient marker (via [Txn.conflict_message]) so
+   retry layers re-execute on a fresh snapshot. *)
+let conflicted t ~table ~op =
+  t.stats.ww_conflicts <- t.stats.ww_conflicts + 1;
+  observe t (Obs_conflict { table; op });
+  abort_current t;
+  Error (Txn.conflict_message ~table ~op)
+
 let do_commit t =
   match t.txn with
   | Some txn when not (Txn.is_finished txn) -> (
       match injected t Failure_injector.At_commit with
       | Some kind -> Error (injected_message kind Failure_injector.At_commit)
-      | None ->
-          Txn.commit txn;
-          t.txn <- None;
-          t.stats.commits <- t.stats.commits + 1;
-          Ok ())
+      | None -> (
+          match Txn.commit txn with
+          | () ->
+              t.txn <- None;
+              t.stats.commits <- t.stats.commits + 1;
+              Ok ()
+          | exception Txn.Conflict { table; op } -> conflicted t ~table ~op))
   | Some _ | None -> Ok ()
 
 let do_rollback t =
@@ -105,10 +146,12 @@ let do_prepare t =
     | Some txn when Txn.state txn = Txn.Active -> (
         match injected t Failure_injector.At_prepare with
         | Some kind -> Error (injected_message kind Failure_injector.At_prepare)
-        | None ->
-            Txn.prepare txn;
-            t.stats.prepares <- t.stats.prepares + 1;
-            Ok ())
+        | None -> (
+            match Txn.prepare txn with
+            | () ->
+                t.stats.prepares <- t.stats.prepares + 1;
+                Ok ()
+            | exception Txn.Conflict { table; op } -> conflicted t ~table ~op))
     | Some txn when Txn.state txn = Txn.Prepared -> Ok ()
     | Some _ | None -> Error "no active transaction to prepare"
 
@@ -132,6 +175,7 @@ let run_write t ~is_ddl ~forces_commit body =
         | exception Exec.Error m ->
             abort_current t;
             Error m
+        | exception Txn.Conflict { table; op } -> conflicted t ~table ~op
         | r ->
             let autocommit =
               t.caps.Capabilities.commit_mode = Capabilities.Autocommit
@@ -148,7 +192,9 @@ let exec t stmt =
   t.stats.statements <- t.stats.statements + 1;
   match (stmt : Ast.stmt) with
   | Ast.Select s -> (
-      match Exec.run_select t.db s with
+      (* inside a transaction the SELECT reads the begin snapshot plus the
+         transaction's own staged writes; outside, the latest committed *)
+      match Exec.run_select ?txn:(read_txn t) t.db s with
       | r -> Ok (Rows r)
       | exception Exec.Error m -> Error m)
   | Ast.Begin_txn ->

@@ -20,7 +20,16 @@ type stats = {
   mutable rollbacks : int;
   mutable prepares : int;
   mutable injected_failures : int;
+  mutable snapshots : int;  (** transactions begun (snapshots acquired) *)
+  mutable ww_conflicts : int;  (** first-committer-wins races lost *)
 }
+
+(** MVCC observations for a transport layer to subscribe to (the session
+    cannot depend on multidatabase trace types): a snapshot acquisition
+    with its timestamp, or a lost write-write race on a table. *)
+type obs =
+  | Obs_snapshot of int
+  | Obs_conflict of { table : string; op : string }
 
 type t
 
@@ -33,6 +42,10 @@ val database : t -> Database.t
 val capabilities : t -> Capabilities.t
 val injector : t -> Failure_injector.t
 val stats : t -> stats
+
+val set_observer : t -> (obs -> unit) option -> unit
+(** Install (or clear) the MVCC observation sink. At most one observer is
+    active; a reconnecting transport reinstalls its own. *)
 
 val txn_state : t -> Txn.state option
 (** State of the current transaction, if one is open. *)

@@ -1,12 +1,27 @@
 (* Rows are stored newest-first so insertion is O(1) (bulk loads via
    [Database.load] insert row by row); the forward, insertion-order view is
-   memoized and rebuilt only after a mutation. *)
+   memoized and rebuilt only after a mutation.
+
+   Versioning is at table granularity: [rev_rows] always holds the latest
+   committed contents, [history] keeps older committed versions newest
+   first, each tagged with the commit timestamp that installed it. Readers
+   holding a snapshot older than [committed_at] reconstruct their view from
+   [history]; everyone else uses the fast current-rows path (and with it the
+   lookup caches). *)
 type t = {
   name : string;
   schema : Sqlcore.Schema.t;
   mutable rev_rows : Sqlcore.Row.t list;  (* newest first *)
   mutable fwd : Sqlcore.Row.t list option;  (* memoized insertion order *)
   mutable version : int;
+  mutable history : (int * Sqlcore.Row.t list) list;
+      (* older committed versions, newest first; each pair is the commit
+         timestamp the version was installed at and its forward row list *)
+  mutable committed_at : int;  (* commit ts of the current version *)
+  mutable reserved_by : int option;
+      (* transaction id holding a prepare-time write reservation; a
+         prepared participant must never lose a conflict race after
+         promising, so the reservation blocks competing writers *)
   (* lazy equality-lookup cache: column -> (version built at, hash map) *)
   lookup_cache : (int, int * (string, Sqlcore.Row.t list) Hashtbl.t) Hashtbl.t;
 }
@@ -18,6 +33,9 @@ let create ~name schema =
     rev_rows = [];
     fwd = Some [];
     version = 0;
+    history = [];
+    committed_at = 0;
+    reserved_by = None;
     lookup_cache = Hashtbl.create 4;
   }
 
@@ -51,6 +69,41 @@ let to_relation t = Sqlcore.Relation.make t.schema (rows t)
 let copy t = { t with rev_rows = t.rev_rows; lookup_cache = Hashtbl.create 4 }
 
 let version t = t.version
+let committed_at t = t.committed_at
+
+let rows_at t ~ts =
+  if ts >= t.committed_at then rows t
+  else
+    (* history is newest first with strictly decreasing timestamps; the
+       visible version is the newest one committed at or before [ts] *)
+    let rec visible = function
+      | [] -> []
+      | (cts, rows) :: older -> if cts <= ts then rows else visible older
+    in
+    visible t.history
+
+let install t ~ts ~keep_since rows_ =
+  t.history <- (t.committed_at, rows t) :: t.history;
+  set_rows t rows_;
+  t.committed_at <- ts;
+  (* prune versions no active snapshot can see: keep every version newer
+     than the oldest snapshot plus the first one at or below it *)
+  let rec prune = function
+    | [] -> []
+    | (cts, _) as v :: older ->
+        if cts > keep_since then v :: prune older else [ v ]
+  in
+  t.history <- prune t.history
+
+let mark_committed t ~ts = t.committed_at <- ts
+
+let reserved_by t = t.reserved_by
+let reserve t ~txn = t.reserved_by <- Some txn
+
+let release_reservation t ~txn =
+  match t.reserved_by with
+  | Some id when id = txn -> t.reserved_by <- None
+  | _ -> ()
 
 let lookup_eq t ~col v =
   if Sqlcore.Value.is_null v then []

@@ -1,17 +1,54 @@
-(** Local transactions with before-image undo logging and a visible
-    prepared-to-commit state (the first phase of 2PC, §3.2.1). *)
+(** Local transactions under snapshot isolation with a visible
+    prepared-to-commit state (the first phase of 2PC, §3.2.1).
+
+    A transaction acquires a snapshot at begin; reads see the versions
+    committed at or before it plus the transaction's own staged writes.
+    DML stages whole-table intents installed atomically at commit under a
+    single commit timestamp. Write-write conflicts are resolved first
+    committer wins; a prepared transaction additionally reserves its
+    written tables so it can never lose the race after promising. *)
 
 type state = Active | Prepared | Committed | Aborted
 
+exception Conflict of { table : string; op : string }
+(** A write lost a first-committer-wins race ([op] is the operation that
+    detected it: ["write"], ["prepare"], or ["commit"]). The transaction
+    is still in its prior state; callers roll it back. *)
+
 type t
 
-val begin_ : unit -> t
+val begin_ : Database.t -> t
+(** Acquire a snapshot and a fresh transaction id on the database. *)
+
 val state : t -> state
 
-val touch_table : t -> Table.t -> unit
-(** Record the table's before-image on first touch; later touches are
-    no-ops. Must be called before any modification of the table inside the
-    transaction. *)
+val snapshot : t -> int
+(** The begin snapshot timestamp. *)
+
+val conflict_message : table:string -> op:string -> string
+(** Render a [Conflict] as an error message. The message carries the
+    transient-failure marker so multidatabase retry policies re-execute
+    the statement on a fresh snapshot. *)
+
+val is_conflict_message : string -> bool
+(** Recognize a {!conflict_message} (used by the engine to classify abort
+    causes); robust to prefixes added by transport layers. *)
+
+val read : t -> Table.t -> [ `Current | `Frozen of Sqlcore.Row.t list ]
+(** The transaction's view of a table: [`Current] when the table's latest
+    committed version is the visible one (fast paths such as index
+    lookups stay valid), [`Frozen rows] when the transaction must read
+    its own staged intent or an older version from the chain. *)
+
+val stage : t -> Table.t -> op:string -> Sqlcore.Row.t list -> unit
+(** Stage the table's full prospective contents as this transaction's
+    write intent, replacing any earlier intent for the same table. Raises
+    {!Conflict} (first committer wins) if a newer version was committed
+    after the snapshot or another transaction holds a prepare
+    reservation. *)
+
+val written_tables : t -> string list
+(** Names of tables with staged intents, in staging order. *)
 
 val log_create : t -> Database.t -> string -> unit
 (** Record that the transaction created the named table. *)
@@ -25,14 +62,20 @@ val log_create_index : t -> Database.t -> string -> unit
 val log_drop_index : t -> Database.t -> string -> table:string -> column:string -> unit
 
 val prepare : t -> unit
-(** Active -> Prepared. Raises [Invalid_argument] from any other state. *)
+(** Active -> Prepared: re-validate all intents and reserve their tables
+    (first preparer wins). Raises {!Conflict} on a lost race, leaving the
+    transaction Active; raises [Invalid_argument] from any other state. *)
 
 val commit : t -> unit
-(** Active or Prepared -> Committed; discards the undo log. *)
+(** Active or Prepared -> Committed; installs all intents as one new
+    committed version per table under a single commit timestamp and
+    releases the snapshot and reservations. From Active, re-validates
+    first and raises {!Conflict} on a lost race (the transaction stays
+    Active and must be rolled back); from Prepared it cannot fail. *)
 
 val rollback : t -> unit
-(** Active or Prepared -> Aborted; undoes all logged changes in reverse
-    order. *)
+(** Active or Prepared -> Aborted; discards staged intents, undoes DDL in
+    reverse order, and releases the snapshot and reservations. *)
 
 val is_finished : t -> bool
 val state_to_string : state -> string

@@ -96,12 +96,16 @@ let deliver st ev =
   match st.on_event with None -> () | Some f -> f (Trace.render ev)
 
 (* every event goes to both sinks: typed to [on_trace], rendered to the
-   historical string sink — buffered until the join inside a branch *)
-let tell st kind =
-  let ev = { Trace.at_ms = World.now_ms st.world; kind } in
+   historical string sink — buffered until the join inside a branch.
+   [tell_ev] takes a pre-timestamped event: lower layers (the session's
+   MVCC observer routed through Lam) stamp their own clock frame, which
+   inside a domain branch differs from the calling domain's. *)
+let tell_ev st ev =
   match Domain.DLS.get branch_key with
   | Some b -> b.bevents <- ev :: b.bevents
   | None -> deliver st ev
+
+let tell st kind = tell_ev st { Trace.at_ms = World.now_ms st.world; kind }
 
 let emit st fmt = Printf.ksprintf (fun m -> tell st (Trace.Note m)) fmt
 
@@ -113,12 +117,14 @@ let retry_observer st ~where ~op ~attempt ~delay_ms ~reason =
    whether an idle connection was picked up instead of dialing *)
 let dial st (svc : Service.t) =
   let on_retry = retry_observer st ~where:svc.Service.site in
+  let on_trace = tell_ev st in
   match st.pool with
   | Some p ->
       let hits_before = (Pool.stats p).Pool.hits in
-      let r = Pool.checkout ~retry:st.policy ~on_retry p svc in
+      let r = Pool.checkout ~retry:st.policy ~on_retry ~on_trace p svc in
       (r, (Pool.stats p).Pool.hits > hits_before)
-  | None -> (Lam.connect ~retry:st.policy ~on_retry st.world svc, false)
+  | None ->
+      (Lam.connect ~retry:st.policy ~on_retry ~on_trace st.world svc, false)
 
 let release st lam =
   match st.pool with
@@ -164,6 +170,16 @@ let presumed_abort_status = function
   | Lam.Local _ | Lam.Network _ | Lam.Lost _ -> A
   | Lam.In_doubt _ -> E
 
+(* a terminal local failure whose message is a first-committer-wins
+   write-write conflict gets a dedicated event on top of the status
+   transition, so consumers can count conflict-caused aborts apart from
+   the other abort classes *)
+let note_conflict st ~task lam f =
+  match f with
+  | Lam.Local m when Ldbms.Txn.is_conflict_message m ->
+      tell st (Trace.Conflict_abort { task; site = Lam.site lam })
+  | Lam.Local _ | Lam.Network _ | Lam.Lost _ | Lam.In_doubt _ -> ()
+
 let conn_of st alias =
   match Hashtbl.find_opt st.aliases (akey alias) with
   | Some c -> c
@@ -190,7 +206,9 @@ let exec_task st (task : task) =
       set_status st task.tname N
   | Available lam -> (
       match Lam.exec_script lam task.commands with
-      | Error f -> set_status st task.tname (presumed_abort_status f)
+      | Error f ->
+          note_conflict st ~task:task.tname lam f;
+          set_status st task.tname (presumed_abort_status f)
       | Ok results -> (
           (match Lam.last_relation results with
           | Some rel ->
@@ -216,7 +234,9 @@ let exec_task st (task : task) =
                     deferred (fun () ->
                         Recovery_log.record_prepared st.rlog ~task:task.tname
                           ~alias:task.target lam)
-                | Error f -> set_status st task.tname (presumed_abort_status f))
+                | Error f ->
+                    note_conflict st ~task:task.tname lam f;
+                    set_status st task.tname (presumed_abort_status f))
               else
                 (* a NOCOMMIT task on an autocommit-only engine is a plan
                    inconsistency: its effects are already committed *)
@@ -231,7 +251,9 @@ let exec_task st (task : task) =
               else
                 match Lam.commit lam with
                 | Ok () -> set_status st task.tname C
-                | Error f -> set_status st task.tname (fail_status f))))
+                | Error f ->
+                    note_conflict st ~task:task.tname lam f;
+                    set_status st task.tname (fail_status f))))
 
 let commit_task st tname =
   match get_status st tname with
@@ -577,7 +599,7 @@ let recovery_conn st target =
           match
             Lam.connect ~retry:st.policy
               ~on_retry:(retry_observer st ~where:svc.Service.site)
-              st.world svc
+              ~on_trace:(tell_ev st) st.world svc
           with
           | Ok lam -> Some (lam, true)
           | Error _ -> None))
@@ -795,7 +817,50 @@ let release_all st =
     st.aliases;
   Hashtbl.reset st.aliases
 
-let run ?on_event ?(on_trace = fun _ -> ())
+let outcome_of st ~t0 =
+  let statuses =
+    List.rev_map (fun k -> (k, Hashtbl.find st.statuses k)) st.status_order
+  in
+  let results =
+    List.filter_map
+      (fun (k, _) ->
+        Option.map (fun r -> (k, r)) (Hashtbl.find_opt st.results k))
+      statuses
+  in
+  let rowcounts =
+    List.filter_map
+      (fun (k, _) ->
+        Option.map (fun n -> (k, n)) (Hashtbl.find_opt st.rowcounts k))
+      statuses
+  in
+  {
+    dolstatus = st.dolstatus;
+    statuses;
+    results;
+    rowcounts;
+    elapsed_ms = World.now_ms st.world -. t0;
+    retries = st.retries;
+    recovered = st.recovered;
+    in_doubt = List.length (Recovery_log.unresolved st.rlog);
+    vital_split = st.vital_split;
+  }
+
+(* ---- stepped execution ----------------------------------------------------
+   The interleaving harness runs several programs against shared sites one
+   top-level statement at a time. [start] builds the engine state without
+   executing anything; [step] executes the next statement; [finish] drains
+   the rest and runs the epilogue. [run] is [finish (start ...)], so the
+   monolithic path and the stepped path cannot drift apart. *)
+
+type stepper = {
+  sp_st : state;
+  sp_t0 : float;
+  mutable sp_remaining : Dol_ast.program;
+  mutable sp_error : string option;
+  mutable sp_result : (outcome, string) result option;
+}
+
+let start ?on_event ?(on_trace = fun _ -> ())
     ?(retry = Retry_policy.default) ?(recovery_grace_ms = 500.0) ?pool ?dpool
     ?move_cache ~directory ~world program =
   let st =
@@ -832,45 +897,58 @@ let run ?on_event ?(on_trace = fun _ -> ())
   Log.info (fun f ->
       f "running DOL program: %d statements, %d tasks" (List.length program)
         (List.length (task_names program)));
-  match List.iter (exec_stmt st) program with
-  | exception Program_error m ->
-      (* the program itself is faulty, but the connections it opened are
-         not: run the release/presumed-abort pass before reporting *)
-      release_all st;
-      Error m
-  | () ->
-      (* settle stranded 2PC decisions, then judge the commit groups *)
-      final_recovery st;
-      settle_splits st;
-      (* close any aliases the program forgot *)
-      release_all st;
-      let statuses =
-        List.rev_map (fun k -> (k, Hashtbl.find st.statuses k)) st.status_order
+  {
+    sp_st = st;
+    sp_t0 = t0;
+    sp_remaining = program;
+    sp_error = None;
+    sp_result = None;
+  }
+
+let step sp =
+  match sp.sp_remaining with
+  | [] -> false
+  | s :: rest -> (
+      sp.sp_remaining <- rest;
+      match exec_stmt sp.sp_st s with
+      | () -> true
+      | exception Program_error m ->
+          sp.sp_error <- Some m;
+          sp.sp_remaining <- [];
+          true)
+
+let finish sp =
+  match sp.sp_result with
+  | Some r -> r
+  | None ->
+      while step sp do
+        ()
+      done;
+      let st = sp.sp_st in
+      let r =
+        match sp.sp_error with
+        | Some m ->
+            (* the program itself is faulty, but the connections it opened
+               are not: run the release/presumed-abort pass before
+               reporting *)
+            release_all st;
+            Error m
+        | None ->
+            (* settle stranded 2PC decisions, then judge the commit groups *)
+            final_recovery st;
+            settle_splits st;
+            (* close any aliases the program forgot *)
+            release_all st;
+            Ok (outcome_of st ~t0:sp.sp_t0)
       in
-      let results =
-        List.filter_map
-          (fun (k, _) ->
-            Option.map (fun r -> (k, r)) (Hashtbl.find_opt st.results k))
-          statuses
-      in
-      let rowcounts =
-        List.filter_map
-          (fun (k, _) ->
-            Option.map (fun n -> (k, n)) (Hashtbl.find_opt st.rowcounts k))
-          statuses
-      in
-      Ok
-        {
-          dolstatus = st.dolstatus;
-          statuses;
-          results;
-          rowcounts;
-          elapsed_ms = World.now_ms world -. t0;
-          retries = st.retries;
-          recovered = st.recovered;
-          in_doubt = List.length (Recovery_log.unresolved st.rlog);
-          vital_split = st.vital_split;
-        }
+      sp.sp_result <- Some r;
+      r
+
+let run ?on_event ?on_trace ?retry ?recovery_grace_ms ?pool ?dpool ?move_cache
+    ~directory ~world program =
+  finish
+    (start ?on_event ?on_trace ?retry ?recovery_grace_ms ?pool ?dpool
+       ?move_cache ~directory ~world program)
 
 let run_text ?on_event ?on_trace ?retry ?recovery_grace_ms ?pool ?dpool
     ?move_cache ~directory ~world text =

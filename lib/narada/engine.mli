@@ -107,6 +107,46 @@ val run_text :
   (outcome, string) result
 (** Parse and run DOL program text. *)
 
+(** {2 Stepped execution}
+
+    The interleaving harness runs several multitransactions' programs
+    against shared sites one top-level statement at a time, under a
+    deterministic schedule. {!start} builds the engine state without
+    executing anything; each {!step} executes the next top-level
+    statement (a PARBEGIN block counts as one statement); {!finish}
+    drains whatever remains and runs the end-of-program epilogue —
+    in-doubt resolution, split settlement, release of held connections —
+    exactly as {!run} would. [run] itself is [finish (start ...)], so
+    the two paths cannot drift apart. *)
+
+type stepper
+
+val start :
+  ?on_event:(string -> unit) ->
+  ?on_trace:(Trace.event -> unit) ->
+  ?retry:Retry_policy.t ->
+  ?recovery_grace_ms:float ->
+  ?pool:Pool.t ->
+  ?dpool:Dpool.t ->
+  ?move_cache:Lam.transfer_cache ->
+  directory:Directory.t ->
+  world:Netsim.World.t ->
+  Dol_ast.program ->
+  stepper
+(** Prepare a stepped run. Takes the same knobs as {!run}; no statement
+    executes until the first {!step} (or {!finish}). *)
+
+val step : stepper -> bool
+(** Execute the next top-level statement. [true] if a statement ran —
+    including one that died on a [Program_error], which poisons the run
+    and leaves the error for {!finish} to report; [false] when the
+    program is exhausted and only {!finish} remains. *)
+
+val finish : stepper -> (outcome, string) result
+(** Drain any remaining statements, then run the epilogue and build the
+    outcome. Idempotent: later calls return the cached result without
+    re-running anything. *)
+
 val status_of : outcome -> string -> Dol_ast.status
 (** Status of a named task; [N] if unknown. *)
 

@@ -10,12 +10,34 @@ type t = {
   world : World.t;
   policy : Retry_policy.t;
   on_retry : on_retry;
+  on_trace : (Trace.event -> unit) option;
+      (* sink for the session's MVCC observations (snapshots, write-write
+         conflicts), translated into typed trace events *)
   lock : Mutex.t;
       (* serializes local work on this connection when parallel MOVE
          branches on separate domains share it as their destination: the
          semijoin probe reads and the materialize writes the same
          database. [with_policy] copies share the mutex. *)
 }
+
+(* The session cannot name Trace (layering: ldbms knows nothing of the
+   multidatabase), so it reports through its own observation type and the
+   LAM translates at the transport boundary, stamping the virtual clock. *)
+let install_observer t =
+  Ldbms.Session.set_observer t.session
+    (match t.on_trace with
+    | None -> None
+    | Some sink ->
+        let s = t.service.Service.site in
+        Some
+          (fun obs ->
+            let kind =
+              match obs with
+              | Ldbms.Session.Obs_snapshot ts -> Trace.Snapshot { site = s; ts }
+              | Ldbms.Session.Obs_conflict { table; op } ->
+                  Trace.Conflict { site = s; table; op }
+            in
+            sink { Trace.at_ms = World.now_ms t.world; kind }))
 
 type failure =
   | Local of string
@@ -58,8 +80,8 @@ let guard_site f =
 
 let no_on_retry ~op:_ ~attempt:_ ~delay_ms:_ ~reason:_ = ()
 
-let connect ?(retry = Retry_policy.default) ?(on_retry = no_on_retry) world
-    service =
+let connect ?(retry = Retry_policy.default) ?(on_retry = no_on_retry) ?on_trace
+    world service =
   let dst = service.Service.site in
   Retry_policy.run retry world
     ~key:("connect:" ^ dst)
@@ -75,7 +97,7 @@ let connect ?(retry = Retry_policy.default) ?(on_retry = no_on_retry) world
                 (Local (Inject.transient_marker ^ " connection refused by service"))
           | Some Inject.Fatal -> Error (Local "connection refused by service")
           | None ->
-              Ok
+              let t =
                 {
                   service;
                   session =
@@ -84,8 +106,12 @@ let connect ?(retry = Retry_policy.default) ?(on_retry = no_on_retry) world
                   world;
                   policy = retry;
                   on_retry;
+                  on_trace;
                   lock = Mutex.create ();
-                }))
+                }
+              in
+              install_observer t;
+              Ok t))
 
 let connect_exn world service =
   match connect ~retry:Retry_policy.none world service with
@@ -97,11 +123,14 @@ let session t = t.session
 let site t = t.service.Service.site
 let world t = t.world
 
-let with_policy ?(retry = Retry_policy.default) ?(on_retry = no_on_retry) t =
+let with_policy ?(retry = Retry_policy.default) ?(on_retry = no_on_retry)
+    ?on_trace t =
   (* a pooled connection outlives the engine run that opened it: rebind
-     the policy and observer so retries are charged to the current run,
-     not to the defunct one that originally connected *)
-  { t with policy = retry; on_retry }
+     the policy and observers so retries and MVCC observations are charged
+     to the current run, not to the defunct one that originally connected *)
+  let t = { t with policy = retry; on_retry; on_trace } in
+  install_observer t;
+  t
 
 let with_retry t ~op ~classify f =
   Retry_policy.run t.policy t.world

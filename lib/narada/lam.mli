@@ -35,14 +35,17 @@ type on_retry =
 val connect :
   ?retry:Retry_policy.t ->
   ?on_retry:on_retry ->
+  ?on_trace:(Trace.event -> unit) ->
   Netsim.World.t ->
   Service.t ->
   (t, failure) result
 (** Opens the service: establishes the session and charges a handshake
     message, retrying per [retry] (default {!Retry_policy.default}). The
     policy and [on_retry] observer are remembered for all later
-    operations on this connection. Checks the service's failure injector
-    at [At_connect]. *)
+    operations on this connection. [on_trace] subscribes to the session's
+    MVCC observations (snapshot acquisitions, write-write conflicts),
+    delivered as {!Trace.Snapshot} / {!Trace.Conflict} events. Checks the
+    service's failure injector at [At_connect]. *)
 
 val connect_exn : Netsim.World.t -> Service.t -> t
 (** Single-attempt connect that raises [Failure] instead of returning a
@@ -53,11 +56,17 @@ val session : t -> Ldbms.Session.t
 val site : t -> string
 val world : t -> Netsim.World.t
 
-val with_policy : ?retry:Retry_policy.t -> ?on_retry:on_retry -> t -> t
-(** The same connection under a different retry policy and observer
+val with_policy :
+  ?retry:Retry_policy.t ->
+  ?on_retry:on_retry ->
+  ?on_trace:(Trace.event -> unit) ->
+  t ->
+  t
+(** The same connection under a different retry policy and observers
     (defaults as for {!connect}). Used when a pooled connection is reused
-    by a later engine run: retries must be reported to the run that is
-    executing, not to the one that originally connected. *)
+    by a later engine run: retries and MVCC observations must be reported
+    to the run that is executing, not to the one that originally
+    connected. *)
 
 val failure_message : failure -> string
 

@@ -53,7 +53,7 @@ let healthy t e =
   && (not (World.down_during t.world site ~since_ms:e.since_ms))
   && Ldbms.Session.txn_state (Lam.session e.lam) = None
 
-let checkout ?retry ?on_retry t (svc : Service.t) =
+let checkout ?retry ?on_retry ?on_trace t (svc : Service.t) =
   let k = key svc.Service.service_name in
   let rec pick () =
     match Hashtbl.find_opt t.conns k with
@@ -61,7 +61,7 @@ let checkout ?retry ?on_retry t (svc : Service.t) =
         Hashtbl.replace t.conns k rest;
         if healthy t e then begin
           t.pstats.hits <- t.pstats.hits + 1;
-          Ok (Lam.with_policy ?retry ?on_retry e.lam)
+          Ok (Lam.with_policy ?retry ?on_retry ?on_trace e.lam)
         end
         else begin
           t.pstats.discarded <- t.pstats.discarded + 1;
@@ -76,7 +76,7 @@ let checkout ?retry ?on_retry t (svc : Service.t) =
         end
     | Some [] | None ->
         t.pstats.misses <- t.pstats.misses + 1;
-        Lam.connect ?retry ?on_retry t.world svc
+        Lam.connect ?retry ?on_retry ?on_trace t.world svc
   in
   pick ()
 

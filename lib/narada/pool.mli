@@ -41,11 +41,12 @@ val size : t -> int
 val checkout :
   ?retry:Retry_policy.t ->
   ?on_retry:Lam.on_retry ->
+  ?on_trace:(Trace.event -> unit) ->
   t ->
   Service.t ->
   (Lam.t, Lam.failure) result
 (** An idle healthy connection to the service if one is parked (rebound
-    to the given retry policy and observer), else a fresh
+    to the given retry policy and observers), else a fresh
     {!Lam.connect}. Stale parked connections encountered on the way are
     discarded and counted. *)
 

@@ -32,6 +32,9 @@ type kind =
   | Recovered of { task : string; site : string; verdict : verdict }
   | Pool_stale of { service : string; site : string }
   | Cache of { layer : string; hit : bool; key : string }
+  | Snapshot of { site : string; ts : int }
+  | Conflict of { site : string; table : string; op : string }
+  | Conflict_abort of { task : string; site : string }
   | Dolstatus of int
   | Note of string
 
@@ -74,6 +77,11 @@ let render_kind = function
   | Cache { layer; hit; key } ->
       Printf.sprintf "%s cache %s: %s" layer (if hit then "hit" else "miss")
         key
+  | Snapshot { site; ts } -> Printf.sprintf "snapshot %d acquired at %s" ts site
+  | Conflict { site; table; op } ->
+      Printf.sprintf "write-write conflict on %s at %s (%s)" table site op
+  | Conflict_abort { task; site } ->
+      Printf.sprintf "%s aborted: lost write-write race at %s" task site
   | Dolstatus n -> Printf.sprintf "DOLSTATUS = %d" n
   | Note m -> m
 

@@ -47,6 +47,16 @@ type kind =
   | Cache of { layer : string; hit : bool; key : string }
       (** A cache consultation; [layer] is ["pool"], ["plan"] or
           ["result"]. *)
+  | Snapshot of { site : string; ts : int }
+      (** A local transaction began and acquired an MVCC snapshot at the
+          site ([ts] is the site-local commit timestamp it reads at). *)
+  | Conflict of { site : string; table : string; op : string }
+      (** A local transaction lost a first-committer-wins write-write race
+          on [table]; [op] is where the race was detected (["write"],
+          ["prepare"] or ["commit"]). The victim was rolled back. *)
+  | Conflict_abort of { task : string; site : string }
+      (** A task aborted terminally because of a write-write conflict (its
+          retries, if any, were exhausted). *)
   | Dolstatus of int
   | Note of string
       (** Free-form diagnostics that have no structured shape (recovery

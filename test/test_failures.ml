@@ -312,10 +312,12 @@ let test_permanent_failure_fires_comp () =
   Alcotest.(check bool) "no split reported" false o.Engine.vital_split;
   Alcotest.(check int) "t2 still in doubt at the site" 1 o.Engine.in_doubt;
   Alcotest.check value "a undone" (Value.Float 100.0) (rate a 1);
-  (* bravo's prepared transaction is still open at the dead site; its
-     uncommitted update stays visible until the site recovers and rolls
-     it back per the (revoked) abort verdict *)
-  Alcotest.check value "b pending rollback" (Value.Float 110.0) (rate b 1)
+  (* bravo's prepared transaction is still open at the dead site, but its
+     update is a staged intent: under snapshot isolation nothing
+     uncommitted is ever visible to other readers, and the intent is
+     discarded when the site recovers and rolls back per the (revoked)
+     abort verdict *)
+  Alcotest.check value "b intent invisible" (Value.Float 100.0) (rate b 1)
 
 let test_permanent_failure_without_comp_is_split () =
   let world, dir, a, _b = setup () in

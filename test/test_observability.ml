@@ -123,6 +123,93 @@ DOLEND
   Alcotest.(check int) "second OPEN reuses the parked connection" 1
     st.Narada.Pool.hits
 
+(* the Conflict abort class must go through the same epilogue as
+   Program_error: the loser's pooled connection is checked back in (its
+   conflicted transaction was already rolled back by the session), so the
+   next OPEN is a pool hit, not a leak-forced dial *)
+let test_pool_released_on_conflict_abort () =
+  let world, dir = engine_setup () in
+  let pool = Narada.Pool.create world in
+  let parse text =
+    match Narada.Dol_parser.parse text with
+    | p -> p
+    | exception Narada.Dol_parser.Error (m, _, _) -> Alcotest.fail m
+  in
+  let winner =
+    parse
+      {|
+DOLBEGIN
+OPEN aero AT site1 AS a;
+TASK TA NOCOMMIT FOR a { UPDATE flights SET rate = rate * 1.1 } ENDTASK;
+COMMIT TA;
+DOLSTATUS=0;
+CLOSE a;
+DOLEND
+|}
+  in
+  let loser =
+    parse
+      {|
+DOLBEGIN
+OPEN aero AT site1 AS b;
+TASK TB NOCOMMIT FOR b { UPDATE flights SET rate = rate * 2.0 } ENDTASK;
+COMMIT TB;
+DOLSTATUS=0;
+CLOSE b;
+DOLEND
+|}
+  in
+  let conflicts = ref 0 and conflict_aborts = ref 0 in
+  let on_trace e =
+    match e.Trace.kind with
+    | Trace.Conflict _ -> incr conflicts
+    | Trace.Conflict_abort { task; _ } ->
+        Alcotest.(check string) "abort names the loser" "tb"
+          (String.lowercase_ascii task);
+        incr conflict_aborts
+    | _ -> ()
+  in
+  let sa = Engine.start ~pool ~directory:dir ~world winner in
+  let sb = Engine.start ~pool ~on_trace ~directory:dir ~world loser in
+  (* A opens and prepares (reserving flights); B then opens and loses the
+     first-committer-wins race, exhausting its transient-conflict retries *)
+  ignore (Engine.step sa);
+  ignore (Engine.step sa);
+  ignore (Engine.step sb);
+  ignore (Engine.step sb);
+  let ob =
+    match Engine.finish sb with Ok o -> o | Error m -> Alcotest.fail m
+  in
+  let oa =
+    match Engine.finish sa with Ok o -> o | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "winner committed" true
+    (Engine.status_of oa "TA" = D.C);
+  Alcotest.(check bool) "loser aborted" true (Engine.status_of ob "TB" = D.A);
+  Alcotest.(check bool) "conflicts observed" true (!conflicts > 0);
+  Alcotest.(check int) "one terminal conflict abort" 1 !conflict_aborts;
+  Alcotest.(check bool) "conflict was retried as transient" true
+    (ob.Engine.retries > 0);
+  (* both connections were parked by the epilogues — no leak on the
+     conflict abort path *)
+  Alcotest.(check int) "both connections parked" 2 (Narada.Pool.size pool);
+  let st = Narada.Pool.stats pool in
+  Alcotest.(check int) "exactly two dials" 2 st.Narada.Pool.misses;
+  let again =
+    {|
+DOLBEGIN
+OPEN aero AT site1 AS a;
+TASK T1 FOR a { SELECT flnu FROM flights } ENDTASK;
+CLOSE a;
+DOLEND
+|}
+  in
+  (match Engine.run_text ~pool ~directory:dir ~world again with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("follow-up run: " ^ m));
+  Alcotest.(check bool) "follow-up OPEN reuses a parked connection" true
+    ((Narada.Pool.stats pool).Narada.Pool.hits > 0)
+
 (* ---- trace event ordering --------------------------------------------- *)
 
 let twopc_program =
@@ -330,6 +417,8 @@ let () =
         [
           Alcotest.test_case "pool released on Program_error" `Quick
             test_pool_released_on_program_error;
+          Alcotest.test_case "pool released on conflict abort" `Quick
+            test_pool_released_on_conflict_abort;
         ] );
       ( "trace",
         [
