@@ -45,6 +45,11 @@ type t = {
   mutable moved_bytes : int;
   mutable moves_reduced : int;
   mutable moves_cached : int;
+  (* intra-operator parallelism at the sites (deterministic across pool
+     widths: partition counts are a pure function of the data) *)
+  mutable par_joins : int;
+  mutable par_filters : int;
+  mutable par_partitions : int;
   site_retries : (string, int) Hashtbl.t;
 }
 
@@ -77,6 +82,9 @@ let create () =
     moved_bytes = 0;
     moves_reduced = 0;
     moves_cached = 0;
+    par_joins = 0;
+    par_filters = 0;
+    par_partitions = 0;
     site_retries = Hashtbl.create 8;
   }
 
@@ -108,6 +116,9 @@ let reset m =
   m.moved_bytes <- 0;
   m.moves_reduced <- 0;
   m.moves_cached <- 0;
+  m.par_joins <- 0;
+  m.par_filters <- 0;
+  m.par_partitions <- 0;
   Hashtbl.reset m.site_retries
 
 (* fold one typed trace event; events with no metric dimension are
@@ -137,6 +148,10 @@ let observe m (ev : Narada.Trace.event) =
   | Narada.Trace.Conflict _ -> m.ww_conflicts <- m.ww_conflicts + 1
   | Narada.Trace.Conflict_abort _ ->
       m.conflict_aborts <- m.conflict_aborts + 1
+  | Narada.Trace.Parallel { op; partitions; _ } ->
+      if String.equal op "join" then m.par_joins <- m.par_joins + 1
+      else m.par_filters <- m.par_filters + 1;
+      m.par_partitions <- m.par_partitions + partitions
   | Narada.Trace.Opened _ | Narada.Trace.Open_failed _ | Narada.Trace.Closed _
   | Narada.Trace.Status _ | Narada.Trace.Branch _ | Narada.Trace.Pool_stale _
   | Narada.Trace.Cache _ | Narada.Trace.Dolstatus _ | Narada.Trace.Note _ ->
@@ -202,8 +217,11 @@ let to_json m ~world ~cache =
     m.snapshots m.ww_conflicts m.conflict_retries m.conflict_aborts;
   addf
     "    \"moves\": {\"count\": %d, \"rows\": %d, \"bytes\": %d, \
-     \"semijoin_reduced\": %d, \"cache_hits\": %d}\n"
+     \"semijoin_reduced\": %d, \"cache_hits\": %d},\n"
     m.moves m.moved_rows m.moved_bytes m.moves_reduced m.moves_cached;
+  addf
+    "    \"parallel\": {\"joins\": %d, \"filters\": %d, \"partitions\": %d}\n"
+    m.par_joins m.par_filters m.par_partitions;
   addf "  },\n";
   addf "  \"caches\": {\n";
   addf "    \"pool\": {\"hits\": %d, \"misses\": %d, \"discarded\": %d},\n"

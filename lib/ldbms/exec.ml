@@ -236,6 +236,98 @@ let use_join_planner = ref true
 let set_join_planner b = use_join_planner := b
 let join_planner_enabled () = !use_join_planner
 
+(* ---- intra-operator parallelism ------------------------------------------
+
+   Large hash joins and subquery-free WHERE scans are chunked over a
+   domain pool ({!Sqlcore.Taskpool}). Every planning decision — whether
+   to go parallel, the partition count, the chunk boundaries — depends
+   only on the data and the knobs below, never on the pool width, so
+   results, observations and traces are byte-identical at any width
+   (width 1 runs the identical partitioned code path on the caller). *)
+
+type par_note = {
+  pn_op : string;  (* "join" | "filter" *)
+  pn_partitions : int;
+  pn_build_rows : int;  (* 0 for a filter *)
+  pn_probe_rows : int;  (* input rows for a filter *)
+}
+
+let par_log = Logs.Src.create "ldbms.parallel" ~doc:"intra-operator parallelism"
+
+module Par_log = (val Logs.src_log par_log : Logs.LOG)
+
+let par_enabled = ref true
+let par_min_rows = ref 8192  (* build + probe floor for going parallel *)
+let par_max_partitions = ref 8
+let par_width = ref 0  (* pool width; 0 = machine-recommended *)
+
+let set_parallel_exec ?enabled ?min_rows ?max_partitions ?width () =
+  Option.iter (fun v -> par_enabled := v) enabled;
+  Option.iter (fun v -> par_min_rows := max 0 v) min_rows;
+  Option.iter (fun v -> par_max_partitions := max 1 v) max_partitions;
+  Option.iter (fun v -> par_width := max 0 v) width
+
+let parallel_exec_enabled () = !par_enabled
+
+(* Pools for intra-operator work, memoized per width and deliberately
+   distinct from the engine's shared branch pools: [Taskpool.run_all]'s
+   caller helps drain the queue, and a join job must never pick up an
+   engine branch (which swaps domain-local buffering state) mid-join.
+   Join/filter jobs are pure compute, so these pools compose safely with
+   the engine running above them. *)
+let par_pools : (int, Taskpool.t) Hashtbl.t = Hashtbl.create 4
+let par_pools_m = Mutex.create ()
+
+let par_pool () =
+  let w =
+    if !par_width > 0 then !par_width else Domain.recommended_domain_count ()
+  in
+  Mutex.lock par_pools_m;
+  let p =
+    match Hashtbl.find_opt par_pools w with
+    | Some p -> p
+    | None ->
+        let p = Taskpool.create ~domains:w in
+        Hashtbl.replace par_pools w p;
+        p
+  in
+  Mutex.unlock par_pools_m;
+  p
+
+(* data-dependent only: the pool width must not influence the partition
+   count, or traces would diverge across widths *)
+let par_partitions total = min !par_max_partitions (max 2 (total / 4096))
+
+let maybe_parallel_join ?note a b ~keys =
+  let build = Relation.cardinality b and probe = Relation.cardinality a in
+  let total = build + probe in
+  if (not !par_enabled) || total < !par_min_rows then begin
+    Par_log.debug (fun f ->
+        f "parallel join fallback (%s): build=%d probe=%d"
+          (if !par_enabled then "small input" else "disabled")
+          build probe);
+    Relation.hash_join a b ~keys
+  end
+  else begin
+    let pool = par_pool () in
+    let partitions = par_partitions total in
+    let joined, st = Relation.parallel_hash_join ~pool ~partitions a b ~keys in
+    Par_log.debug (fun f ->
+        f "parallel join: %d partition(s), build=%d probe=%d, width=%d"
+          st.Relation.pj_partitions build probe (Taskpool.size pool));
+    (match note with
+    | Some tell ->
+        tell
+          {
+            pn_op = "join";
+            pn_partitions = st.Relation.pj_partitions;
+            pn_build_rows = build;
+            pn_probe_rows = probe;
+          }
+    | None -> ());
+    joined
+  end
+
 let rec expr_has_subquery = function
   | Ast.Scalar_subquery _ | Ast.In_subquery _ | Ast.Exists _ -> true
   | Ast.Lit _ | Ast.Col _ -> false
@@ -311,7 +403,7 @@ let probe_value col_ty v =
    would on the product path. The caller re-applies the complete WHERE
    clause afterwards: planning is purely physical and the result set is
    identical to filtering the product. *)
-let plan_join_input ?txn db leaves (where : Ast.expr) =
+let plan_join_input ?txn ?note db leaves (where : Ast.expr) =
   let n = List.length leaves in
   let leaf = Array.of_list leaves in
   let conjs = where_conjuncts where in
@@ -390,7 +482,14 @@ let plan_join_input ?txn db leaves (where : Ast.expr) =
         let jl = leaf.(next) in
         let joined =
           match keys with
-          | [] -> Relation.product !acc jl.jl_rel
+          | [] ->
+              Par_log.debug (fun f ->
+                  f
+                    "parallel join fallback (ineligible keys: cross join): \
+                     build=%d probe=%d"
+                    (Relation.cardinality jl.jl_rel)
+                    (Relation.cardinality !acc));
+              Relation.product !acc jl.jl_rel
           | (off, col) :: _ -> (
               let indexed =
                 match jl.jl_base with
@@ -418,7 +517,7 @@ let plan_join_input ?txn db leaves (where : Ast.expr) =
                       (Relation.rows !acc)
                   in
                   Relation.make out_schema out
-              | None -> Relation.hash_join !acc jl.jl_rel ~keys)
+              | None -> maybe_parallel_join ?note !acc jl.jl_rel ~keys)
         in
         offsets.(next) <- Schema.arity (Relation.schema !acc);
         acc := joined;
@@ -443,12 +542,12 @@ let plan_join_input ?txn db leaves (where : Ast.expr) =
 
 (* ---- SELECT ------------------------------------------------------------ *)
 
-let rec run_select ?txn db ?outer (s : Ast.select) : Relation.t =
-  wrap (fun () -> select_unwrapped ~depth:0 ?txn db ?outer s)
+let rec run_select ?txn ?note db ?outer (s : Ast.select) : Relation.t =
+  wrap (fun () -> select_unwrapped ~depth:0 ?txn ?note db ?outer s)
 
-and select_unwrapped ~depth ?txn db ?outer (s : Ast.select) =
+and select_unwrapped ~depth ?txn ?note db ?outer (s : Ast.select) =
   let ctx_plain =
-    { Eval.subquery = (fun env q -> subquery_eval ~depth ?txn db env q); agg = None }
+    { Eval.subquery = (fun env q -> subquery_eval ~depth ?txn ?note db env q); agg = None }
   in
   let input =
     match indexed_scan ?txn db s with
@@ -458,7 +557,8 @@ and select_unwrapped ~depth ?txn db ?outer (s : Ast.select) =
         let leaves =
           List.map
             (load_leaf
-               ~eval_select:(fun q -> select_unwrapped ~depth:(depth + 1) ?txn db q)
+               ~eval_select:(fun q ->
+                 select_unwrapped ~depth:(depth + 1) ?txn ?note db q)
                ~depth ?txn db)
             s.Ast.from
         in
@@ -470,7 +570,7 @@ and select_unwrapped ~depth ?txn db ?outer (s : Ast.select) =
         in
         match leaves, s.Ast.where with
         | _ :: _ :: _, Some pred when join_planner_enabled () -> (
-            match plan_join_input ?txn db leaves pred with
+            match plan_join_input ?txn ?note db leaves pred with
             | Some rel -> rel
             | None -> product ())
         | _ -> product ())
@@ -481,9 +581,31 @@ and select_unwrapped ~depth ?txn db ?outer (s : Ast.select) =
     match s.Ast.where with
     | None -> input
     | Some pred ->
-        Relation.filter
-          (fun row -> Eval.truthy (Eval.eval ctx_plain (mkenv row) pred))
-          input
+        let keep row = Eval.truthy (Eval.eval ctx_plain (mkenv row) pred) in
+        let n = Relation.cardinality input in
+        (* the semijoin probe path benefits here: an IN-spliced shipped
+           query is subquery-free, so its big scan goes parallel *)
+        if !par_enabled && n >= !par_min_rows && not (expr_has_subquery pred)
+        then begin
+          let pool = par_pool () in
+          let chunks = par_partitions n in
+          let r = Relation.parallel_filter ~pool ~chunks keep input in
+          Par_log.debug (fun f ->
+              f "parallel filter: %d chunk(s), rows=%d, width=%d" chunks n
+                (Taskpool.size pool));
+          (match note with
+          | Some tell ->
+              tell
+                {
+                  pn_op = "filter";
+                  pn_partitions = chunks;
+                  pn_build_rows = 0;
+                  pn_probe_rows = n;
+                }
+          | None -> ());
+          r
+        end
+        else Relation.filter keep input
   in
   let result =
     if Ast.is_aggregate_query s then
@@ -492,10 +614,10 @@ and select_unwrapped ~depth ?txn db ?outer (s : Ast.select) =
   in
   if s.Ast.distinct then Relation.distinct result else result
 
-and subquery_eval ~depth ?txn db env q =
+and subquery_eval ~depth ?txn ?note db env q =
   (* [env] is the enclosing row environment, which becomes the subquery's
      outer scope for correlated references. *)
-  select_unwrapped ~depth ?txn db ?outer:env q
+  select_unwrapped ~depth ?txn ?note db ?outer:env q
 
 and expand_projections schema (projections : Ast.projection list) =
   (* -> (output column, value expr) list, where the expr is either a

@@ -75,10 +75,92 @@ let akey = String.lowercase_ascii
    absent and every effect applies immediately — the sequential paths are
    byte-for-byte the old code. *)
 
+(* Buffers are growable arrays, not cons lists: a deferred effect is one
+   slot store (amortized), the join replays by indexing forward with no
+   List.rev allocation, and the arrays themselves are recycled through a
+   process-wide freelist so steady-state PARBEGIN blocks allocate no
+   buffer storage at all. The reuse hit/miss counters are process-global
+   observability for the benches ({!branch_buf_stats}); they are
+   deliberately NOT part of the metrics JSON, which must stay
+   byte-identical across pool widths while buffering only happens at
+   width >= 2. *)
+
+let dummy_event = { Trace.at_ms = 0.0; kind = Trace.Dolstatus 0 }
+
 type branch_buf = {
-  mutable bevents : Trace.event list;  (* newest first *)
-  mutable bwrites : (unit -> unit) list;  (* newest first *)
+  mutable bevents : Trace.event array;
+  mutable bev_n : int;
+  mutable bwrites : (unit -> unit) array;
+  mutable bw_n : int;
 }
+
+let fresh_buf () =
+  {
+    bevents = Array.make 32 dummy_event;
+    bev_n = 0;
+    bwrites = Array.make 32 ignore;
+    bw_n = 0;
+  }
+
+let buf_pool : branch_buf list ref = ref []
+let buf_pool_m = Mutex.create ()
+let buf_reuse_hits = Atomic.make 0
+let buf_reuse_misses = Atomic.make 0
+
+let take_bufs n =
+  Mutex.lock buf_pool_m;
+  let rec go k acc avail =
+    if k = 0 then (acc, avail)
+    else
+      match avail with
+      | b :: rest ->
+          Atomic.incr buf_reuse_hits;
+          go (k - 1) (b :: acc) rest
+      | [] ->
+          Atomic.incr buf_reuse_misses;
+          go (k - 1) (fresh_buf () :: acc) []
+  in
+  let bufs, rest = go n [] !buf_pool in
+  buf_pool := rest;
+  Mutex.unlock buf_pool_m;
+  Array.of_list bufs
+
+let return_bufs bufs =
+  Array.iter
+    (fun b ->
+      (* drop references so recycled buffers don't pin event payloads or
+         closed-over state between blocks *)
+      Array.fill b.bevents 0 b.bev_n dummy_event;
+      Array.fill b.bwrites 0 b.bw_n ignore;
+      b.bev_n <- 0;
+      b.bw_n <- 0)
+    bufs;
+  Mutex.lock buf_pool_m;
+  buf_pool := Array.fold_left (fun acc b -> b :: acc) !buf_pool bufs;
+  Mutex.unlock buf_pool_m
+
+let branch_buf_stats () =
+  (Atomic.get buf_reuse_hits, Atomic.get buf_reuse_misses)
+
+let push_event b ev =
+  let cap = Array.length b.bevents in
+  if b.bev_n = cap then begin
+    let bigger = Array.make (2 * cap) dummy_event in
+    Array.blit b.bevents 0 bigger 0 cap;
+    b.bevents <- bigger
+  end;
+  b.bevents.(b.bev_n) <- ev;
+  b.bev_n <- b.bev_n + 1
+
+let push_write b f =
+  let cap = Array.length b.bwrites in
+  if b.bw_n = cap then begin
+    let bigger = Array.make (2 * cap) ignore in
+    Array.blit b.bwrites 0 bigger 0 cap;
+    b.bwrites <- bigger
+  end;
+  b.bwrites.(b.bw_n) <- f;
+  b.bw_n <- b.bw_n + 1
 
 let branch_key : branch_buf option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
@@ -86,7 +168,7 @@ let branch_key : branch_buf option Domain.DLS.key =
 (* a state write: immediate outside a branch, deferred to the join inside *)
 let deferred f =
   match Domain.DLS.get branch_key with
-  | Some b -> b.bwrites <- f :: b.bwrites
+  | Some b -> push_write b f
   | None -> f ()
 
 let deliver st ev =
@@ -102,7 +184,7 @@ let deliver st ev =
    inside a domain branch differs from the calling domain's. *)
 let tell_ev st ev =
   match Domain.DLS.get branch_key with
-  | Some b -> b.bevents <- ev :: b.bevents
+  | Some b -> push_event b ev
   | None -> deliver st ev
 
 let tell st kind = tell_ev st { Trace.at_ms = World.now_ms st.world; kind }
@@ -439,13 +521,15 @@ let domain_eligible st stmts =
 let run_branches_on_domains st dp stmts ~exec =
   let t0 = World.now_ms st.world in
   let n = List.length stmts in
-  let bufs = Array.init n (fun _ -> { bevents = []; bwrites = [] }) in
+  let bufs = take_bufs n in
   let fails : exn option array = Array.make n None in
   let ends = Array.make n t0 in
   let lane_tbl = Hashtbl.create 8 in
   let lanes = ref [] in
   (* lanes in first-appearance order, each holding (index, stmt) pairs in
-     declaration order *)
+     declaration order; a lane — a branch's whole statement list — is the
+     unit of domain work, so coordination costs are paid per connection,
+     not per statement *)
   List.iteri
     (fun i s ->
       let a = Option.get (lane_alias s) in
@@ -459,12 +543,16 @@ let run_branches_on_domains st dp stmts ~exec =
   let jobs =
     List.rev_map
       (fun cell () ->
+        (* save/restore rather than set/None: a domain that helps drain
+           another pool's queue between statements must never find its
+           buffer silently dropped *)
+        let prev = Domain.DLS.get branch_key in
         List.iter
           (fun (i, s) ->
             Domain.DLS.set branch_key (Some bufs.(i));
             match
               Fun.protect
-                ~finally:(fun () -> Domain.DLS.set branch_key None)
+                ~finally:(fun () -> Domain.DLS.set branch_key prev)
                 (fun () ->
                   World.in_frame st.world ~start_ms:t0 (fun () -> exec s))
             with
@@ -475,8 +563,13 @@ let run_branches_on_domains st dp stmts ~exec =
   in
   Dpool.run_all dp jobs;
   let replay i =
-    List.iter (fun w -> w ()) (List.rev bufs.(i).bwrites);
-    List.iter (deliver st) (List.rev bufs.(i).bevents)
+    let b = bufs.(i) in
+    for k = 0 to b.bw_n - 1 do
+      b.bwrites.(k) ()
+    done;
+    for k = 0 to b.bev_n - 1 do
+      deliver st b.bevents.(k)
+    done
   in
   let rec merge i =
     if i < n then begin
@@ -484,7 +577,7 @@ let run_branches_on_domains st dp stmts ~exec =
       match fails.(i) with Some e -> raise e | None -> merge (i + 1)
     end
   in
-  merge 0;
+  Fun.protect ~finally:(fun () -> return_bufs bufs) (fun () -> merge 0);
   World.advance_ms st.world (Array.fold_left max t0 ends -. t0)
 
 (* A fan-out of independent single-site verbs (the second phase of 2PC,

@@ -151,3 +151,11 @@ val status_of : outcome -> string -> Dol_ast.status
 (** Status of a named task; [N] if unknown. *)
 
 val result_of : outcome -> string -> Sqlcore.Relation.t option
+
+val branch_buf_stats : unit -> int * int
+(** [(reuse_hits, reuse_misses)] of the process-wide per-branch buffer
+    freelist used by domain-pool execution: a hit means a PARBEGIN branch
+    ran with a recycled trace/state buffer instead of allocating one.
+    Width-dependent by nature (buffering only happens on the domain
+    path), so this is bench observability — deliberately not part of the
+    session metrics JSON, which is byte-identical across widths. *)

@@ -35,6 +35,13 @@ type kind =
   | Snapshot of { site : string; ts : int }
   | Conflict of { site : string; table : string; op : string }
   | Conflict_abort of { task : string; site : string }
+  | Parallel of {
+      site : string;
+      op : string;  (* "join" | "filter" *)
+      partitions : int;
+      build_rows : int;
+      probe_rows : int;
+    }
   | Dolstatus of int
   | Note of string
 
@@ -82,6 +89,9 @@ let render_kind = function
       Printf.sprintf "write-write conflict on %s at %s (%s)" table site op
   | Conflict_abort { task; site } ->
       Printf.sprintf "%s aborted: lost write-write race at %s" task site
+  | Parallel { site; op; partitions; build_rows; probe_rows } ->
+      Printf.sprintf "parallel %s at %s: %d partition(s), build=%d probe=%d" op
+        site partitions build_rows probe_rows
   | Dolstatus n -> Printf.sprintf "DOLSTATUS = %d" n
   | Note m -> m
 

@@ -129,18 +129,31 @@ let join_key row idxs =
   in
   go [] idxs
 
-let hash_join a b ~keys =
-  let ka = List.map fst keys and kb = List.map snd keys in
-  let schema = a.schema @ b.schema in
-  let tbl = Hashtbl.create (max 16 (cardinality b)) in
+(* Build-side buckets are mutable refs holding rows newest-first, so each
+   build row costs one lookup plus (on first occurrence) one insert —
+   instead of the earlier find_opt + Option + replace triple, which paid
+   two traversals and re-allocated the bucket spine on every row. The
+   table is sized from the build cardinality so it never rehashes. *)
+let build_side_table rbs ~kb ~size =
+  let tbl : (string, Row.t list ref) Hashtbl.t =
+    Hashtbl.create (max 16 size)
+  in
   List.iter
     (fun rb ->
       match join_key rb kb with
       | None -> ()
-      | Some k ->
-          Hashtbl.replace tbl k
-            (rb :: Option.value (Hashtbl.find_opt tbl k) ~default:[]))
-    (rows b);
+      | Some k -> (
+          match Hashtbl.find_opt tbl k with
+          | Some bucket -> bucket := rb :: !bucket
+          | None -> Hashtbl.add tbl k (ref [ rb ])))
+    rbs;
+  tbl
+
+let hash_join a b ~keys =
+  let ka = List.map fst keys and kb = List.map snd keys in
+  let schema = a.schema @ b.schema in
+  let card_b = cardinality b in
+  let tbl = build_side_table (rows b) ~kb ~size:card_b in
   (* probe in [a] order and emit matches in [b] order, reproducing the order
      of the equivalent filtered product *)
   let out =
@@ -151,10 +164,126 @@ let hash_join a b ~keys =
         | Some k -> (
             match Hashtbl.find_opt tbl k with
             | None -> []
-            | Some rbs -> List.rev_map (fun rb -> Row.append ra rb) rbs))
+            | Some rbs -> List.rev_map (fun rb -> Row.append ra rb) !rbs))
       (rows a)
   in
   make schema out
+
+(* ---- partitioned parallel hash join -------------------------------------- *)
+
+type par_join_stats = {
+  pj_partitions : int;
+  pj_build_rows : int;
+  pj_probe_rows : int;
+}
+
+(* [0, n) as [chunks] contiguous ranges, each handed to [f c lo hi] as
+   one pool job ([c] is the chunk's ordinal). Chunk boundaries depend
+   only on [n] and [chunks], never on the pool width, so the work
+   decomposition is reproducible. *)
+let chunk_jobs n chunks f =
+  let chunks = max 1 (min chunks n) in
+  let base = n / chunks and extra = n mod chunks in
+  let rec go c lo acc =
+    if c >= chunks then List.rev acc
+    else
+      let len = base + if c < extra then 1 else 0 in
+      go (c + 1) (lo + len) ((fun () -> f c lo (lo + len)) :: acc)
+  in
+  go 0 0 []
+
+(* The deterministic parallel join. The build side is hash-partitioned by
+   join key ([Hashtbl.hash] is a fixed polynomial hash, identical across
+   runs and domains), one read-only hash table is built per partition in
+   parallel, and the probe side is scanned as ordered contiguous chunks,
+   each probing the partition tables and accumulating its output locally;
+   the chunk outputs are concatenated in chunk order. Because every
+   decision — partition count, partition assignment, chunk boundaries,
+   per-bucket row order — depends only on the data and [partitions], the
+   result is byte-identical to {!hash_join} at any pool width, including
+   width 1 (where [Taskpool.run_all] runs every job on the caller). *)
+let parallel_hash_join ~pool ~partitions a b ~keys =
+  let ka = List.map fst keys and kb = List.map snd keys in
+  let schema = a.schema @ b.schema in
+  (* force the forward-row memos on the calling domain: [rows] mutates
+     [fwd], which must not race with the fan-out below *)
+  let brows = Array.of_list (rows b) in
+  let arows = Array.of_list (rows a) in
+  let nb = Array.length brows and na = Array.length arows in
+  let p = max 1 (min partitions (max 1 nb)) in
+  (* phase 1: key extraction for the build side, chunked over the pool *)
+  let bkeys = Array.make nb None in
+  Taskpool.run_all pool
+    (chunk_jobs nb p (fun _ lo hi ->
+         for i = lo to hi - 1 do
+           bkeys.(i) <- join_key brows.(i) kb
+         done));
+  (* phase 2: assign build rows to partitions (sequential: cheap pointer
+     pushes). Each partition list ends up newest-first. *)
+  let parts = Array.make p [] in
+  for i = 0 to nb - 1 do
+    match bkeys.(i) with
+    | None -> ()
+    | Some k ->
+        let pi = Hashtbl.hash k mod p in
+        parts.(pi) <- (k, brows.(i)) :: parts.(pi)
+  done;
+  (* phase 3: one hash table per partition, built in parallel. Consuming
+     the newest-first partition list while consing leaves each bucket in
+     forward build order, so probes can emit matches directly. *)
+  let tbls =
+    Array.init p (fun pi ->
+        (Hashtbl.create (max 16 (List.length parts.(pi)))
+          : (string, Row.t list ref) Hashtbl.t))
+  in
+  Taskpool.run_all pool
+    (List.init p (fun pi () ->
+         let tbl = tbls.(pi) in
+         List.iter
+           (fun (k, rb) ->
+             match Hashtbl.find_opt tbl k with
+             | Some bucket -> bucket := rb :: !bucket
+             | None -> Hashtbl.add tbl k (ref [ rb ]))
+           parts.(pi)));
+  (* phase 4: probe in ordered chunks against the read-only tables *)
+  let outs = Array.make p [] in
+  let probe_jobs =
+    chunk_jobs na p (fun c lo hi ->
+        let acc = ref [] in
+        for i = lo to hi - 1 do
+          let ra = arows.(i) in
+          match join_key ra ka with
+          | None -> ()
+          | Some k -> (
+              match Hashtbl.find_opt tbls.(Hashtbl.hash k mod p) k with
+              | None -> ()
+              | Some rbs ->
+                  List.iter (fun rb -> acc := Row.append ra rb :: !acc) !rbs)
+        done;
+        outs.(c) <- List.rev !acc)
+  in
+  Taskpool.run_all pool probe_jobs;
+  let out = List.concat (Array.to_list outs) in
+  ( make schema out,
+    { pj_partitions = p; pj_build_rows = nb; pj_probe_rows = na } )
+
+(* Chunked predicate evaluation with the same determinism argument as the
+   parallel join: ordered contiguous chunks, per-chunk local accumulation,
+   concatenation in chunk order. [p] must be pure (the executor only
+   routes subquery-free WHERE clauses here). *)
+let parallel_filter ~pool ~chunks p t =
+  let arr = Array.of_list (rows t) in
+  let n = Array.length arr in
+  let c = max 1 (min chunks n) in
+  let outs = Array.make c [] in
+  Taskpool.run_all pool
+    (chunk_jobs n c (fun ci lo hi ->
+         let acc = ref [] in
+         for i = lo to hi - 1 do
+           if p arr.(i) then acc := arr.(i) :: !acc
+         done;
+         outs.(ci) <- List.rev !acc));
+  make t.schema (List.concat (Array.to_list outs))
 
 let order_by cmp t = mk ~size:t.size_memo t.schema (List.rev (List.stable_sort cmp (rows t)))
 

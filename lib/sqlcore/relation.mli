@@ -50,6 +50,35 @@ val hash_join : t -> t -> keys:(int * int) list -> t
     product. [keys] must be non-empty for the call to be meaningful (an
     empty list degenerates to the full product). *)
 
+type par_join_stats = {
+  pj_partitions : int;  (** partitions (and probe chunks) actually used *)
+  pj_build_rows : int;
+  pj_probe_rows : int;
+}
+
+val parallel_hash_join :
+  pool:Taskpool.t ->
+  partitions:int ->
+  t ->
+  t ->
+  keys:(int * int) list ->
+  t * par_join_stats
+(** [parallel_hash_join ~pool ~partitions a b ~keys] computes exactly
+    {!hash_join}[ a b ~keys] — same rows, same order — by
+    hash-partitioning the build side [b] into [partitions] read-only
+    tables built in parallel, then probing [a] as ordered contiguous
+    chunks and concatenating the chunk outputs in order. Every decision
+    (partition count, partition assignment, chunk boundaries) depends
+    only on the data and [partitions], never on the pool width, so the
+    result is byte-identical at any width; [~partitions:1] or a width-1
+    pool degenerate to the sequential computation on the caller. *)
+
+val parallel_filter : pool:Taskpool.t -> chunks:int -> (Row.t -> bool) -> t -> t
+(** [parallel_filter ~pool ~chunks p t] is {!filter}[ p t] computed over
+    ordered contiguous row chunks on the pool. [p] must be pure and
+    thread-safe; chunk boundaries depend only on the row count and
+    [chunks], so the result is identical at any pool width. *)
+
 val order_by : (Row.t -> Row.t -> int) -> t -> t
 (** Stable sort. *)
 

@@ -1,0 +1,392 @@
+(* Differential tests for intra-operator parallelism.
+
+   The contract under test: the partitioned parallel hash join and the
+   chunked parallel filter are byte-identical — rows, order,
+   observations, typed trace, metrics JSON — to their sequential
+   counterparts at pool widths 1, 2 and 4, because every decision they
+   make (partition count, partition assignment, chunk boundaries)
+   depends only on the data and the configuration, never on the width.
+
+   Three layers:
+   - Relation-level: parallel_hash_join / parallel_filter against
+     hash_join / filter over the data shapes that stress partitioning —
+     skewed keys, empty partitions, exact big-int keys above 2^53, NULL
+     keys, empty sides, multi-key joins, mixed Int/Float key classes.
+   - Session-level: the executor's parallel path forced on (low row
+     floor), the same query run at widths 1/2/4; rows and Obs_parallel
+     observations must match, and the full MSQL pipeline must produce
+     identical results, typed traces and metrics JSON at every width.
+   - Engine-level: the per-branch buffer freelist actually recycles
+     buffers across domain-pool blocks. *)
+
+open Sqlcore
+module F = Msql.Fixtures
+module M = Msql.Msession
+module Trace = Narada.Trace
+
+let col = Schema.column
+let i x = Value.Int x
+let f x = Value.Float x
+
+let widths = [ 1; 2; 4 ]
+
+let with_pools body =
+  let pools = List.map (fun w -> Taskpool.create ~domains:w) widths in
+  Fun.protect
+    ~finally:(fun () -> List.iter Taskpool.shutdown pools)
+    (fun () -> body pools)
+
+(* ---- Relation level --------------------------------------------------- *)
+
+(* every width x partition-count cell must equal the sequential join, and
+   the reported stats must be identical across widths (they are data- and
+   config-dependent only) *)
+let check_join name ?(partition_counts = [ 1; 2; 3; 8 ]) a b ~keys =
+  let seq = Relation.hash_join a b ~keys in
+  with_pools (fun pools ->
+      List.iter
+        (fun p ->
+          let stats_seen = ref None in
+          List.iter
+            (fun pool ->
+              let r, stats =
+                Relation.parallel_hash_join ~pool ~partitions:p a b ~keys
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: width %d, %d partition(s)" name
+                   (Taskpool.size pool) p)
+                true (Relation.equal r seq);
+              match !stats_seen with
+              | None -> stats_seen := Some stats
+              | Some s ->
+                  Alcotest.(check (triple int int int))
+                    (Printf.sprintf "%s: stats width-invariant at %d" name p)
+                    Relation.(s.pj_partitions, s.pj_build_rows, s.pj_probe_rows)
+                    Relation.(
+                      stats.pj_partitions, stats.pj_build_rows,
+                      stats.pj_probe_rows))
+            pools)
+        partition_counts)
+
+let two_cols na nb = [ col na Ty.Int; col nb Ty.Int ]
+
+let test_parjoin_uniform () =
+  let b =
+    Relation.make (two_cols "b" "bk")
+      (List.init 200 (fun k -> [| i k; i (k mod 50) |]))
+  and a =
+    Relation.make (two_cols "p" "pk")
+      (List.init 170 (fun k -> [| i k; i (k mod 60) |]))
+  in
+  check_join "uniform" a b ~keys:[ (1, 1) ]
+
+let test_parjoin_skewed () =
+  (* every build row lands in one bucket of one partition *)
+  let b =
+    Relation.make (two_cols "b" "bk") (List.init 120 (fun k -> [| i k; i 7 |]))
+  and a =
+    Relation.make (two_cols "p" "pk")
+      (List.init 90 (fun k -> [| i k; i (if k mod 3 = 0 then 7 else k) |]))
+  in
+  check_join "skewed" a b ~keys:[ (1, 1) ]
+
+let test_parjoin_empty_partitions () =
+  (* two distinct keys spread over eight requested partitions: most
+     partitions hold an empty table and must contribute nothing *)
+  let b =
+    Relation.make (two_cols "b" "bk")
+      (List.init 60 (fun k -> [| i k; i (k mod 2) |]))
+  and a =
+    Relation.make (two_cols "p" "pk")
+      (List.init 40 (fun k -> [| i k; i (k mod 4) |]))
+  in
+  check_join "empty partitions" a b ~keys:[ (1, 1) ] ~partition_counts:[ 8 ]
+
+let test_parjoin_bigint_keys () =
+  (* adjacent Ints above 2^53 share a float image; the key encoding must
+     keep them distinct in the parallel path exactly as in the sequential
+     one *)
+  let big = 9007199254740992 (* 2^53 *) in
+  let b =
+    Relation.make (two_cols "b" "bk")
+      [ [| i 0; i big |]; [| i 1; i (big + 1) |]; [| i 2; i (big + 2) |] ]
+  and a =
+    Relation.make (two_cols "p" "pk")
+      [ [| i 10; i big |]; [| i 11; i (big + 1) |] ]
+  in
+  let seq = Relation.hash_join a b ~keys:[ (1, 1) ] in
+  Alcotest.(check int) "bigint: exactly the two true matches" 2
+    (Relation.cardinality seq);
+  check_join "bigint" a b ~keys:[ (1, 1) ]
+
+let test_parjoin_null_keys () =
+  (* NULL keys never match, on either side *)
+  let b =
+    Relation.make (two_cols "b" "bk")
+      [ [| i 0; Value.Null |]; [| i 1; i 5 |]; [| i 2; Value.Null |] ]
+  and a =
+    Relation.make (two_cols "p" "pk")
+      [ [| i 10; Value.Null |]; [| i 11; i 5 |] ]
+  in
+  let seq = Relation.hash_join a b ~keys:[ (1, 1) ] in
+  Alcotest.(check int) "null keys: single non-null match" 1
+    (Relation.cardinality seq);
+  check_join "null keys" a b ~keys:[ (1, 1) ]
+
+let test_parjoin_empty_sides () =
+  let some =
+    Relation.make (two_cols "x" "xk")
+      (List.init 30 (fun k -> [| i k; i (k mod 5) |]))
+  and none = Relation.make (two_cols "y" "yk") [] in
+  check_join "empty build" some none ~keys:[ (1, 1) ];
+  check_join "empty probe" none some ~keys:[ (1, 1) ];
+  check_join "both empty" none none ~keys:[ (1, 1) ]
+
+let test_parjoin_multikey_mixed () =
+  (* two key columns, one carrying mixed Int/Float values that compare
+     numerically equal across classes *)
+  let schema k v = [ col k Ty.Int; col v Ty.Float ] in
+  let b =
+    Relation.make (schema "bk" "bv")
+      (List.init 80 (fun k ->
+           [| i (k mod 10); (if k mod 2 = 0 then i (k mod 4) else f (float_of_int (k mod 4))) |]))
+  and a =
+    Relation.make (schema "pk" "pv")
+      (List.init 70 (fun k ->
+           [| i (k mod 12); (if k mod 3 = 0 then f (float_of_int (k mod 4)) else i (k mod 4)) |]))
+  in
+  let seq = Relation.hash_join a b ~keys:[ (0, 0); (1, 1) ] in
+  Alcotest.(check bool) "multikey: joins across Int/Float classes" true
+    (Relation.cardinality seq > 0);
+  check_join "multikey mixed" a b ~keys:[ (0, 0); (1, 1) ]
+
+let test_parfilter_matches_sequential () =
+  let t =
+    Relation.make
+      [ col "k" Ty.Int; col "v" Ty.Float ]
+      (List.init 101 (fun k -> [| i k; f (float_of_int ((k * 37) mod 97)) |]))
+  in
+  let preds =
+    [ ("some", fun r -> match r.(0) with Value.Int n -> n mod 3 = 0 | _ -> false);
+      ("all", fun _ -> true);
+      ("none", fun _ -> false) ]
+  in
+  with_pools (fun pools ->
+      List.iter
+        (fun (pname, p) ->
+          let seq = Relation.filter p t in
+          List.iter
+            (fun pool ->
+              List.iter
+                (fun chunks ->
+                  let r = Relation.parallel_filter ~pool ~chunks p t in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "filter %s: width %d, %d chunk(s)" pname
+                       (Taskpool.size pool) chunks)
+                    true (Relation.equal r seq))
+                [ 1; 2; 5; 200 ])
+            pools)
+        preds;
+      (* empty input, any chunking *)
+      let empty = Relation.make [ col "k" Ty.Int ] [] in
+      List.iter
+        (fun pool ->
+          Alcotest.(check bool) "filter empty" true
+            (Relation.equal
+               (Relation.parallel_filter ~pool ~chunks:4 (fun _ -> true) empty)
+               empty))
+        pools)
+
+(* ---- Session level ---------------------------------------------------- *)
+
+(* restore the executor defaults whatever a test does to them *)
+let with_parallel_exec ?enabled ?min_rows ?max_partitions ?width body =
+  Ldbms.Exec.set_parallel_exec ?enabled ?min_rows ?max_partitions ?width ();
+  Fun.protect
+    ~finally:(fun () ->
+      Ldbms.Exec.set_parallel_exec ~enabled:true ~min_rows:8192
+        ~max_partitions:8 ~width:0 ())
+    body
+
+let site_db rows =
+  let db = Ldbms.Database.create "w" in
+  Ldbms.Database.load db ~name:"build_side" (two_cols "b" "bk")
+    (List.init rows (fun k -> [| i k; i (k * 7 mod rows) |]));
+  Ldbms.Database.load db ~name:"probe_side" (two_cols "p" "pk")
+    (List.init rows (fun k -> [| i k; i (k mod (max 1 (rows / 4))) |]));
+  db
+
+(* the parallel path forced on (row floor 1): rows and Obs_parallel
+   streams must be identical at widths 1, 2 and 4 *)
+let test_session_width_invariance () =
+  let run ~width sql =
+    with_parallel_exec ~enabled:true ~min_rows:1 ~width (fun () ->
+        let session =
+          Ldbms.Session.connect (site_db 64) Ldbms.Capabilities.ingres_like
+        in
+        let obs = ref [] in
+        Ldbms.Session.set_observer session
+          (Some
+             (function
+               | Ldbms.Session.Obs_parallel { op; partitions; build_rows; probe_rows } ->
+                   obs :=
+                     Printf.sprintf "%s/%d/%d/%d" op partitions build_rows
+                       probe_rows
+                     :: !obs
+               | _ -> ()));
+        match Ldbms.Session.exec_sql session sql with
+        | Ok (Ldbms.Session.Rows r) -> (r, List.rev !obs)
+        | Ok _ -> Alcotest.fail "expected rows"
+        | Error m -> Alcotest.fail m)
+  in
+  List.iter
+    (fun (name, sql) ->
+      let ref_rows, ref_obs = run ~width:1 sql in
+      Alcotest.(check bool)
+        (name ^ ": parallel path actually ran")
+        true (ref_obs <> []);
+      List.iter
+        (fun width ->
+          let rows, obs = run ~width sql in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: rows identical at width %d" name width)
+            true (Relation.equal rows ref_rows);
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: observations identical at width %d" name width)
+            ref_obs obs)
+        [ 2; 4 ])
+    [ ("join",
+       "SELECT b.b, p.p FROM build_side b, probe_side p WHERE b.bk = p.pk");
+      ("filter", "SELECT b FROM build_side WHERE bk > 10") ]
+
+(* the row floor really gates the path: at the default floor this small
+   input stays sequential and emits no observation *)
+let test_session_floor_gates () =
+  with_parallel_exec ~enabled:true (fun () ->
+      let session =
+        Ldbms.Session.connect (site_db 64) Ldbms.Capabilities.ingres_like
+      in
+      let hits = ref 0 in
+      Ldbms.Session.set_observer session
+        (Some (function Ldbms.Session.Obs_parallel _ -> incr hits | _ -> ()));
+      (match
+         Ldbms.Session.exec_sql session
+           "SELECT b.b, p.p FROM build_side b, probe_side p WHERE b.bk = p.pk"
+       with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      Alcotest.(check int) "below the floor: sequential, no observation" 0
+        !hits)
+
+(* full MSQL pipeline with the parallel path forced on: results, typed
+   trace and metrics JSON must be identical at widths 1/2/4, and the
+   trace/metrics must actually record parallel executions *)
+let test_msession_differential () =
+  let stmts =
+    [ {|USE avis national
+LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+SELECT %code, type, ~rate FROM car WHERE status = 'available'|} ]
+  in
+  let run ~width () =
+    with_parallel_exec ~enabled:true ~min_rows:1 ~width (fun () ->
+        let fx = F.make () in
+        let events = ref [] in
+        M.set_typed_trace fx.F.session
+          (Some
+             (fun e ->
+               events :=
+                 Printf.sprintf "%.6f|%s" e.Trace.at_ms
+                   (Trace.render_kind e.Trace.kind)
+                 :: !events));
+        let results =
+          List.map
+            (fun sql ->
+              match M.exec fx.F.session sql with
+              | Ok r -> M.result_to_string r
+              | Error m -> "ERROR: " ^ m)
+            stmts
+        in
+        (results, List.rev !events, M.metrics_json fx.F.session,
+         (M.metrics fx.F.session).Msql.Metrics.par_filters))
+  in
+  let ref_results, ref_trace, ref_metrics, ref_filters = run ~width:1 () in
+  Alcotest.(check bool) "pipeline exercised the parallel path" true
+    (ref_filters > 0);
+  Alcotest.(check bool) "trace records parallel events" true
+    (List.exists
+       (fun l ->
+         (* rendered as "parallel filter at <site>: ..." *)
+         let needle = "parallel " in
+         let rec find k =
+           k + String.length needle <= String.length l
+           && (String.equal (String.sub l k (String.length needle)) needle
+              || find (k + 1))
+         in
+         find 0)
+       ref_trace);
+  List.iter
+    (fun width ->
+      let results, trace, metrics, _ = run ~width () in
+      let tag = Printf.sprintf "@ width %d" width in
+      Alcotest.(check (list string)) ("results " ^ tag) ref_results results;
+      Alcotest.(check (list string)) ("typed trace " ^ tag) ref_trace trace;
+      Alcotest.(check string) ("metrics json " ^ tag) ref_metrics metrics)
+    [ 2; 4 ]
+
+(* ---- Engine level: per-branch buffer reuse ----------------------------- *)
+
+let test_branch_buf_reuse () =
+  let e2 =
+    {|USE continental delta united
+UPDATE flight% SET rate% = rate% * 1.1
+WHERE sour% = 'Houston' AND dest% = 'San Antonio'|}
+  in
+  let run () =
+    let fx = F.make () in
+    M.set_domains fx.F.session 2;
+    match M.exec fx.F.session e2 with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail m
+  in
+  (* populate the freelist (first run may miss), then measure *)
+  run ();
+  let h0, _ = Narada.Engine.branch_buf_stats () in
+  run ();
+  let h1, m1 = Narada.Engine.branch_buf_stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "second run reuses branch buffers (hits %d -> %d, misses %d)"
+       h0 h1 m1)
+    true
+    (h1 - h0 >= 3)
+
+let () =
+  Alcotest.run "parjoin"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "uniform keys" `Quick test_parjoin_uniform;
+          Alcotest.test_case "skewed keys" `Quick test_parjoin_skewed;
+          Alcotest.test_case "empty partitions" `Quick
+            test_parjoin_empty_partitions;
+          Alcotest.test_case "bigint keys" `Quick test_parjoin_bigint_keys;
+          Alcotest.test_case "null keys" `Quick test_parjoin_null_keys;
+          Alcotest.test_case "empty sides" `Quick test_parjoin_empty_sides;
+          Alcotest.test_case "multikey mixed classes" `Quick
+            test_parjoin_multikey_mixed;
+          Alcotest.test_case "parallel filter" `Quick
+            test_parfilter_matches_sequential;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "width invariance" `Quick
+            test_session_width_invariance;
+          Alcotest.test_case "row floor gates" `Quick test_session_floor_gates;
+          Alcotest.test_case "msession differential" `Quick
+            test_msession_differential;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "branch buffer reuse" `Quick
+            test_branch_buf_reuse;
+        ] );
+    ]
