@@ -152,9 +152,13 @@ let observe m (ev : Narada.Trace.event) =
       if String.equal op "join" then m.par_joins <- m.par_joins + 1
       else m.par_filters <- m.par_filters + 1;
       m.par_partitions <- m.par_partitions + partitions
+  (* Chunk events are deliberately not folded: a chunked MOVE's totals
+     arrive through its Moved event, so the metrics JSON stays
+     byte-identical at any chunk size *)
   | Narada.Trace.Opened _ | Narada.Trace.Open_failed _ | Narada.Trace.Closed _
   | Narada.Trace.Status _ | Narada.Trace.Branch _ | Narada.Trace.Pool_stale _
-  | Narada.Trace.Cache _ | Narada.Trace.Dolstatus _ | Narada.Trace.Note _ ->
+  | Narada.Trace.Cache _ | Narada.Trace.Chunk _ | Narada.Trace.Dolstatus _
+  | Narada.Trace.Note _ ->
       ()
 
 let note_decomposition m (dp : Decompose.plan) =

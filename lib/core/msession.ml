@@ -255,6 +255,11 @@ let invalidate_shipped t dbs =
    policy; [note_outcome] folds the finished result into the metrics and
    remembers it for {!last_engine_outcome} *)
 let engine_start t program =
+  (* pin the LDBMS compiled-predicate cache to this session's dictionary
+     epoch before any local statement runs: an IMPORT/INCORPORATE bumps the
+     epoch and clears compiled closures along with the shipped-result and
+     plan caches *)
+  Ldbms.Exec.set_dict_epoch (dict_epoch t);
   t.metrics.Metrics.engine_runs <- t.metrics.Metrics.engine_runs + 1;
   let dpool =
     if t.domains > 1 then Some (Narada.Dpool.shared ~domains:t.domains)

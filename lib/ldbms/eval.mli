@@ -38,3 +38,31 @@ val truthy : Sqlcore.Value.t -> bool
 val value_compare_sql : Sqlcore.Value.t -> Sqlcore.Value.t -> int option
 (** SQL comparison: [None] when either side is NULL; raises {!Type_error}
     on incomparable classes (e.g. string vs int). *)
+
+(** {1 Primitive operations}
+
+    The building blocks of {!eval}, exported so {!Compile} can assemble
+    per-statement closures out of the very same primitives — compiled and
+    interpreted evaluation then agree by construction, NULL propagation,
+    Kleene logic, and error messages included. *)
+
+val logic_and : Sqlcore.Value.t -> Sqlcore.Value.t -> Sqlcore.Value.t
+val logic_or : Sqlcore.Value.t -> Sqlcore.Value.t -> Sqlcore.Value.t
+val logic_not : Sqlcore.Value.t -> Sqlcore.Value.t
+
+val comparison :
+  Sqlfront.Ast.binop -> Sqlcore.Value.t -> Sqlcore.Value.t -> Sqlcore.Value.t
+(** Comparison operators only; anything else is a programming error. *)
+
+val arith :
+  Sqlfront.Ast.binop -> Sqlcore.Value.t -> Sqlcore.Value.t -> Sqlcore.Value.t
+(** Arithmetic operators only. *)
+
+val concat : Sqlcore.Value.t -> Sqlcore.Value.t -> Sqlcore.Value.t
+
+val negate_tv : bool -> Sqlcore.Value.t -> Sqlcore.Value.t
+(** Apply three-valued NOT when the flag is set ([negated] forms). *)
+
+val in_values : Sqlcore.Value.t -> Sqlcore.Value.t list -> Sqlcore.Value.t
+(** SQL IN: TRUE on an equal member, else UNKNOWN if any comparison
+    involved NULL, else FALSE. *)

@@ -328,6 +328,65 @@ let maybe_parallel_join ?note a b ~keys =
     joined
   end
 
+(* ---- compiled-predicate cache -------------------------------------------
+
+   WHERE predicates and projection expressions are compiled once per
+   statement ({!Compile.compile_row}) and memoized here, keyed by the
+   marshalled (expression, input schema) pair — the schema is part of the
+   key because column indices are baked into the closure. The cache is
+   additionally pinned to the caller-supplied dictionary epoch
+   ({!set_dict_epoch}): a bumped epoch (any GDD/AD version change, e.g. a
+   simulated local ALTER) clears every compiled entry, mirroring the
+   multidatabase layer's compiled-plan cache. Local DDL clears it too.
+   Sessions at different sites execute on different domains, so the table
+   is lock-guarded; the payoff of a hit is per-statement, not per-row, so
+   the lock is far off the hot loop. *)
+
+let compiled_cache : (string, (Row.t -> Value.t) option) Hashtbl.t =
+  Hashtbl.create 64
+
+let compiled_m = Mutex.create ()
+let compiled_hits = ref 0
+let compiled_misses = ref 0
+let compiled_epoch = ref min_int
+
+let set_dict_epoch e =
+  Mutex.lock compiled_m;
+  if e <> !compiled_epoch then begin
+    compiled_epoch := e;
+    Hashtbl.reset compiled_cache
+  end;
+  Mutex.unlock compiled_m
+
+let invalidate_compiled () =
+  Mutex.lock compiled_m;
+  Hashtbl.reset compiled_cache;
+  Mutex.unlock compiled_m
+
+let compiled_cache_stats () =
+  Mutex.lock compiled_m;
+  let r = (!compiled_hits, !compiled_misses, Hashtbl.length compiled_cache) in
+  Mutex.unlock compiled_m;
+  r
+
+let compile_cached schema expr =
+  let key = Marshal.to_string (expr, schema) [] in
+  Mutex.lock compiled_m;
+  let f =
+    match Hashtbl.find_opt compiled_cache key with
+    | Some f ->
+        incr compiled_hits;
+        f
+    | None ->
+        incr compiled_misses;
+        let f = Compile.compile_row schema expr in
+        if Hashtbl.length compiled_cache > 256 then Hashtbl.reset compiled_cache;
+        Hashtbl.add compiled_cache key f;
+        f
+  in
+  Mutex.unlock compiled_m;
+  f
+
 let rec expr_has_subquery = function
   | Ast.Scalar_subquery _ | Ast.In_subquery _ | Ast.Exists _ -> true
   | Ast.Lit _ | Ast.Col _ -> false
@@ -581,7 +640,19 @@ and select_unwrapped ~depth ?txn ?note db ?outer (s : Ast.select) =
     match s.Ast.where with
     | None -> input
     | Some pred ->
-        let keep row = Eval.truthy (Eval.eval ctx_plain (mkenv row) pred) in
+        (* compiled tiers: a subquery-free predicate compiles once per
+           statement to a row closure (column indices resolved up front);
+           [None] — subqueries, outer references, ambiguities — keeps the
+           interpreter. The closure and the interpreter agree by
+           construction (both are built from Eval's primitives). *)
+        let compiled =
+          if expr_has_subquery pred then None else compile_cached schema pred
+        in
+        let keep =
+          match compiled with
+          | Some f -> fun row -> Eval.truthy (f row)
+          | None -> fun row -> Eval.truthy (Eval.eval ctx_plain (mkenv row) pred)
+        in
         let n = Relation.cardinality input in
         (* the semijoin probe path benefits here: an IN-spliced shipped
            query is subquery-free, so its big scan goes parallel *)
@@ -589,10 +660,23 @@ and select_unwrapped ~depth ?txn ?note db ?outer (s : Ast.select) =
         then begin
           let pool = par_pool () in
           let chunks = par_partitions n in
-          let r = Relation.parallel_filter ~pool ~chunks keep input in
+          (* third tier: a vectorized mask kernel over the columnar view,
+             chunked over exactly the same boundaries as the row path, so
+             results and traces cannot depend on which tier ran *)
+          let kernel =
+            match compiled with
+            | Some _ -> Compile.compile_batch (Relation.to_batch input) pred
+            | None -> None
+          in
+          let r =
+            match kernel with
+            | Some k -> Relation.parallel_filter_mask ~pool ~chunks k input
+            | None -> Relation.parallel_filter ~pool ~chunks keep input
+          in
           Par_log.debug (fun f ->
-              f "parallel filter: %d chunk(s), rows=%d, width=%d" chunks n
-                (Taskpool.size pool));
+              f "parallel filter: %d chunk(s), rows=%d, width=%d%s" chunks n
+                (Taskpool.size pool)
+                (if kernel <> None then " (batch kernel)" else ""));
           (match note with
           | Some tell ->
               tell
@@ -650,23 +734,32 @@ and plain_select ~depth ?txn db ~outer schema input (s : Ast.select) =
   let cols = expand_projections schema s.Ast.projections in
   let out_schema = List.map fst cols in
   let mkenv row = { (Eval.env schema row) with Eval.outer } in
-  let eval_row row =
-    Array.of_list
-      (List.map
-         (fun (_, src) ->
-           match src with
-           | `Index i -> Row.get row i
-           | `Expr e -> Eval.eval ctx (mkenv row) e)
-         cols)
+  (* projection expressions compile once per statement; anything the
+     compiler declines (subqueries, outer references) keeps the
+     interpreter per-expression *)
+  let compiled_expr e =
+    match compile_cached schema e with
+    | Some f -> f
+    | None -> fun row -> Eval.eval ctx (mkenv row) e
   in
+  let col_fns =
+    List.map
+      (fun (_, src) ->
+        match src with
+        | `Index i -> fun row -> Row.get row i
+        | `Expr e -> compiled_expr e)
+      cols
+  in
+  let eval_row row = Array.of_list (List.map (fun f -> f row) col_fns) in
   (* ORDER BY keys are computed against the pre-projection row *)
   let sorted =
     match s.Ast.order_by with
     | [] -> input
     | items ->
-        let key row =
-          List.map (fun (o : Ast.order_item) -> Eval.eval ctx (mkenv row) o.Ast.sort_expr) items
+        let key_fns =
+          List.map (fun (o : Ast.order_item) -> compiled_expr o.Ast.sort_expr) items
         in
+        let key row = List.map (fun f -> f row) key_fns in
         let cmp ra rb =
           let ka = key ra and kb = key rb in
           let rec go ks items =
@@ -939,6 +1032,7 @@ let run_delete db ~txn ~table ~where =
       List.length before - List.length kept)
 
 let run_create_table db ~txn ~table ~columns =
+  invalidate_compiled ();
   wrap (fun () ->
       let schema =
         List.map
@@ -951,11 +1045,13 @@ let run_create_table db ~txn ~table ~columns =
       Txn.log_create txn db table)
 
 let run_drop_table db ~txn ~table =
+  invalidate_compiled ();
   wrap (fun () ->
       let tbl = Database.drop_table db table in
       Txn.log_drop txn db tbl)
 
 let run_create_view db ~txn ~view ~query =
+  invalidate_compiled ();
   wrap (fun () ->
       (* validate by evaluating once; errors surface before registration *)
       ignore (select_unwrapped ~depth:0 ~txn db query);
@@ -963,6 +1059,7 @@ let run_create_view db ~txn ~view ~query =
       Txn.log_create_view txn db view)
 
 let run_drop_view db ~txn ~view =
+  invalidate_compiled ();
   wrap (fun () ->
       let q = Database.drop_view db view in
       Txn.log_drop_view txn db view q)
@@ -971,6 +1068,7 @@ let view_schema db query =
   wrap (fun () -> Relation.schema (select_unwrapped ~depth:0 db query))
 
 let run_create_index db ~txn ~index ~table ~column =
+  invalidate_compiled ();
   wrap (fun () ->
       (match Database.create_index db ~name:index ~table ~column with
       | () -> ()
@@ -978,6 +1076,7 @@ let run_create_index db ~txn ~index ~table ~column =
       Txn.log_create_index txn db index)
 
 let run_drop_index db ~txn ~index =
+  invalidate_compiled ();
   wrap (fun () ->
       let table, column = Database.drop_index db index in
       Txn.log_drop_index txn db index ~table ~column)

@@ -48,6 +48,17 @@ val set_parallel_exec :
 
 val parallel_exec_enabled : unit -> bool
 
+val set_dict_epoch : int -> unit
+(** Pin the compiled-predicate cache to a dictionary epoch (the
+    multidatabase layer passes the sum of its GDD/AD versions before
+    executing local statements). A changed epoch clears every compiled
+    entry, exactly as it invalidates the compiled-plan and shipped-result
+    caches one layer up. *)
+
+val compiled_cache_stats : unit -> int * int * int
+(** [(hits, misses, live_entries)] of the compiled-predicate/projection
+    cache. Hits are per statement, not per row. *)
+
 val run_select :
   ?txn:Txn.t ->
   ?note:(par_note -> unit) ->

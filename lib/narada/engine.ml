@@ -399,9 +399,27 @@ let exec_move st ~mname ~src ~dst ~dest_table ~query ~reduce =
   match conn_of st src, conn_of st dst with
   | Unavailable _, _ | _, Unavailable _ -> set_status st mname E
   | Available src_lam, Available dst_lam -> (
+      let on_chunk (c : Lam.chunk_note) =
+        tell_ev st
+          {
+            Trace.at_ms = c.Lam.ck_at_ms;
+            kind =
+              Trace.Chunk
+                {
+                  mname;
+                  src = Lam.site src_lam;
+                  dst = Lam.site dst_lam;
+                  seq = c.Lam.ck_seq;
+                  total = c.Lam.ck_total;
+                  rows = c.Lam.ck_rows;
+                  bytes = c.Lam.ck_bytes;
+                  window = c.Lam.ck_window;
+                };
+          }
+      in
       match
-        Lam.transfer ~cache:st.move_cache ~reduce ~src:src_lam ~dst:dst_lam
-          ~query ~dest_table
+        Lam.transfer ~on_chunk:(Some on_chunk) ~cache:st.move_cache ~reduce
+          ~src:src_lam ~dst:dst_lam ~query ~dest_table
       with
       | Ok ts ->
           if st.move_cache <> None then

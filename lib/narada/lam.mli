@@ -113,6 +113,32 @@ type transfer_cache = {
     committed write, since the shipped relation depends on the source
     data and, through the semijoin key set, on the destination data. *)
 
+type chunk_note = {
+  ck_seq : int;  (** 1-based position in the stream *)
+  ck_total : int;  (** number of chunks in the stream *)
+  ck_rows : int;  (** rows carried by this installment *)
+  ck_bytes : int;  (** payload bytes of this installment *)
+  ck_at_ms : float;  (** virtual completion instant of this installment *)
+  ck_window : int;  (** the sender's in-flight credit window *)
+}
+(** One installment of a chunk-streamed data shipment, reported through
+    {!transfer}'s [on_chunk] observer. Notes are delivered only for
+    streams that complete: a lost message aborts the whole logical
+    transfer before any chunk is observable, so retries never leak
+    partial streams into the trace. *)
+
+val set_move_streaming : ?chunk_rows:int -> ?window:int -> unit -> unit
+(** Configure the MOVE data plane. [chunk_rows] is the number of rows per
+    chunk (default 512); [chunk_rows <= 0] disables streaming and ships
+    each relation as a single monolithic message. [window] is the
+    sender's in-flight credit window (default 4, clamped to [>= 1]) —
+    documentation carried on every {!chunk_note}; it does not change
+    accounting. Streaming is invariant by construction: statistics,
+    virtual time and query results are identical at every setting. *)
+
+val move_streaming : unit -> int * int
+(** Current [(chunk_rows, window)] settings. *)
+
 type transfer_stats = {
   moved_rows : int;  (** rows materialized at the destination *)
   moved_bytes : int;
@@ -123,6 +149,7 @@ type transfer_stats = {
 }
 
 val transfer :
+  on_chunk:(chunk_note -> unit) option ->
   cache:transfer_cache option ->
   reduce:(string * string) option ->
   src:t ->
@@ -134,6 +161,11 @@ val transfer :
     [dest_table] (replacing it), shipping the data directly between the
     two sites. Returns what moved and how. Idempotent end to end,
     retried as a unit under [src]'s policy.
+
+    When streaming is enabled (see {!set_move_streaming}) the data
+    shipment travels as fixed-size chunks through the network; each
+    delivered installment is reported to [on_chunk] with its virtual
+    completion instant, in stream order.
 
     With [cache = Some _], a lookup hit short-circuits the whole operation: the
     cached relation is re-materialized at [dst] with zero network traffic

@@ -21,6 +21,16 @@ type kind =
       reduced : bool;  (* semijoin rewrite was applied to the shipped query *)
       cached : bool;  (* served from the shipped-result cache *)
     }
+  | Chunk of {
+      mname : string;
+      src : string;
+      dst : string;
+      seq : int;  (* 1-based position in the stream *)
+      total : int;  (* chunks in the stream *)
+      rows : int;
+      bytes : int;  (* this installment's payload *)
+      window : int;  (* sender's in-flight credit window *)
+    }
   | Retry of {
       op : string;
       site : string;
@@ -69,6 +79,9 @@ let render_kind = function
         mname src dst rows bytes dest_table
         (if reduced then " (semijoin-reduced)" else "")
         (if cached then " (cache hit)" else "")
+  | Chunk { mname; src; dst; seq; total; rows; bytes; window } ->
+      Printf.sprintf "MOVE %s chunk %d/%d %s -> %s: %d row(s), %d byte(s) (window %d)"
+        mname seq total src dst rows bytes window
   | Retry { op; site; attempt; delay_ms; reason } ->
       Printf.sprintf "retry %s@%s attempt %d (+%.2f ms backoff): %s" op site
         attempt delay_ms reason

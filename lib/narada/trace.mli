@@ -30,6 +30,22 @@ type kind =
       reduced : bool;  (** the semijoin rewrite restricted the query *)
       cached : bool;  (** served from the shipped-result cache *)
     }  (** A MOVE completed. *)
+  | Chunk of {
+      mname : string;
+      src : string;
+      dst : string;
+      seq : int;  (** 1-based position in the stream *)
+      total : int;  (** chunks in the stream *)
+      rows : int;
+      bytes : int;  (** this installment's payload *)
+      window : int;  (** the sender's in-flight credit window *)
+    }
+      (** One installment of a chunk-streamed MOVE was delivered,
+          timestamped with its virtual completion instant. Emitted only
+          for streams that complete — a lost message aborts the logical
+          transfer before any chunk is observable — and always followed
+          by the stream's {!Moved} summary, which carries the totals the
+          metrics fold on. *)
   | Retry of {
       op : string;
       site : string;

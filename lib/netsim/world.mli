@@ -145,6 +145,18 @@ val send : t -> src:string -> dst:string -> bytes:int -> unit
     counters are mutex-protected, so [send] may be called concurrently
     from branches running on separate domains. *)
 
+val send_chunked : t -> src:string -> dst:string -> chunks:int list -> float list
+(** [send_chunked t ~src ~dst ~chunks] ships one logical message whose
+    payload arrives in [chunks] byte installments. Failure semantics (one
+    loss draw, same exceptions), the message count, the total bytes and
+    the clock advance are {e identical} to
+    {!send}[ ~bytes:(sum chunks)] — chunking sits below the accounting
+    granularity, so statistics and virtual time are chunk-size-invariant
+    by construction. Each installment feeds the per-site byte ledger
+    separately (installments sum exactly to the total). Returns the
+    virtual completion instant of each chunk — the linear serialization
+    schedule of the transfer — the last equal to the post-send clock. *)
+
 val parallel : t -> (unit -> 'a) list -> 'a list
 (** Run the thunks as logically concurrent branches: each runs in its own
     clock frame starting at the current virtual time; afterwards the

@@ -1,0 +1,355 @@
+(* Columnar batches: the vectorized counterpart of a [Row.t list]. A batch
+   holds one typed array per column — plus a null bitmap — so kernels scan
+   contiguous unboxed data instead of chasing [Value.t] constructors row by
+   row. Conversion is total and exact: [to_rows (of_rows s rs) = rs] for
+   every well-formed row list, including integers above 2^53 (a column
+   mixing Int and Float stays [Boxed] rather than promoting to float). *)
+
+type col =
+  | Ints of int array
+  | Floats of float array
+  | Strs of string array
+  | Bools of bool array
+  | Boxed of Value.t array
+      (* mixed-class or otherwise untypeable column; holds the original
+         values verbatim (Nulls included) *)
+
+type column = {
+  data : col;
+  nulls : Bytes.t;  (* bit i set = row i is NULL in this column *)
+}
+
+type t = { schema : Schema.t; nrows : int; cols : column array }
+
+(* ---- bitmaps ------------------------------------------------------------- *)
+
+type mask = Bytes.t
+
+let mask_bytes n = (n + 7) / 8
+let mask_create n = Bytes.make (mask_bytes n) '\000'
+
+let mask_get m i =
+  Char.code (Bytes.unsafe_get m (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let mask_set m i =
+  let b = i lsr 3 in
+  Bytes.unsafe_set m b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get m b) lor (1 lsl (i land 7))))
+
+let mask_count m n =
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    if mask_get m i then incr c
+  done;
+  !c
+
+(* ---- construction -------------------------------------------------------- *)
+
+let length t = t.nrows
+let schema t = t.schema
+
+let of_rows sch rows =
+  let arr = Array.of_list rows in
+  let nrows = Array.length arr in
+  let arity = Schema.arity sch in
+  let schema_tys = Array.of_list (List.map (fun c -> c.Schema.ty) sch) in
+  let mk_col j =
+    let nulls = mask_create nrows in
+    (* one classification pass: a column is typed only when every non-null
+       value shares one class; Int mixed with Float must stay Boxed so
+       integers above 2^53 keep their exact identity *)
+    let has_int = ref false
+    and has_float = ref false
+    and has_str = ref false
+    and has_bool = ref false in
+    for i = 0 to nrows - 1 do
+      match Array.unsafe_get (Array.unsafe_get arr i) j with
+      | Value.Null -> ()
+      | Value.Int _ -> has_int := true
+      | Value.Float _ -> has_float := true
+      | Value.Str _ -> has_str := true
+      | Value.Bool _ -> has_bool := true
+    done;
+    let classes =
+      (if !has_int then 1 else 0)
+      + (if !has_float then 1 else 0)
+      + (if !has_str then 1 else 0)
+      + if !has_bool then 1 else 0
+    in
+    let cls =
+      if classes > 1 then `Boxed
+      else if !has_int then `Int
+      else if !has_float then `Float
+      else if !has_str then `Str
+      else if !has_bool then `Bool
+      else
+        (* all-NULL column: type it from the schema so kernels still see a
+           typed array (every bit of [nulls] is set below) *)
+        match schema_tys.(j) with
+        | Ty.Int -> `Int
+        | Ty.Float -> `Float
+        | Ty.Str -> `Str
+        | Ty.Bool -> `Bool
+    in
+    let data =
+      match cls with
+      | `Int ->
+          let a = Array.make nrows 0 in
+          for i = 0 to nrows - 1 do
+            match arr.(i).(j) with
+            | Value.Int v -> Array.unsafe_set a i v
+            | Value.Null -> mask_set nulls i
+            | _ -> assert false
+          done;
+          Ints a
+      | `Float ->
+          let a = Array.make nrows 0. in
+          for i = 0 to nrows - 1 do
+            match arr.(i).(j) with
+            | Value.Float v -> Array.unsafe_set a i v
+            | Value.Null -> mask_set nulls i
+            | _ -> assert false
+          done;
+          Floats a
+      | `Str ->
+          let a = Array.make nrows "" in
+          for i = 0 to nrows - 1 do
+            match arr.(i).(j) with
+            | Value.Str v -> Array.unsafe_set a i v
+            | Value.Null -> mask_set nulls i
+            | _ -> assert false
+          done;
+          Strs a
+      | `Bool ->
+          let a = Array.make nrows false in
+          for i = 0 to nrows - 1 do
+            match arr.(i).(j) with
+            | Value.Bool v -> Array.unsafe_set a i v
+            | Value.Null -> mask_set nulls i
+            | _ -> assert false
+          done;
+          Bools a
+      | `Boxed ->
+          let a = Array.make nrows Value.Null in
+          for i = 0 to nrows - 1 do
+            let v = arr.(i).(j) in
+            Array.unsafe_set a i v;
+            if Value.is_null v then mask_set nulls i
+          done;
+          Boxed a
+    in
+    { data; nulls }
+  in
+  { schema = sch; nrows; cols = Array.init arity mk_col }
+
+let is_null t i j = mask_get t.cols.(j).nulls i
+
+let get t i j =
+  let c = t.cols.(j) in
+  if mask_get c.nulls i then Value.Null
+  else
+    match c.data with
+    | Ints a -> Value.Int a.(i)
+    | Floats a -> Value.Float a.(i)
+    | Strs a -> Value.Str a.(i)
+    | Bools a -> Value.Bool a.(i)
+    | Boxed a -> a.(i)
+
+let to_rows t =
+  let arity = Array.length t.cols in
+  List.init t.nrows (fun i -> Array.init arity (fun j -> get t i j))
+
+(* matches the row-side accounting exactly: Null 1, Int/Float 8, Bool 1,
+   Str its length — so a relation's wire size is representation-invariant *)
+let size_bytes t =
+  let n = t.nrows in
+  let col_bytes c =
+    let nulls = mask_count c.nulls n in
+    match c.data with
+    | Ints _ | Floats _ -> (8 * (n - nulls)) + nulls
+    | Bools _ -> n (* 1 byte whether null or not *)
+    | Strs a ->
+        let acc = ref 0 in
+        for i = 0 to n - 1 do
+          acc := !acc + if mask_get c.nulls i then 1 else String.length a.(i)
+        done;
+        !acc
+    | Boxed a -> Array.fold_left (fun acc v -> acc + Value.size_bytes v) 0 a
+  in
+  Array.fold_left (fun acc c -> acc + col_bytes c) 0 t.cols
+
+(* zero-copy: the projected batch shares the underlying column arrays *)
+let project t idxs sch =
+  {
+    schema = sch;
+    nrows = t.nrows;
+    cols = Array.of_list (List.map (fun j -> t.cols.(j)) idxs);
+  }
+
+(* gather rows [idx] (in that order) into a fresh batch *)
+let select t idx =
+  let n = Array.length idx in
+  let gather_col c =
+    let nulls = mask_create n in
+    for i = 0 to n - 1 do
+      if mask_get c.nulls idx.(i) then mask_set nulls i
+    done;
+    let data =
+      match c.data with
+      | Ints a -> Ints (Array.init n (fun i -> a.(idx.(i))))
+      | Floats a -> Floats (Array.init n (fun i -> a.(idx.(i))))
+      | Strs a -> Strs (Array.init n (fun i -> a.(idx.(i))))
+      | Bools a -> Bools (Array.init n (fun i -> a.(idx.(i))))
+      | Boxed a -> Boxed (Array.init n (fun i -> a.(idx.(i))))
+    in
+    { data; nulls }
+  in
+  { schema = t.schema; nrows = n; cols = Array.map gather_col t.cols }
+
+let filter m t =
+  let idx = Array.make (mask_count m t.nrows) 0 in
+  let k = ref 0 in
+  for i = 0 to t.nrows - 1 do
+    if mask_get m i then begin
+      idx.(!k) <- i;
+      incr k
+    end
+  done;
+  select t idx
+
+(* ---- join keys ------------------------------------------------------------
+
+   Join keys are class-prefixed strings so values of distinct classes never
+   collide; Int and Float share the numeric class because SQL equality
+   compares them numerically. NULL has no key: NULL = x is never true.
+
+   Keys must be exact: routing Int through string_of_float would fold
+   integers above 2^53 onto their nearest double and join rows the
+   filtered-product path rejects. An integral Float in the OCaml int range
+   shares the Int's decimal key, so Int 5 and Float 5.0 still match; any
+   other float gets its exact hex rendering ("%h" always contains an 'x',
+   so it can never collide with a decimal integer key). *)
+let join_key_of_value = function
+  | Value.Null -> None
+  | Value.Int i -> Some ("n" ^ string_of_int i)
+  | Value.Float f ->
+      if Float.is_integer f && f >= -0x1p62 && f < 0x1p62 then
+        Some ("n" ^ string_of_int (int_of_float f))
+      else Some ("n" ^ Printf.sprintf "%h" f)
+  | Value.Str s -> Some ("s" ^ s)
+  | Value.Bool true -> Some "bt"
+  | Value.Bool false -> Some "bf"
+
+(* ---- hash join ------------------------------------------------------------ *)
+
+(* growable int vector: the probe loop appends match pairs without
+   allocating a cons cell per output row *)
+type intvec = { mutable a : int array; mutable n : int }
+
+let iv_create () = { a = Array.make 1024 0; n = 0 }
+
+let iv_push v x =
+  if v.n = Array.length v.a then begin
+    let bigger = Array.make (2 * v.n) 0 in
+    Array.blit v.a 0 bigger 0 v.n;
+    v.a <- bigger
+  end;
+  v.a.(v.n) <- x;
+  v.n <- v.n + 1
+
+let iv_contents v = Array.sub v.a 0 v.n
+
+(* Output order reproduces {!Relation.hash_join}: probe rows in [a] order,
+   matches within a probe row in ascending build order. The int fast path
+   applies when both key columns are [Ints]: since every "n<int>" string
+   key corresponds to exactly one int, bucketing by the raw int partitions
+   identically to bucketing by the string key. *)
+let hash_join a b ~keys =
+  let ka = List.map fst keys and kb = List.map snd keys in
+  let out_schema = a.schema @ b.schema in
+  let ai = iv_create () and bi = iv_create () in
+  let probe_matches find_bucket key_of =
+    for i = 0 to a.nrows - 1 do
+      match key_of i with
+      | None -> ()
+      | Some k -> (
+          match find_bucket k with
+          | None -> ()
+          | Some rows ->
+              List.iter
+                (fun j ->
+                  iv_push ai i;
+                  iv_push bi j)
+                rows)
+    done
+  in
+  (match ka, kb with
+  | [ ca ], [ cb ]
+    when (match a.cols.(ca).data, b.cols.(cb).data with
+         | Ints _, Ints _ -> true
+         | _ -> false) ->
+      let akeys = match a.cols.(ca).data with Ints x -> x | _ -> assert false in
+      let bkeys = match b.cols.(cb).data with Ints x -> x | _ -> assert false in
+      let an = a.cols.(ca).nulls and bn = b.cols.(cb).nulls in
+      (* array-chained hash table: [heads] maps a hash slot to its newest
+         entry, [next] chains entries with the same slot — no boxing, no
+         cons cells, no rehashing. Build rows are inserted from the back,
+         so each chain reads out in ascending build order. *)
+      let cap =
+        let rec up c = if c >= 2 * max 16 b.nrows then c else up (2 * c) in
+        up 16
+      in
+      let slot k = (k * 0x2545F4914F6CDD1D) lsr 1 land (cap - 1) in
+      let heads = Array.make cap (-1) in
+      let next = Array.make (max 1 b.nrows) (-1) in
+      for i = b.nrows - 1 downto 0 do
+        if not (mask_get bn i) then begin
+          let h = slot (Array.unsafe_get bkeys i) in
+          Array.unsafe_set next i (Array.unsafe_get heads h);
+          Array.unsafe_set heads h i
+        end
+      done;
+      for i = 0 to a.nrows - 1 do
+        if not (mask_get an i) then begin
+          let k = Array.unsafe_get akeys i in
+          let j = ref (Array.unsafe_get heads (slot k)) in
+          while !j >= 0 do
+            if Array.unsafe_get bkeys !j = k then begin
+              iv_push ai i;
+              iv_push bi !j
+            end;
+            j := Array.unsafe_get next !j
+          done
+        end
+      done
+  | _ ->
+      let key_at t cols i =
+        let rec go acc = function
+          | [] -> Some (String.concat "\x00" (List.rev acc))
+          | c :: rest -> (
+              match join_key_of_value (get t i c) with
+              | None -> None
+              | Some k -> go (k :: acc) rest)
+        in
+        go [] cols
+      in
+      let tbl : (string, int list ref) Hashtbl.t =
+        Hashtbl.create (max 16 b.nrows)
+      in
+      for i = b.nrows - 1 downto 0 do
+        match key_at b kb i with
+        | None -> ()
+        | Some k -> (
+            match Hashtbl.find_opt tbl k with
+            | Some bucket -> bucket := i :: !bucket
+            | None -> Hashtbl.add tbl k (ref [ i ]))
+      done;
+      probe_matches
+        (fun k -> Option.map ( ! ) (Hashtbl.find_opt tbl k))
+        (fun i -> key_at a ka i));
+  let left = select a (iv_contents ai) and right = select b (iv_contents bi) in
+  {
+    schema = out_schema;
+    nrows = left.nrows;
+    cols = Array.append left.cols right.cols;
+  }

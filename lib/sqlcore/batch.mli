@@ -1,0 +1,75 @@
+(** Columnar batches: typed column arrays with null bitmaps.
+
+    A batch is the vectorized view of a row list. Each column is stored as
+    one contiguous typed array ([Ints], [Floats], [Strs], [Bools]) when all
+    its non-null values share one class, and as a [Boxed] value array
+    otherwise — a column mixing Int and Float stays boxed so that integers
+    above 2^53 keep their exact identity. Conversion round-trips exactly:
+    [to_rows (of_rows s rows) = rows]. *)
+
+type col =
+  | Ints of int array
+  | Floats of float array
+  | Strs of string array
+  | Bools of bool array
+  | Boxed of Value.t array
+
+type column = {
+  data : col;
+  nulls : Bytes.t;  (** bit [i] set = row [i] is NULL in this column *)
+}
+
+type t = { schema : Schema.t; nrows : int; cols : column array }
+
+(** {1 Bit masks} — one bit per row, used for vectorized selection. *)
+
+type mask = Bytes.t
+
+val mask_create : int -> mask
+(** All-zero mask covering [n] rows. *)
+
+val mask_get : mask -> int -> bool
+val mask_set : mask -> int -> unit
+val mask_count : mask -> int -> int
+(** Set bits among the first [n]. *)
+
+(** {1 Conversion and access} *)
+
+val of_rows : Schema.t -> Row.t list -> t
+val to_rows : t -> Row.t list
+val length : t -> int
+val schema : t -> Schema.t
+
+val get : t -> int -> int -> Value.t
+(** [get t row col]. *)
+
+val is_null : t -> int -> int -> bool
+
+val size_bytes : t -> int
+(** Wire size, by exactly the same accounting as summing
+    [Row.size_bytes] over [to_rows]: chunked shipment of a batch charges
+    the same bytes as the row representation. *)
+
+(** {1 Kernels} *)
+
+val project : t -> int list -> Schema.t -> t
+(** Zero-copy: the result shares the selected column arrays. *)
+
+val select : t -> int array -> t
+(** Gather the given row indices, in that order. *)
+
+val filter : mask -> t -> t
+(** Keep the rows whose mask bit is set, preserving order. *)
+
+val hash_join : t -> t -> keys:(int * int) list -> t
+(** Same rows, same order as {!Relation.hash_join} on the row views:
+    probe in [a] order, matches in ascending build order, NULL keys never
+    match, Int/Float compare numerically. When both sides of a single-key
+    join are [Ints] columns the build and probe run on an int-keyed table
+    with no per-row boxing. *)
+
+val join_key_of_value : Value.t -> string option
+(** Class-prefixed exact join key; [None] for NULL. Int and Float share
+    the numeric class (integral floats in the int range get the int's
+    decimal key), so keys agree with SQL numeric equality — see the
+    implementation comment for the exactness argument above 2^53. *)

@@ -1,16 +1,18 @@
 (* Rows are held newest-first in [rev_rows] so that {!add_row} is O(1); the
    forward (insertion-order) view is memoized in [fwd] the first time it is
    asked for. [size_memo] caches {!size_bytes}, which the network simulator
-   recomputes on every send otherwise. *)
+   recomputes on every send otherwise; [batch_memo] caches the columnar
+   view so repeated batch kernels over one relation convert once. *)
 type t = {
   schema : Schema.t;
   rev_rows : Row.t list;
   mutable fwd : Row.t list option;
   mutable size_memo : int;  (* -1 = not yet computed *)
+  mutable batch_memo : Batch.t option;
 }
 
-let mk ?fwd ?(size = -1) schema rev_rows =
-  { schema; rev_rows; fwd; size_memo = size }
+let mk ?fwd ?(size = -1) ?batch schema rev_rows =
+  { schema; rev_rows; fwd; size_memo = size; batch_memo = batch }
 
 let make schema rows =
   let arity = Schema.arity schema in
@@ -98,26 +100,9 @@ let product a b =
 
 (* ---- hash join ----------------------------------------------------------- *)
 
-(* Join keys are class-prefixed strings so values of distinct classes never
-   collide; Int and Float share the numeric class because SQL equality
-   compares them numerically. NULL has no key: NULL = x is never true.
-
-   Keys must be exact: routing Int through string_of_float would fold
-   integers above 2^53 onto their nearest double and join rows the
-   filtered-product path rejects. An integral Float in the OCaml int range
-   shares the Int's decimal key, so Int 5 and Float 5.0 still match; any
-   other float gets its exact hex rendering ("%h" always contains an 'x',
-   so it can never collide with a decimal integer key). *)
-let join_key_of_value = function
-  | Value.Null -> None
-  | Value.Int i -> Some ("n" ^ string_of_int i)
-  | Value.Float f ->
-      if Float.is_integer f && f >= -0x1p62 && f < 0x1p62 then
-        Some ("n" ^ string_of_int (int_of_float f))
-      else Some ("n" ^ Printf.sprintf "%h" f)
-  | Value.Str s -> Some ("s" ^ s)
-  | Value.Bool true -> Some "bt"
-  | Value.Bool false -> Some "bf"
+(* Join keys live in {!Batch} (the batch join kernel shares them); see
+   there for the exactness argument above 2^53. *)
+let join_key_of_value = Batch.join_key_of_value
 
 let join_key row idxs =
   let rec go acc = function
@@ -285,6 +270,27 @@ let parallel_filter ~pool ~chunks p t =
          outs.(ci) <- List.rev !acc));
   make t.schema (List.concat (Array.to_list outs))
 
+(* Same chunking and concatenation discipline as {!parallel_filter}, but
+   each chunk evaluates a vectorized mask kernel over its row range
+   instead of calling a per-row predicate. [kernel lo len] must return
+   bitmaps for rows [lo, lo+len) indexed from bit 0; only the TRUE bitmap
+   selects rows (UNKNOWN rows are dropped, as in WHERE). *)
+let parallel_filter_mask ~pool ~chunks kernel t =
+  let arr = Array.of_list (rows t) in
+  let n = Array.length arr in
+  let c = max 1 (min chunks n) in
+  let outs = Array.make c [] in
+  Taskpool.run_all pool
+    (chunk_jobs n c (fun ci lo hi ->
+         let len = hi - lo in
+         let keep, _ = kernel lo len in
+         let acc = ref [] in
+         for k = len - 1 downto 0 do
+           if Batch.mask_get keep k then acc := arr.(lo + k) :: !acc
+         done;
+         outs.(ci) <- !acc));
+  make t.schema (List.concat (Array.to_list outs))
+
 let order_by cmp t = mk ~size:t.size_memo t.schema (List.rev (List.stable_sort cmp (rows t)))
 
 let limit n t =
@@ -295,7 +301,33 @@ let limit n t =
   in
   make t.schema (take n (rows t))
 
-let requalify q t = { t with schema = Schema.requalify q t.schema }
+(* the batch memo embeds the schema, so a requalified view must not share it *)
+let requalify q t =
+  { t with schema = Schema.requalify q t.schema; batch_memo = None }
+
+(* ---- columnar batch views ------------------------------------------------ *)
+
+let to_batch t =
+  match t.batch_memo with
+  | Some b -> b
+  | None ->
+      let b = Batch.of_rows t.schema (rows t) in
+      t.batch_memo <- Some b;
+      b
+
+let of_batch b =
+  let fwd = Batch.to_rows b in
+  mk ~fwd ~size:(Batch.size_bytes b) ~batch:b (Batch.schema b) (List.rev fwd)
+
+(* keep the rows whose mask bit (indexed in forward order) is set; the
+   surviving rows are shared with [t], not rebuilt from the batch *)
+let filter_mask m t =
+  let kept = ref [] in
+  List.iteri (fun i row -> if Batch.mask_get m i then kept := row :: !kept) (rows t);
+  mk t.schema !kept
+
+let batch_hash_join a b ~keys =
+  of_batch (Batch.hash_join (to_batch a) (to_batch b) ~keys)
 
 let pp ppf t =
   let headers = Schema.names t.schema in

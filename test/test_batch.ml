@@ -1,0 +1,572 @@
+(* The columnar data plane: batch layout and kernels against their
+   row-at-a-time references, randomized differential fuzz of the compiled
+   predicate tiers against the interpreted Eval walker, and chunk-size
+   invariance of the streamed MOVE path (results, traffic, metrics). *)
+open Sqlcore
+module M = Msql.Msession
+module Trace = Narada.Trace
+module Ast = Sqlfront.Ast
+module Eval = Ldbms.Eval
+module Compile = Ldbms.Compile
+
+let col = Schema.column
+let s x = Value.Str x
+let i x = Value.Int x
+let f x = Value.Float x
+
+(* a schema exercising every column class, including values the batch
+   layer must keep exact: ints above 2^53 and a column mixing Int with
+   Float (which must stay Boxed) *)
+let wide_schema =
+  [
+    col "id" Ty.Int;
+    col "price" Ty.Float;
+    col ~width:12 "origin" Ty.Str;
+    col "ok" Ty.Bool;
+    col "mixed" Ty.Int;
+    col "ghost" Ty.Str;
+  ]
+
+let big = (1 lsl 53) + 1
+
+let wide_rows =
+  [
+    [| i 1; f 10.5; s "domestic"; Value.Bool true; i big; Value.Null |];
+    [| i 2; Value.Null; s "imported"; Value.Bool false; f 2.5; Value.Null |];
+    [| i big; f 0.0; Value.Null; Value.Null; i 3; Value.Null |];
+    [| i (-4); f (-1.25); s ""; Value.Bool true; f (float_of_int big); Value.Null |];
+  ]
+
+let wide () = Batch.of_rows wide_schema wide_rows
+
+(* ---- layout ----------------------------------------------------------- *)
+
+let test_roundtrip () =
+  let b = wide () in
+  Alcotest.(check int) "length" 4 (Batch.length b);
+  Alcotest.(check bool) "to_rows round-trips exactly" true
+    (Batch.to_rows b = wide_rows);
+  (* empty batches round-trip too, typed from the schema *)
+  let e = Batch.of_rows wide_schema [] in
+  Alcotest.(check int) "empty length" 0 (Batch.length e);
+  Alcotest.(check bool) "empty to_rows" true (Batch.to_rows e = [])
+
+let test_column_classes () =
+  let b = wide () in
+  let class_of j =
+    match b.Batch.cols.(j).Batch.data with
+    | Batch.Ints _ -> "ints"
+    | Batch.Floats _ -> "floats"
+    | Batch.Strs _ -> "strs"
+    | Batch.Bools _ -> "bools"
+    | Batch.Boxed _ -> "boxed"
+  in
+  Alcotest.(check string) "all-int column" "ints" (class_of 0);
+  Alcotest.(check string) "float column with nulls" "floats" (class_of 1);
+  Alcotest.(check string) "string column with nulls" "strs" (class_of 2);
+  Alcotest.(check string) "bool column with nulls" "bools" (class_of 3);
+  Alcotest.(check string) "Int/Float mix stays boxed" "boxed" (class_of 4);
+  (* the all-NULL column is typed from the declared schema *)
+  Alcotest.(check string) "all-NULL column typed from schema" "strs"
+    (class_of 5);
+  Alcotest.(check bool) "its null bitmap is full" true
+    (List.for_all (fun k -> Batch.is_null b k 5) [ 0; 1; 2; 3 ]);
+  (* 2^53 + 1 survives: reading it back is the exact int, not a double *)
+  Alcotest.(check bool) "big int exact" true (Batch.get b 2 0 = i big)
+
+let test_size_bytes_parity () =
+  let check_rel schema rows name =
+    let b = Batch.of_rows schema rows in
+    let row_sum = List.fold_left (fun acc r -> acc + Row.size_bytes r) 0 rows in
+    Alcotest.(check int) name row_sum (Batch.size_bytes b)
+  in
+  check_rel wide_schema wide_rows "wide batch";
+  check_rel wide_schema [] "empty batch";
+  check_rel
+    [ col "a" Ty.Str ]
+    [ [| s "xyz" |]; [| Value.Null |]; [| s "" |] ]
+    "strings and nulls"
+
+let test_project_zero_copy () =
+  let b = wide () in
+  let sub_schema = [ List.nth wide_schema 2; List.nth wide_schema 0 ] in
+  let p = Batch.project b [ 2; 0 ] sub_schema in
+  Alcotest.(check int) "projected arity" 2 (Array.length p.Batch.cols);
+  (* physical sharing, not a copy *)
+  Alcotest.(check bool) "column 0 shared" true
+    (p.Batch.cols.(0) == b.Batch.cols.(2));
+  Alcotest.(check bool) "column 1 shared" true
+    (p.Batch.cols.(1) == b.Batch.cols.(0))
+
+let test_mask_filter () =
+  let b = wide () in
+  let m = Batch.mask_create 4 in
+  Batch.mask_set m 0;
+  Batch.mask_set m 3;
+  Alcotest.(check int) "mask count" 2 (Batch.mask_count m 4);
+  let kept = Batch.filter m b in
+  Alcotest.(check bool) "filter keeps rows in order" true
+    (Batch.to_rows kept = [ List.nth wide_rows 0; List.nth wide_rows 3 ])
+
+(* ---- hash join vs the row join ---------------------------------------- *)
+
+let join_case name a_schema a_rows b_schema b_rows keys =
+  let ra = Relation.make a_schema a_rows and rb = Relation.make b_schema b_rows in
+  let row = Relation.hash_join ra rb ~keys in
+  let batch =
+    Relation.of_batch
+      (Batch.hash_join (Relation.to_batch ra) (Relation.to_batch rb) ~keys)
+  in
+  Alcotest.(check bool)
+    (name ^ ": batch join identical to row join (rows and order)")
+    true (Relation.equal batch row)
+
+let test_hash_join_matches_row_join () =
+  (* int keys with duplicates, a NULL key, and values above 2^53 on both
+     sides: the int fast path must not fold them *)
+  join_case "int keys"
+    [ col "a" Ty.Int; col "ak" Ty.Int ]
+    [
+      [| i 0; i 7 |]; [| i 1; i 7 |]; [| i 2; Value.Null |]; [| i 3; i big |];
+      [| i 4; i (big + 2) |]; [| i 5; i (-3) |];
+    ]
+    [ col "b" Ty.Int; col "bk" Ty.Int ]
+    [
+      [| i 10; i 7 |]; [| i 11; i big |]; [| i 12; Value.Null |];
+      [| i 13; i 7 |]; [| i 14; i (-3) |];
+    ]
+    [ (1, 1) ];
+  (* mixed Int/Float keys force the generic path; numeric equality must
+     still hold (5 joins 5.0) and big ints must stay exact *)
+  join_case "mixed numeric keys"
+    [ col "a" Ty.Int; col "ak" Ty.Int ]
+    [ [| i 0; i 5 |]; [| i 1; i big |]; [| i 2; i 9 |] ]
+    [ col "b" Ty.Int; col "bk" Ty.Float ]
+    [
+      [| i 10; f 5.0 |]; [| i 11; f (float_of_int big) |]; [| i 12; f 9.5 |];
+    ]
+    [ (1, 1) ];
+  (* multi-column keys, string + int *)
+  join_case "two-column keys"
+    [ col "a" Ty.Int; col "k1" Ty.Str; col "k2" Ty.Int ]
+    [
+      [| i 0; s "x"; i 1 |]; [| i 1; s "x"; i 2 |]; [| i 2; Value.Null; i 1 |];
+    ]
+    [ col "b" Ty.Int; col "j1" Ty.Str; col "j2" Ty.Int ]
+    [
+      [| i 10; s "x"; i 1 |]; [| i 11; s "x"; i 1 |]; [| i 12; s "y"; i 2 |];
+    ]
+    [ (1, 1); (2, 2) ];
+  (* empty sides *)
+  join_case "empty probe"
+    [ col "a" Ty.Int ] []
+    [ col "b" Ty.Int ]
+    [ [| i 1 |] ]
+    [ (0, 0) ];
+  join_case "empty build"
+    [ col "a" Ty.Int ]
+    [ [| i 1 |] ]
+    [ col "b" Ty.Int ] []
+    [ (0, 0) ]
+
+(* ---- differential fuzz: compiled tiers vs the interpreter -------------- *)
+
+let fuzz_schema =
+  [
+    col "n" Ty.Int;
+    col "x" Ty.Float;
+    col "t" Ty.Str;
+    col "b" Ty.Bool;
+    col "m" Ty.Int;
+  ]
+
+(* values skewed towards the traps: NULLs, ints above 2^53, negative
+   zero-adjacent floats, empty strings *)
+let gen_value rng j =
+  match (j, Random.State.int rng 8) with
+  | _, 0 -> Value.Null
+  | 0, _ -> i (Random.State.int rng 20 - 10)
+  | 1, _ -> f (float_of_int (Random.State.int rng 40 - 20) /. 4.)
+  | 2, _ ->
+      s
+        (List.nth
+           [ "alpha"; "beta"; "al"; ""; "gamma%" ]
+           (Random.State.int rng 5))
+  | 3, _ -> Value.Bool (Random.State.int rng 2 = 0)
+  | _, 1 | _, 2 -> i (big + Random.State.int rng 3)
+  | _, 3 | _, 4 -> f (float_of_int big)
+  | _, _ -> i (Random.State.int rng 10)
+
+let gen_row rng = Array.init 5 (fun j -> gen_value rng j)
+
+let col_name j = List.nth [ "n"; "x"; "t"; "b"; "m" ] j
+
+(* random predicates spanning the whole compile_row coverage: literals,
+   columns, comparisons, arithmetic, Kleene connectives, IS NULL, LIKE,
+   IN, BETWEEN — including ill-typed ones, whose Type_error must match *)
+let rec gen_expr rng depth =
+  let open Ast in
+  let leaf () =
+    if Random.State.bool rng then col (col_name (Random.State.int rng 5))
+    else Lit (gen_value rng (Random.State.int rng 5))
+  in
+  if depth = 0 then leaf ()
+  else
+    match Random.State.int rng 12 with
+    | 0 | 1 ->
+        let op =
+          List.nth [ Eq; Neq; Lt; Le; Gt; Ge ] (Random.State.int rng 6)
+        in
+        Binop (op, gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 2 -> Binop (And, gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 3 -> Binop (Or, gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 4 -> Unop (Not, gen_expr rng (depth - 1))
+    | 5 ->
+        Is_null
+          { arg = gen_expr rng (depth - 1); negated = Random.State.bool rng }
+    | 6 ->
+        Like
+          {
+            arg = gen_expr rng (depth - 1);
+            pattern =
+              List.nth [ "al%"; "%a"; "_eta"; "%"; "" ] (Random.State.int rng 5);
+            negated = Random.State.bool rng;
+          }
+    | 7 ->
+        In_list
+          {
+            arg = gen_expr rng (depth - 1);
+            items = [ leaf (); leaf () ];
+            negated = Random.State.bool rng;
+          }
+    | 8 ->
+        Between
+          {
+            arg = gen_expr rng (depth - 1);
+            lo = leaf ();
+            hi = leaf ();
+            negated = Random.State.bool rng;
+          }
+    | 9 ->
+        let op = List.nth [ Add; Sub; Mul ] (Random.State.int rng 3) in
+        Binop (op, gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 10 -> Unop (Neg, gen_expr rng (depth - 1))
+    | _ -> leaf ()
+
+let ctx = { Eval.subquery = (fun _ _ -> failwith "no subqueries"); agg = None }
+
+let outcome f = try Ok (f ()) with e -> Error (Printexc.to_string e)
+
+let test_fuzz_compile_row () =
+  let rng = Random.State.make [| 4177 |] in
+  let compiled = ref 0 in
+  for _ = 1 to 2000 do
+    let e = gen_expr rng 3 in
+    match Compile.compile_row fuzz_schema e with
+    | None -> ()
+    | Some closure ->
+        incr compiled;
+        for _ = 1 to 5 do
+          let row = gen_row rng in
+          let want =
+            outcome (fun () -> Eval.eval ctx (Eval.env fuzz_schema row) e)
+          in
+          let got = outcome (fun () -> closure row) in
+          if want <> got then
+            Alcotest.failf "compiled row closure diverges on %s: %s vs %s"
+              (match want with Ok v -> Value.to_string v | Error m -> m)
+              (match got with Ok v -> Value.to_string v | Error m -> m)
+              "interpreter"
+        done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fuzz exercised the compiler (%d compiled)" !compiled)
+    true
+    (!compiled > 300)
+
+(* predicates shaped to the batch tier's coverage — column-vs-literal
+   comparisons (both orientations), Kleene connectives, IS NULL, LIKE,
+   BETWEEN — with literal classes usually, not always, matching the
+   column, so both the typed kernels and the fallback-to-None edges run *)
+let rec gen_batch_expr rng depth =
+  let open Ast in
+  let cmp () =
+    let j = Random.State.int rng 5 in
+    let c = col (col_name j) in
+    let lit =
+      (* same-class literal three times out of four *)
+      Lit
+        (gen_value rng
+           (if Random.State.int rng 4 = 0 then Random.State.int rng 5 else j))
+    in
+    let op = List.nth [ Eq; Neq; Lt; Le; Gt; Ge ] (Random.State.int rng 6) in
+    if Random.State.bool rng then Binop (op, c, lit) else Binop (op, lit, c)
+  in
+  if depth = 0 then cmp ()
+  else
+    match Random.State.int rng 8 with
+    | 0 ->
+        Binop
+          (And, gen_batch_expr rng (depth - 1), gen_batch_expr rng (depth - 1))
+    | 1 ->
+        Binop
+          (Or, gen_batch_expr rng (depth - 1), gen_batch_expr rng (depth - 1))
+    | 2 -> Unop (Not, gen_batch_expr rng (depth - 1))
+    | 3 ->
+        Is_null
+          {
+            arg = col (col_name (Random.State.int rng 5));
+            negated = Random.State.bool rng;
+          }
+    | 4 ->
+        Like
+          {
+            arg = col "t";
+            pattern =
+              List.nth [ "al%"; "%a"; "_eta"; "%"; "" ] (Random.State.int rng 5);
+            negated = Random.State.bool rng;
+          }
+    | 5 ->
+        let j = Random.State.int rng 5 in
+        Between
+          {
+            arg = col (col_name j);
+            lo = Lit (gen_value rng j);
+            hi = Lit (gen_value rng j);
+            negated = Random.State.bool rng;
+          }
+    | _ -> cmp ()
+
+let test_fuzz_compile_batch () =
+  let rng = Random.State.make [| 90210 |] in
+  let covered = ref 0 in
+  for _ = 1 to 800 do
+    let e = gen_batch_expr rng 2 in
+    let nrows = 1 + Random.State.int rng 40 in
+    let rows = List.init nrows (fun _ -> gen_row rng) in
+    let b = Batch.of_rows fuzz_schema rows in
+    match Compile.compile_batch b e with
+    | None -> ()
+    | Some kernel ->
+        incr covered;
+        (* evaluate in two uneven windows to exercise the lo/len path *)
+        let split = nrows / 2 in
+        let t1, n1 = kernel 0 split and t2, n2 = kernel split (nrows - split) in
+        List.iteri
+          (fun k row ->
+            let t_bit, n_bit =
+              if k < split then (Batch.mask_get t1 k, Batch.mask_get n1 k)
+              else
+                ( Batch.mask_get t2 (k - split),
+                  Batch.mask_get n2 (k - split) )
+            in
+            let want = Eval.eval ctx (Eval.env fuzz_schema row) e in
+            let want_t = want = Value.Bool true in
+            let want_n = Value.is_null want in
+            if t_bit <> want_t || n_bit <> want_n then
+              Alcotest.failf
+                "batch kernel diverges at row %d: kernel (t=%b,n=%b) vs \
+                 interpreter %s"
+                k t_bit n_bit (Value.to_string want))
+          rows
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fuzz exercised the batch compiler (%d kernels)" !covered)
+    true
+    (!covered > 100)
+
+(* ---- chunk-size invariance of the full pipeline ------------------------ *)
+
+(* same three-database federation as test_observability: a global join
+   whose plan ships two MOVEs *)
+let sales_schema = [ col "sid" Ty.Int; col "part_id" Ty.Int; col "qty" Ty.Int ]
+
+let parts_schema =
+  [ col "pid" Ty.Int; col ~width:16 "pname" Ty.Str; col "price" Ty.Float ]
+
+let stock_schema = [ col "spid" Ty.Int; col ~width:16 "wh" Ty.Str ]
+
+let make_fed3 () =
+  let world = Netsim.World.create () in
+  let directory = Narada.Directory.create () in
+  let session = M.create ~world ~directory () in
+  let sales = List.init 10 (fun k -> [| i k; i (k mod 5); i (k + 1) |]) in
+  let parts =
+    List.init 200 (fun k -> [| i k; s (Printf.sprintf "part%d" k); f 9.5 |])
+  in
+  let stock =
+    List.init 150 (fun k -> [| i (k mod 50); s (Printf.sprintf "wh%d" k) |])
+  in
+  List.iter
+    (fun (name, site, tname, schema, rows) ->
+      Netsim.World.add_site world (Netsim.Site.make site);
+      let db = Ldbms.Database.create name in
+      Ldbms.Database.load db ~name:tname schema rows;
+      Narada.Directory.register directory
+        (Narada.Service.make ~site ~caps:Ldbms.Capabilities.ingres_like db);
+      (match M.incorporate_auto session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      match M.import_all session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    [
+      ("market", "msite", "sales", sales_schema, sales);
+      ("store", "ssite", "parts", parts_schema, parts);
+      ("depot", "dsite", "stock", stock_schema, stock);
+    ];
+  (session, world)
+
+let join3 =
+  "USE market store depot SELECT s.sid, p.pname, st.wh FROM market.sales s, \
+   store.parts p, depot.stock st WHERE s.part_id = p.pid AND s.part_id = \
+   st.spid"
+
+type run_record = {
+  rr_result : string;
+  rr_messages : int;
+  rr_bytes : int;
+  rr_ms : float;
+  rr_moved : (int * int) list;  (* Moved (rows, bytes), in order *)
+  rr_chunks : Trace.kind list;
+}
+
+let run_at_chunk_size chunk_rows =
+  Narada.Lam.set_move_streaming ~chunk_rows ~window:4 ();
+  let session, world = make_fed3 () in
+  let moved = ref [] and chunks = ref [] in
+  M.set_typed_trace session
+    (Some
+       (fun e ->
+         match e.Trace.kind with
+         | Trace.Moved { rows; bytes; _ } -> moved := (rows, bytes) :: !moved
+         | Trace.Chunk _ as k -> chunks := k :: !chunks
+         | _ -> ()));
+  let result =
+    match M.exec session join3 with
+    | Ok r -> M.result_to_string r
+    | Error m -> failwith m
+  in
+  let st = Netsim.World.stats world in
+  {
+    rr_result = result;
+    rr_messages = st.Netsim.World.messages;
+    rr_bytes = st.Netsim.World.bytes_moved;
+    rr_ms = Netsim.World.now_ms world;
+    rr_moved = List.rev !moved;
+    rr_chunks = List.rev !chunks;
+  }
+
+let test_chunk_size_invariance () =
+  Fun.protect ~finally:(fun () -> Narada.Lam.set_move_streaming ~chunk_rows:512 ~window:4 ())
+  @@ fun () ->
+  let base = run_at_chunk_size 0 (* monolithic legacy path *) in
+  Alcotest.(check bool) "baseline shipped something" true (base.rr_bytes > 0);
+  Alcotest.(check int) "monolithic run has no chunk events" 0
+    (List.length base.rr_chunks);
+  List.iter
+    (fun chunk_rows ->
+      let r = run_at_chunk_size chunk_rows in
+      let tag fmt = Printf.sprintf fmt chunk_rows in
+      Alcotest.(check string) (tag "results equal at chunk size %d")
+        base.rr_result r.rr_result;
+      Alcotest.(check int) (tag "messages equal at chunk size %d")
+        base.rr_messages r.rr_messages;
+      Alcotest.(check int) (tag "bytes equal at chunk size %d") base.rr_bytes
+        r.rr_bytes;
+      Alcotest.(check (float 0.0)) (tag "virtual time equal at chunk size %d")
+        base.rr_ms r.rr_ms;
+      Alcotest.(check bool) (tag "Moved events equal at chunk size %d") true
+        (base.rr_moved = r.rr_moved);
+      (* every streamed MOVE's installments: seq 1..total, rows summing to
+         the Moved row count (chunk bytes also carry protocol overhead,
+         so they are not compared to the payload figure) *)
+      let by_move = Hashtbl.create 4 in
+      List.iter
+        (function
+          | Trace.Chunk { mname; seq; total; rows; window; _ } ->
+              Alcotest.(check int) (tag "window recorded at chunk size %d") 4
+                window;
+              let seqs, rowsum =
+                Option.value ~default:([], 0) (Hashtbl.find_opt by_move mname)
+              in
+              Alcotest.(check bool) (tag "seq within total at %d") true
+                (seq >= 1 && seq <= total);
+              Hashtbl.replace by_move mname (seq :: seqs, rowsum + rows)
+          | _ -> ())
+        r.rr_chunks;
+      Alcotest.(check bool) (tag "chunked runs emit chunk events at %d") true
+        (Hashtbl.length by_move > 0);
+      Hashtbl.iter
+        (fun _ (seqs, _) ->
+          let sorted = List.sort compare seqs in
+          Alcotest.(check bool) (tag "contiguous stream at chunk size %d")
+            true
+            (sorted = List.init (List.length sorted) (fun k -> k + 1)))
+        by_move;
+      (* at one row per chunk, each shipped relation streams row-count
+         installments: the per-move row sums match the Moved totals *)
+      if chunk_rows = 1 then
+        List.iter
+          (fun (rows, _) ->
+            Alcotest.(check bool) "a move streamed its rows one per chunk"
+              true
+              (Hashtbl.fold
+                 (fun _ (_, rowsum) acc -> acc || rowsum = rows)
+                 by_move false))
+          r.rr_moved)
+    [ 1; 7; 4096 ]
+
+(* the metrics JSON document is byte-identical across chunk sizes: Chunk
+   events have no metric dimension and Moved carries the totals *)
+let test_chunk_size_invariant_metrics () =
+  Fun.protect ~finally:(fun () -> Narada.Lam.set_move_streaming ~chunk_rows:512 ~window:4 ())
+  @@ fun () ->
+  let metrics_at chunk_rows =
+    Narada.Lam.set_move_streaming ~chunk_rows ~window:4 ();
+    let session, _world = make_fed3 () in
+    (match M.exec session join3 with
+    | Ok _ -> ()
+    | Error m -> failwith m);
+    M.metrics_json session
+  in
+  let base = metrics_at 0 in
+  List.iter
+    (fun chunk_rows ->
+      Alcotest.(check string)
+        (Printf.sprintf "metrics JSON identical at chunk size %d" chunk_rows)
+        base (metrics_at chunk_rows))
+    [ 1; 7; 4096 ]
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "of_rows/to_rows round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "column classes" `Quick test_column_classes;
+          Alcotest.test_case "size_bytes parity" `Quick test_size_bytes_parity;
+          Alcotest.test_case "project shares columns" `Quick
+            test_project_zero_copy;
+          Alcotest.test_case "mask filter" `Quick test_mask_filter;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "batch join == row join" `Quick
+            test_hash_join_matches_row_join;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "compiled row closures vs interpreter" `Quick
+            test_fuzz_compile_row;
+          Alcotest.test_case "batch kernels vs interpreter" `Quick
+            test_fuzz_compile_batch;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "chunk-size invariance" `Quick
+            test_chunk_size_invariance;
+          Alcotest.test_case "metrics JSON invariant" `Quick
+            test_chunk_size_invariant_metrics;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Dictionary-epoch invalidation of the compiled data plane: a bump of
+   the GDD/AD version (a re-IMPORT simulating a local ALTER at a member
+   database) must flush both the compiled-predicate cache and the
+   shipped-result cache, while an unchanged epoch keeps both warm. Local
+   DDL inside an LDBMS flushes the compiled cache directly. *)
+open Sqlcore
+module M = Msql.Msession
+module Exec = Ldbms.Exec
+
+let col = Schema.column
+let s x = Value.Str x
+let i x = Value.Int x
+let f x = Value.Float x
+
+let sales_schema = [ col "sid" Ty.Int; col "part_id" Ty.Int; col "qty" Ty.Int ]
+
+let parts_schema =
+  [ col "pid" Ty.Int; col ~width:16 "pname" Ty.Str; col "price" Ty.Float ]
+
+let make_fed2 () =
+  let world = Netsim.World.create () in
+  let directory = Narada.Directory.create () in
+  let session = M.create ~world ~directory () in
+  (* the shipped-result cache is an opt-in reuse mechanism (see the P10
+     ablations); epoch staleness is only observable with it enabled *)
+  M.set_result_cache session true;
+  let sales = List.init 12 (fun k -> [| i k; i (k mod 6); i (k + 1) |]) in
+  let parts =
+    List.init 60 (fun k -> [| i k; s (Printf.sprintf "part%d" k); f 9.5 |])
+  in
+  List.iter
+    (fun (name, site, tname, schema, rows) ->
+      Netsim.World.add_site world (Netsim.Site.make site);
+      let db = Ldbms.Database.create name in
+      Ldbms.Database.load db ~name:tname schema rows;
+      Narada.Directory.register directory
+        (Narada.Service.make ~site ~caps:Ldbms.Capabilities.ingres_like db);
+      (match M.incorporate_auto session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      match M.import_all session ~service:name with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    [
+      ("market", "msite", "sales", sales_schema, sales);
+      ("store", "ssite", "parts", parts_schema, parts);
+    ];
+  (session, world)
+
+let join2 =
+  "USE market store SELECT s.sid, p.pname FROM market.sales s, \
+   store.parts p WHERE s.part_id = p.pid AND p.price < 100"
+
+(* the compiled-predicate cache is epoch-pinned: re-running the same
+   statement under the same epoch hits it; an epoch bump (what
+   {!M.engine_start} feeds through {!Exec.set_dict_epoch} after a
+   re-IMPORT / simulated local ALTER moves the GDD version) resets it,
+   so the re-run recompiles from scratch. Exercised at the LDBMS level,
+   where no DDL interferes: the multidatabase path drops its temporary
+   MOVE tables at the end of every statement, and local DDL flushes the
+   cache too (third test), so post-statement size is not observable
+   through {!M.exec}. *)
+let test_epoch_bump_resets_compiled_cache () =
+  let db = Ldbms.Database.create "w" in
+  Ldbms.Database.load db ~name:"crates"
+    [ col "cid" Ty.Int; col ~width:8 "dock" Ty.Str; col "mass" Ty.Float ]
+    (List.init 50 (fun k ->
+         [| i k; s (Printf.sprintf "dock%d" (k mod 5)); f (float_of_int k) |]));
+  let session = Ldbms.Session.connect db Ldbms.Capabilities.ingres_like in
+  let q = "SELECT cid FROM crates WHERE dock = 'dock2' AND mass < 30" in
+  let run () =
+    match Ldbms.Session.exec_sql session q with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail m
+  in
+  Exec.set_dict_epoch 1;
+  run ();
+  let _, misses1, size1 = Exec.compiled_cache_stats () in
+  Alcotest.(check bool) "first run populated the compiled cache" true
+    (size1 > 0);
+  let hits1, _, _ = Exec.compiled_cache_stats () in
+  run ();
+  let hits2, misses2, _ = Exec.compiled_cache_stats () in
+  Alcotest.(check int) "warm re-run compiles nothing new" misses1 misses2;
+  Alcotest.(check bool) "warm re-run hits the compiled cache" true
+    (hits2 > hits1);
+  (* the simulated local ALTER: a GDD/AD version bump moves the epoch *)
+  Exec.set_dict_epoch 2;
+  let _, _, size_after_bump = Exec.compiled_cache_stats () in
+  Alcotest.(check int) "epoch bump emptied the cache" 0 size_after_bump;
+  run ();
+  let _, misses3, size3 = Exec.compiled_cache_stats () in
+  Alcotest.(check bool) "epoch bump forced recompilation" true
+    (misses3 > misses2);
+  Alcotest.(check bool) "cache repopulated under the new epoch" true
+    (size3 > 0);
+  (* an unchanged epoch must NOT reset: re-pinning the same value keeps
+     the cache warm *)
+  Exec.set_dict_epoch 2;
+  let _, _, size4 = Exec.compiled_cache_stats () in
+  Alcotest.(check int) "same epoch keeps the cache" size3 size4
+
+(* the shipped-result cache is epoch-stamped: the warm re-run is a result
+   hit, the post-IMPORT run drops the stale entry and ships again *)
+let test_epoch_bump_drops_shipped_results () =
+  let session, _world = make_fed2 () in
+  (match M.exec session join2 with Ok _ -> () | Error m -> Alcotest.fail m);
+  (match M.exec session join2 with Ok _ -> () | Error m -> Alcotest.fail m);
+  let cs = M.cache_stats session in
+  Alcotest.(check bool) "warm re-run served from the shipped cache" true
+    (cs.M.result_hits > 0);
+  let hits_before = cs.M.result_hits and misses_before = cs.M.result_misses in
+  (match M.import_all session ~service:"store" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match M.exec session join2 with Ok _ -> () | Error m -> Alcotest.fail m);
+  let cs = M.cache_stats session in
+  Alcotest.(check int) "stale entry was not served" hits_before
+    cs.M.result_hits;
+  Alcotest.(check bool) "stale entry dropped and reshipped" true
+    (cs.M.result_misses > misses_before)
+
+(* local DDL must flush the compiled cache immediately — a dropped or
+   added index/table/view can change what a cached closure captured *)
+let test_local_ddl_flushes_compiled_cache () =
+  let db = Ldbms.Database.create "w" in
+  Ldbms.Database.load db ~name:"stock"
+    [ col "sku" Ty.Int; col ~width:8 "bin" Ty.Str ]
+    (List.init 40 (fun k -> [| i k; s (Printf.sprintf "bin%d" (k mod 7)) |]));
+  let session = Ldbms.Session.connect db Ldbms.Capabilities.ingres_like in
+  let q = "SELECT sku FROM stock WHERE bin = 'bin3' AND sku > 5" in
+  (match Ldbms.Session.exec_sql session q with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let _, _, size1 = Exec.compiled_cache_stats () in
+  Alcotest.(check bool) "select compiled its predicate" true (size1 > 0);
+  (match
+     Ldbms.Session.exec_sql session "CREATE TABLE scratch (k INTEGER)"
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let _, _, size2 = Exec.compiled_cache_stats () in
+  Alcotest.(check int) "DDL flushed the compiled cache" 0 size2
+
+let () =
+  Alcotest.run "epoch"
+    [
+      ( "dictionary epoch",
+        [
+          Alcotest.test_case "bump resets compiled-predicate cache" `Quick
+            test_epoch_bump_resets_compiled_cache;
+          Alcotest.test_case "bump drops shipped results" `Quick
+            test_epoch_bump_drops_shipped_results;
+        ] );
+      ( "local DDL",
+        [
+          Alcotest.test_case "flushes compiled cache" `Quick
+            test_local_ddl_flushes_compiled_cache;
+        ] );
+    ]
