@@ -2,12 +2,13 @@
 
    Part 1 prints deterministic experiment tables (simulated-network latency,
    message and byte counts) for the paper's worked examples E1–E5 and for
-   the performance claims P1–P12. Part 2 runs a Bechamel wall-clock suite
+   the performance claims P1–P14. Part 2 runs a Bechamel wall-clock suite
    over the processing pipeline (parse, expand, translate, execute). The
-   perf-critical tables (P4, P9–P12) are also recorded in BENCH_perf.json.
+   perf-critical tables (P4, P9–P14) are also recorded in BENCH_perf.json.
 
    Run with:  dune exec bench/main.exe
-   CI smoke:  dune exec bench/main.exe -- --perf-smoke  (P4/P9/P10/P11/P12)
+   CI smoke:  dune exec bench/main.exe -- --perf-smoke
+              (P4/P9/P10/P11/P12/P13/P14)
    Profiling: dune exec bench/main.exe -- --p10-one CONFIG[,CONFIG...]
               (single P10 configuration; P10_ROWS / P10_N override size) *)
 
@@ -390,10 +391,9 @@ type p10_row = {
 (* three sites: a small hub of sales orders plus two large catalogues; the
    hub owns the first reference of every query, so it coordinates and the
    big relations are what ships *)
-let p10_setup ~rows =
+let p10_world ~rows =
   let world = Netsim.World.create () in
   let directory = Narada.Directory.create () in
-  let session = M.create ~world ~directory () in
   let col = Schema.column in
   let catalogue_schema =
     [ col "rid" Ty.Int; col ~width:40 "rname" Ty.Str; col "price" Ty.Float ]
@@ -417,15 +417,22 @@ let p10_setup ~rows =
     (fun (site, db) ->
       Netsim.World.add_site world (Netsim.Site.make site);
       Narada.Directory.register directory
-        (Narada.Service.make ~site ~caps:Ldbms.Capabilities.ingres_like db);
-      let name = Ldbms.Database.name db in
+        (Narada.Service.make ~site ~caps:Ldbms.Capabilities.ingres_like db))
+    [ ("h1", hub); ("d2", depot); ("m3", mill) ];
+  (world, directory)
+
+let p10_setup ~rows =
+  let world, directory = p10_world ~rows in
+  let session = M.create ~world ~directory () in
+  List.iter
+    (fun name ->
       (match M.incorporate_auto session ~service:name with
       | Ok () -> ()
       | Error m -> failwith m);
       match M.import_all session ~service:name with
       | Ok () -> ()
       | Error m -> failwith m)
-    [ ("h1", hub); ("d2", depot); ("m3", mill) ];
+    [ "hub"; "depot"; "mill" ];
   (session, world)
 
 (* the statement mix: 20 distinct templates, half against each catalogue,
@@ -1151,9 +1158,215 @@ let p13_batch_kernels ?(rows = 1_000_000) ?(move_rows = 20_000) ?(reps = 3) ()
      filter and join >= 3x\n";
   grid
 
+(* ---- P14: concurrent multi-session server -------------------------------------- *)
+
+module Srv = Msql.Server
+
+(* N Zipf clients against one server over the P10 federation: every
+   session shares the dictionaries, the connection pool and the
+   plan/result caches, and the wave scheduler interleaves their
+   statements fairly. Clients submit eagerly up to the queue cap (shed
+   submissions are retried next round), so the latency numbers include
+   queue wait — the price of fairness under load. *)
+
+type p14_row = {
+  p14_clients : int;
+  p14_domains : int;
+  p14_stmts : int;  (* statements completed *)
+  p14_sps : float;  (* aggregate statements per wall-clock second *)
+  p14_p50_ms : float;  (* wall-clock submit -> completion latency *)
+  p14_p99_ms : float;
+  p14_virt_ms : float;
+  p14_requeues : int;
+  p14_shed : int;
+  p14_pool_hits : int;
+  p14_plan_hits : int;
+  p14_result_hits : int;
+}
+
+let p14_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p *. float_of_int n /. 100.)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let p14_run ~rows ~per_client ~clients ~domains =
+  let world, directory = p10_world ~rows in
+  let config =
+    {
+      (Srv.default_config ()) with
+      Srv.max_sessions = clients;
+      max_queue = 4;
+      domains;
+    }
+  in
+  let srv =
+    match
+      Srv.create ~config ~world ~directory
+        ~services:[ "hub"; "depot"; "mill" ] ()
+    with
+    | Ok s -> s
+    | Error m -> failwith ("P14: " ^ m)
+  in
+  let sids =
+    List.init clients (fun _ ->
+        match Srv.connect srv with
+        | Ok sid -> sid
+        | Error e -> failwith ("P14: " ^ Srv.error_message e))
+  in
+  (* every client draws its own Zipf stream over the shared templates *)
+  let streams =
+    Array.of_list
+      (List.mapi
+         (fun ci sid -> (sid, ref (p10_mix ~seed:(100 + ci) ~k:20 ~n:per_client)))
+         sids)
+  in
+  let submit_times : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let latencies = ref [] in
+  let completed = ref 0 in
+  Netsim.World.reset_stats world;
+  Netsim.World.reset_clock world;
+  let t0 = Unix.gettimeofday () in
+  let rec pump () =
+    Array.iter
+      (fun (sid, stream) ->
+        let rec top_up () =
+          match !stream with
+          | [] -> ()
+          | i :: rest -> (
+              match Srv.submit srv sid (p10_template i) with
+              | Ok seq ->
+                  Hashtbl.replace submit_times (sid, seq)
+                    (Unix.gettimeofday ());
+                  stream := rest;
+                  top_up ()
+              | Error (Srv.Overloaded _) -> ()  (* queue full: next round *)
+              | Error e -> failwith ("P14: " ^ Srv.error_message e))
+        in
+        top_up ())
+      streams;
+    let comps = Srv.step_round srv in
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun c ->
+        (match c.Srv.c_result with
+        | Ok (M.Multitable _) -> ()
+        | Ok r -> failwith ("P14: unexpected result " ^ M.result_to_string r)
+        | Error m -> failwith ("P14: " ^ m));
+        incr completed;
+        match Hashtbl.find_opt submit_times (c.Srv.c_sid, c.Srv.c_seq) with
+        | Some t -> latencies := (now -. t) *. 1000. :: !latencies
+        | None -> ())
+      comps;
+    if Array.exists (fun (_, s) -> !s <> []) streams || Srv.queued srv > 0
+    then pump ()
+  in
+  pump ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let sorted = Array.of_list (List.sort compare !latencies) in
+  let st = Srv.stats srv in
+  let cs = Srv.cache_stats srv in
+  {
+    p14_clients = clients;
+    p14_domains = domains;
+    p14_stmts = !completed;
+    p14_sps = float_of_int !completed /. wall_s;
+    p14_p50_ms = p14_percentile sorted 50.;
+    p14_p99_ms = p14_percentile sorted 99.;
+    p14_virt_ms = Netsim.World.now_ms world;
+    p14_requeues = st.Srv.requeues;
+    p14_shed = st.Srv.shed;
+    p14_pool_hits = cs.M.pool_hits;
+    p14_plan_hits = cs.M.plan_hits;
+    p14_result_hits = cs.M.result_hits;
+  }
+
+(* the correctness gate CI runs at MSQL_TEST_DOMAINS in {0,4}: the same N
+   independent clients (client k owns airline k) executed by the serial
+   scheduler and by the concurrent one must leave every database in an
+   identical state *)
+let p14_assert_smoke ?(clients = 4) ~domains () =
+  let run ~domains =
+    let fx = F.airline_fleet ~flights_per_db:40 ~n:clients () in
+    let config = { (Srv.default_config ()) with Srv.domains } in
+    let srv = Srv.of_fixtures ~config fx in
+    let sids =
+      List.init clients (fun _ ->
+          match Srv.connect srv with
+          | Ok sid -> sid
+          | Error e -> failwith (Srv.error_message e))
+    in
+    List.iteri
+      (fun i sid ->
+        List.iter
+          (fun sql ->
+            match Srv.submit srv sid sql with
+            | Ok _ -> ()
+            | Error e -> failwith (Srv.error_message e))
+          [
+            Printf.sprintf
+              "USE airline%d UPDATE flights SET rate = rate * 1.1 WHERE \
+               source = 'Houston'"
+              (i + 1);
+            Printf.sprintf
+              "USE airline%d SELECT flnu, rate FROM flights WHERE \
+               destination = 'Denver'"
+              (i + 1);
+          ])
+      sids;
+    List.iter
+      (fun c ->
+        match c.Srv.c_result with
+        | Ok _ -> ()
+        | Error m -> failwith ("P14 differential: " ^ m))
+      (Srv.drain srv);
+    List.init clients (fun i ->
+        Relation.to_string
+          (F.scan fx
+             ~db:(Printf.sprintf "airline%d" (i + 1))
+             ~table:"flights"))
+  in
+  let serial = run ~domains:1 in
+  let concurrent = run ~domains in
+  if serial <> concurrent then begin
+    Printf.eprintf
+      "P14 smoke FAILED: concurrent execution (domains=%d) diverges from \
+       the serial schedule\n"
+      domains;
+    exit 1
+  end;
+  Printf.printf
+    "P14 assertion passed: %d concurrent sessions leave state identical \
+     to the serial schedule (domains=%d)\n"
+    clients domains
+
+let p14_server ?(rows = 2000) ?(per_client = 40) () =
+  header
+    "P14: concurrent multi-session server (Zipf clients, shared \
+     pool+caches)";
+  let domains = (Srv.default_config ()).Srv.domains in
+  Printf.printf "%-8s %8s %10s %9s %9s %12s %8s %6s %6s %6s %6s\n" "clients"
+    "domains" "stmts/s" "p50 ms" "p99 ms" "virt ms" "requeue" "shed" "pool"
+    "plan" "rslt";
+  let grid =
+    List.map
+      (fun clients ->
+        let r = p14_run ~rows ~per_client ~clients ~domains in
+        Printf.printf
+          "%-8d %8d %10.1f %9.3f %9.3f %12.2f %8d %6d %6d %6d %6d\n"
+          r.p14_clients r.p14_domains r.p14_sps r.p14_p50_ms r.p14_p99_ms
+          r.p14_virt_ms r.p14_requeues r.p14_shed r.p14_pool_hits
+          r.p14_plan_hits r.p14_result_hits;
+        r)
+      [ 1; 4; 16 ]
+  in
+  p14_assert_smoke ~domains ();
+  grid
+
 (* machine-readable record of the perf-critical experiments, consumed by
    the CI bench-smoke step *)
-let write_perf_json ~path p4 p9 p10 p11 p12 p13 =
+let write_perf_json ~path p4 p9 p10 p11 p12 p13 p14 =
   let oc = open_out path in
   let p4_json r =
     Printf.sprintf
@@ -1194,6 +1407,13 @@ let write_perf_json ~path p4 p9 p10 p11 p12 p13 =
       (p13_rate r.p13_rows r.p13_batch_ns)
       (p13_speedup r)
   in
+  let p14_json r =
+    Printf.sprintf
+      {|    {"clients": %d, "domains": %d, "stmts": %d, "stmts_per_sec": %.1f, "p50_latency_ms": %.3f, "p99_latency_ms": %.3f, "virtual_ms": %.2f, "requeues": %d, "shed": %d, "pool_hits": %d, "plan_hits": %d, "result_hits": %d}|}
+      r.p14_clients r.p14_domains r.p14_stmts r.p14_sps r.p14_p50_ms
+      r.p14_p99_ms r.p14_virt_ms r.p14_requeues r.p14_shed r.p14_pool_hits
+      r.p14_plan_hits r.p14_result_hits
+  in
   Printf.fprintf oc
     "{\n\
     \  \"p4_data_shipping\": [\n\
@@ -1218,6 +1438,9 @@ let write_perf_json ~path p4 p9 p10 p11 p12 p13 =
     \  ],\n\
     \  \"p13_batch\": [\n\
      %s\n\
+    \  ],\n\
+    \  \"p14_server\": [\n\
+     %s\n\
     \  ]\n\
      }\n"
     (String.concat ",\n" (List.map p4_json p4))
@@ -1226,7 +1449,8 @@ let write_perf_json ~path p4 p9 p10 p11 p12 p13 =
     p11_recommended p11_base.p11_phase_ms p11_serial_phase_est
     (String.concat ",\n" (List.map p11_json p11_rows))
     (String.concat ",\n" (List.map p12_json p12))
-    (String.concat ",\n" (List.map p13_json p13));
+    (String.concat ",\n" (List.map p13_json p13))
+    (String.concat ",\n" (List.map p14_json p14));
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
@@ -1543,7 +1767,10 @@ let () =
     (* full-size kernels even in smoke: the 3x acceptance gate is about
        the 10^6-row regime, not a scaled-down proxy *)
     let p13 = p13_batch_kernels ~move_rows:5_000 ~reps:2 () in
-    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11 p12 p13;
+    (* reduced P14: the serial-vs-concurrent equality gate is what the CI
+       domain matrix is after; the throughput grid shrinks with it *)
+    let p14 = p14_server ~rows:500 ~per_client:15 () in
+    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11 p12 p13 p14;
     write_metrics_json ~path:"BENCH_metrics.json";
     print_newline ()
   end
@@ -1564,7 +1791,8 @@ let () =
     p11_assert_smoke p11;
     let p12 = p12_parallel_join () in
     let p13 = p13_batch_kernels () in
-    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11 p12 p13;
+    let p14 = p14_server () in
+    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11 p12 p13 p14;
     write_metrics_json ~path:"BENCH_metrics.json";
     run_bechamel ();
     print_newline ()

@@ -12,23 +12,36 @@
 module F = Msql.Fixtures
 module M = Msql.Msession
 
+(* [true] when the statement succeeded; diagnostics go to stderr so a
+   script's data output stays clean and exit codes can reflect failure *)
 let process session ~translate ~stats world text =
   let text = String.trim text in
-  if text = "" then ()
+  if text = "" then true
   else if translate then
     match M.translate session text with
-    | Ok prog -> print_string (Narada.Dol_pp.program_to_string prog)
-    | Error m -> Printf.printf "error: %s\n" m
+    | Ok prog ->
+        print_string (Narada.Dol_pp.program_to_string prog);
+        true
+    | Error m ->
+        Printf.eprintf "error: %s\n%!" m;
+        false
   else begin
-    (match M.exec session text with
-    | Ok r -> print_endline (M.result_to_string r)
-    | Error m -> Printf.printf "error: %s\n" m);
+    let ok =
+      match M.exec session text with
+      | Ok r ->
+          print_endline (M.result_to_string r);
+          true
+      | Error m ->
+          Printf.eprintf "error: %s\n%!" m;
+          false
+    in
     if stats then begin
       let st = Netsim.World.stats world in
       Printf.printf "[net: %d messages, %d bytes, clock %.2f ms]\n"
         st.Netsim.World.messages st.Netsim.World.bytes_moved
         (Netsim.World.now_ms world)
-    end
+    end;
+    ok
   end
 
 let repl session ~translate ~stats world =
@@ -40,8 +53,8 @@ let repl session ~translate ~stats world =
     print_string (if Buffer.length buf = 0 then "msql> " else "  ... ");
     match read_line () with
     | exception End_of_file -> ()
-    | ";;" ->
-        process session ~translate ~stats world (Buffer.contents buf);
+    | line when String.trim line = ";;" ->
+        ignore (process session ~translate ~stats world (Buffer.contents buf));
         Buffer.clear buf;
         loop ()
     | line ->
@@ -59,7 +72,8 @@ let run_script session ~translate ~stats world path =
   if translate then
     match Msql.Mparser.parse_script text with
     | exception Msql.Mparser.Error (m, l, c) ->
-        Printf.printf "parse error at %d:%d: %s\n" l c m
+        Printf.eprintf "parse error at %d:%d: %s\n%!" l c m;
+        false
     | _ ->
         (* translate statement by statement is not possible from the parsed
            list without re-printing MSQL; run the whole script through the
@@ -74,8 +88,11 @@ let run_script session ~translate ~stats world path =
           Printf.printf "[net: %d messages, %d bytes, clock %.2f ms]\n"
             st.Netsim.World.messages st.Netsim.World.bytes_moved
             (Netsim.World.now_ms world)
-        end
-    | Error m -> Printf.printf "error: %s\n" m
+        end;
+        true
+    | Error m ->
+        Printf.eprintf "error: %s\n%!" m;
+        false
 
 let main script translate stats optimize trace verbose loss loss_seed =
   if verbose then begin
@@ -92,8 +109,12 @@ let main script translate stats optimize trace verbose loss loss_seed =
       loss_seed
   end;
   match script with
-  | Some path -> run_script session ~translate ~stats world path
-  | None -> repl session ~translate ~stats world
+  | Some path ->
+      (* a failed script run must be visible to the calling shell *)
+      if run_script session ~translate ~stats world path then 0 else 1
+  | None ->
+      repl session ~translate ~stats world;
+      0
 
 open Cmdliner
 
@@ -141,4 +162,4 @@ let cmd =
       const main $ script $ translate $ stats $ optimize $ trace $ verbose
       $ loss $ loss_seed)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -5,14 +5,29 @@ type t = {
       (* db key -> (table key -> (display name, schema)) *)
   cards : (string * string, int) Hashtbl.t;
       (* (db key, table key) -> row count observed at IMPORT time *)
+  id : int;
+      (* process-unique dictionary identity: caches shared between
+         dictionaries (the LDBMS compiled-predicate cache) fold it into
+         their keys so equal version numbers from different dictionaries
+         cannot collide *)
   mutable version : int;
       (* bumped on every mutation: the plan-cache invalidation epoch *)
 }
 
+let next_id =
+  let c = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add c 1 + 1
+
 let create () =
-  { schemas = Hashtbl.create 16; cards = Hashtbl.create 16; version = 0 }
+  {
+    schemas = Hashtbl.create 16;
+    cards = Hashtbl.create 16;
+    id = next_id ();
+    version = 0;
+  }
 
 let key = String.lowercase_ascii
+let id t = t.id
 let version t = t.version
 let bump t = t.version <- t.version + 1
 

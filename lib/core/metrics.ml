@@ -9,11 +9,36 @@ type cache_stats = {
   pool_hits : int;
   pool_misses : int;
   pool_discarded : int;
+  pool_conflicts : int;
   plan_hits : int;
   plan_misses : int;
   result_hits : int;
   result_misses : int;
 }
+
+let zero_cache_stats =
+  {
+    pool_hits = 0;
+    pool_misses = 0;
+    pool_discarded = 0;
+    pool_conflicts = 0;
+    plan_hits = 0;
+    plan_misses = 0;
+    result_hits = 0;
+    result_misses = 0;
+  }
+
+let add_cache_stats a b =
+  {
+    pool_hits = a.pool_hits + b.pool_hits;
+    pool_misses = a.pool_misses + b.pool_misses;
+    pool_discarded = a.pool_discarded + b.pool_discarded;
+    pool_conflicts = a.pool_conflicts + b.pool_conflicts;
+    plan_hits = a.plan_hits + b.plan_hits;
+    plan_misses = a.plan_misses + b.plan_misses;
+    result_hits = a.result_hits + b.result_hits;
+    result_misses = a.result_misses + b.result_misses;
+  }
 
 type t = {
   (* planning: phases 1-4 of the pipeline *)
@@ -87,6 +112,46 @@ let create () =
     par_partitions = 0;
     site_retries = Hashtbl.create 8;
   }
+
+(* fold [src] into [dst], counter by counter: the server aggregates its
+   member sessions' registries into one server-wide registry this way.
+   [dst] is usually a fresh registry, but accumulation works too. *)
+let add dst src =
+  dst.statements <- dst.statements + src.statements;
+  dst.plans_replicated <- dst.plans_replicated + src.plans_replicated;
+  dst.plans_global <- dst.plans_global + src.plans_global;
+  dst.plans_transfer <- dst.plans_transfer + src.plans_transfer;
+  dst.plans_mtx <- dst.plans_mtx + src.plans_mtx;
+  dst.subqueries_shipped <- dst.subqueries_shipped + src.subqueries_shipped;
+  dst.semijoins_applied <- dst.semijoins_applied + src.semijoins_applied;
+  dst.semijoins_declined <- dst.semijoins_declined + src.semijoins_declined;
+  dst.explains <- dst.explains + src.explains;
+  dst.engine_runs <- dst.engine_runs + src.engine_runs;
+  dst.engine_errors <- dst.engine_errors + src.engine_errors;
+  dst.engine_virtual_ms <- dst.engine_virtual_ms +. src.engine_virtual_ms;
+  dst.retries <- dst.retries + src.retries;
+  dst.decisions_commit <- dst.decisions_commit + src.decisions_commit;
+  dst.decisions_abort <- dst.decisions_abort + src.decisions_abort;
+  dst.recovered <- dst.recovered + src.recovered;
+  dst.in_doubt <- dst.in_doubt + src.in_doubt;
+  dst.vital_splits <- dst.vital_splits + src.vital_splits;
+  dst.snapshots <- dst.snapshots + src.snapshots;
+  dst.ww_conflicts <- dst.ww_conflicts + src.ww_conflicts;
+  dst.conflict_retries <- dst.conflict_retries + src.conflict_retries;
+  dst.conflict_aborts <- dst.conflict_aborts + src.conflict_aborts;
+  dst.moves <- dst.moves + src.moves;
+  dst.moved_rows <- dst.moved_rows + src.moved_rows;
+  dst.moved_bytes <- dst.moved_bytes + src.moved_bytes;
+  dst.moves_reduced <- dst.moves_reduced + src.moves_reduced;
+  dst.moves_cached <- dst.moves_cached + src.moves_cached;
+  dst.par_joins <- dst.par_joins + src.par_joins;
+  dst.par_filters <- dst.par_filters + src.par_filters;
+  dst.par_partitions <- dst.par_partitions + src.par_partitions;
+  Hashtbl.iter
+    (fun site n ->
+      Hashtbl.replace dst.site_retries site
+        (n + Option.value ~default:0 (Hashtbl.find_opt dst.site_retries site)))
+    src.site_retries
 
 let reset m =
   m.statements <- 0;
@@ -228,8 +293,11 @@ let to_json m ~world ~cache =
     m.par_joins m.par_filters m.par_partitions;
   addf "  },\n";
   addf "  \"caches\": {\n";
-  addf "    \"pool\": {\"hits\": %d, \"misses\": %d, \"discarded\": %d},\n"
-    cache.pool_hits cache.pool_misses cache.pool_discarded;
+  addf
+    "    \"pool\": {\"hits\": %d, \"misses\": %d, \"discarded\": %d, \
+     \"conflicts\": %d},\n"
+    cache.pool_hits cache.pool_misses cache.pool_discarded
+    cache.pool_conflicts;
   addf "    \"plan\": {\"hits\": %d, \"misses\": %d},\n" cache.plan_hits
     cache.plan_misses;
   addf "    \"result\": {\"hits\": %d, \"misses\": %d}\n" cache.result_hits

@@ -20,6 +20,9 @@ type cache_stats = {
   pool_hits : int;
   pool_misses : int;
   pool_discarded : int;
+  pool_conflicts : int;
+      (** checkouts refused because the service was at its connection cap
+          (only a server's shared capped pool produces these) *)
   plan_hits : int;
   plan_misses : int;
   result_hits : int;
@@ -28,6 +31,11 @@ type cache_stats = {
 (** Hit/miss counters of the session performance layer (connection pool,
     plan cache, shipped-result cache). Defined here so {!to_json} can
     embed them; re-exported by {!Msession.cache_stats}. *)
+
+val zero_cache_stats : cache_stats
+
+val add_cache_stats : cache_stats -> cache_stats -> cache_stats
+(** Field-wise sum — the server's aggregate view over its sessions. *)
 
 type t = {
   mutable statements : int;
@@ -71,6 +79,11 @@ type t = {
 
 val create : unit -> t
 val reset : t -> unit
+
+val add : t -> t -> unit
+(** [add dst src] folds every counter of [src] into [dst] (including the
+    per-site retry ledger). The server's aggregate registry is the [add]
+    of its member sessions' registries into a fresh one. *)
 
 val observe : t -> Narada.Trace.event -> unit
 (** Fold one typed trace event into the registry (retries, 2PC

@@ -31,6 +31,25 @@ type result =
     }
   | Info of string
 
+(* Cross-session cache block: one of these, shared by every session of a
+   server, makes the compiled-plan and shipped-result caches communal —
+   session A's planning warms session B. Guarded by its own mutex since
+   sessions may execute on different domains; the per-session hit/miss
+   counters stay in each session, so per-session accounting survives
+   sharing. *)
+type shared_caches = {
+  sc_m : Mutex.t;
+  sc_plans : (string, Plangen.plan) Hashtbl.t;
+  sc_results : (string * string * string, int * Sqlcore.Relation.t) Hashtbl.t;
+}
+
+let shared_caches () =
+  {
+    sc_m = Mutex.create ();
+    sc_plans = Hashtbl.create 64;
+    sc_results = Hashtbl.create 64;
+  }
+
 type t = {
   world : Netsim.World.t;
   directory : Narada.Directory.t;
@@ -50,8 +69,16 @@ type t = {
   mutable trigger_order : string list;  (* creation order, newest first *)
   mutable trigger_log : string list;  (* oldest first *)
   mutable firing_depth : int;  (* cascade guard *)
+  mutable trace_tag : string option;
+      (* stamped on every observed trace event (unless the event already
+         carries one); the server tags each member session so merged
+         event streams stay attributable *)
   (* --- session performance layer (all off by default) --- *)
   mutable pool : Narada.Pool.t option;  (* Some = pooling enabled *)
+  mutable pool_shared : bool;
+      (* the pool belongs to a server, not this session: never drain it *)
+  mutable shared : shared_caches option;
+      (* Some = plan/result lookups go to the communal tables *)
   mutable domains : int;
       (* > 1 -> eligible PARBEGIN blocks execute on that many domains *)
   mutable plan_cache_on : bool;
@@ -72,19 +99,23 @@ type cache_stats = Metrics.cache_stats = {
   pool_hits : int;
   pool_misses : int;
   pool_discarded : int;
+  pool_conflicts : int;
   plan_hits : int;
   plan_misses : int;
   result_hits : int;
   result_misses : int;
 }
 
-let create ?world ?directory () =
+let create ?world ?directory ?ad ?gdd () =
   {
     world = (match world with Some w -> w | None -> Netsim.World.create ());
     directory =
       (match directory with Some d -> d | None -> Narada.Directory.create ());
-    ad = Ad.create ();
-    gdd = Gdd.create ();
+    (* a server passes one AD/GDD pair to every member session: the
+       dictionaries are the shared global schema, and sharing them is
+       what makes cross-session plan/result cache keys comparable *)
+    ad = (match ad with Some a -> a | None -> Ad.create ());
+    gdd = (match gdd with Some g -> g | None -> Gdd.create ());
     scope = [];
     optimize = false;
     semijoin = true;
@@ -98,7 +129,10 @@ let create ?world ?directory () =
     trigger_order = [];
     trigger_log = [];
     firing_depth = 0;
+    trace_tag = None;
     pool = None;
+    pool_shared = false;
+    shared = None;
     domains =
       (* the CI matrix exercises domain execution across the whole suite
          by exporting MSQL_TEST_DOMAINS=n *)
@@ -134,10 +168,19 @@ let set_typed_trace t sink = t.typed_trace <- sink
 let metrics t = t.metrics
 
 (* every typed trace event — engine or pool — feeds the registry and is
-   then forwarded to the application's sink, if any *)
+   then forwarded to the application's sink, if any; a session tag is
+   stamped first so merged multi-session streams stay attributable *)
 let observe t ev =
+  let ev =
+    match t.trace_tag with
+    | Some tag -> Narada.Trace.with_tag tag ev
+    | None -> ev
+  in
   Metrics.observe t.metrics ev;
   match t.typed_trace with Some f -> f ev | None -> ()
+
+let set_trace_tag t tag = t.trace_tag <- tag
+let trace_tag t = t.trace_tag
 
 let set_retry_policy t p = t.retry <- p
 let last_engine_outcome t = t.last_outcome
@@ -150,13 +193,27 @@ let set_pooling t b =
   | true, None ->
       let p = Narada.Pool.create t.world in
       Narada.Pool.set_trace p (observe t);
+      t.pool_shared <- false;
       t.pool <- Some p
   | false, Some p ->
-      Narada.Pool.drain p;
+      (* a shared pool belongs to the server and holds other sessions'
+         parked connections: detach without draining *)
+      if not t.pool_shared then Narada.Pool.drain p;
+      t.pool_shared <- false;
       t.pool <- None
   | true, Some _ | false, None -> ()
 
 let pooling_enabled t = t.pool <> None
+
+let set_shared_pool t p =
+  (* the pool's trace sink stays whatever its owner installed — a
+     per-session sink would misattribute other sessions' stale-discard
+     events *)
+  (match t.pool with
+  | Some own when (not t.pool_shared) && own != p -> Narada.Pool.drain own
+  | _ -> ());
+  t.pool_shared <- true;
+  t.pool <- Some p
 
 let set_domains t n = t.domains <- max 1 n
 let domains t = t.domains
@@ -179,16 +236,42 @@ let set_result_cache t b =
 
 let result_cache_enabled t = t.result_cache_on
 
+let set_shared_caches t sc =
+  t.shared <- Some sc;
+  (* sharing implies caching: a member session with the layers off would
+     silently bypass the communal tables *)
+  t.plan_cache_on <- true;
+  t.result_cache_on <- true
+
+(* run [f] against the effective plan table — communal (locked) when the
+   session is attached to a server's shared block, private otherwise *)
+let with_plan_table t f =
+  match t.shared with
+  | Some sc ->
+      Mutex.lock sc.sc_m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock sc.sc_m) (fun () ->
+          f sc.sc_plans)
+  | None -> f t.plan_cache
+
+let with_result_table t f =
+  match t.shared with
+  | Some sc ->
+      Mutex.lock sc.sc_m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock sc.sc_m) (fun () ->
+          f sc.sc_results)
+  | None -> f t.result_cache
+
 let cache_stats t =
   let ps =
     match t.pool with
     | Some p -> Narada.Pool.stats p
-    | None -> { Narada.Pool.hits = 0; misses = 0; discarded = 0 }
+    | None -> { Narada.Pool.hits = 0; misses = 0; discarded = 0; conflicts = 0 }
   in
   {
     pool_hits = ps.Narada.Pool.hits;
     pool_misses = ps.Narada.Pool.misses;
     pool_discarded = ps.Narada.Pool.discarded;
+    pool_conflicts = ps.Narada.Pool.conflicts;
     plan_hits = t.plan_hits;
     plan_misses = t.plan_misses;
     result_hits = t.result_hits;
@@ -214,24 +297,25 @@ let move_cache t =
         Narada.Lam.tc_lookup =
           (fun ~src ~dst ~query ->
             let k = rc_key src dst query in
-            match Hashtbl.find_opt t.result_cache k with
-            | Some (epoch, rel) when epoch = dict_epoch t ->
-                t.result_hits <- t.result_hits + 1;
-                Some rel
-            | Some _ ->
-                (* stale dictionary epoch: drop and re-ship *)
-                Hashtbl.remove t.result_cache k;
-                t.result_misses <- t.result_misses + 1;
-                None
-            | None ->
-                t.result_misses <- t.result_misses + 1;
-                None);
+            with_result_table t (fun table ->
+                match Hashtbl.find_opt table k with
+                | Some (epoch, rel) when epoch = dict_epoch t ->
+                    t.result_hits <- t.result_hits + 1;
+                    Some rel
+                | Some _ ->
+                    (* stale dictionary epoch: drop and re-ship *)
+                    Hashtbl.remove table k;
+                    t.result_misses <- t.result_misses + 1;
+                    None
+                | None ->
+                    t.result_misses <- t.result_misses + 1;
+                    None));
         tc_store =
           (fun ~src ~dst ~query rel ->
-            if Hashtbl.length t.result_cache > 256 then
-              Hashtbl.reset t.result_cache;
-            Hashtbl.replace t.result_cache (rc_key src dst query)
-              (dict_epoch t, rel));
+            with_result_table t (fun table ->
+                if Hashtbl.length table > 256 then Hashtbl.reset table;
+                Hashtbl.replace table (rc_key src dst query)
+                  (dict_epoch t, rel)));
       }
 
 (* drop shipped results touching any of the written databases: a write to
@@ -239,17 +323,20 @@ let move_cache t =
    destination changes the semijoin key set the shipped query was reduced
    with (service names equal database names here) *)
 let invalidate_shipped t dbs =
-  if dbs <> [] && Hashtbl.length t.result_cache > 0 then begin
-    let canon = List.map String.lowercase_ascii dbs in
-    let doomed =
-      Hashtbl.fold
-        (fun ((src, dst, _) as k) _ acc ->
-          if List.exists (fun db -> db = src || db = dst) canon then k :: acc
-          else acc)
-        t.result_cache []
-    in
-    List.iter (Hashtbl.remove t.result_cache) doomed
-  end
+  if dbs <> [] then
+    with_result_table t (fun table ->
+        if Hashtbl.length table > 0 then begin
+          let canon = List.map String.lowercase_ascii dbs in
+          let doomed =
+            Hashtbl.fold
+              (fun ((src, dst, _) as k) _ acc ->
+                if List.exists (fun db -> db = src || db = dst) canon then
+                  k :: acc
+                else acc)
+              table []
+          in
+          List.iter (Hashtbl.remove table) doomed
+        end)
 
 (* start a stepped DOL engine run with the session's trace sink and retry
    policy; [note_outcome] folds the finished result into the metrics and
@@ -259,7 +346,7 @@ let engine_start t program =
      epoch before any local statement runs: an IMPORT/INCORPORATE bumps the
      epoch and clears compiled closures along with the shipped-result and
      plan caches *)
-  Ldbms.Exec.set_dict_epoch (dict_epoch t);
+  Ldbms.Exec.set_dict_epoch ~ident:(Gdd.id t.gdd) (dict_epoch t);
   t.metrics.Metrics.engine_runs <- t.metrics.Metrics.engine_runs + 1;
   let dpool =
     if t.domains > 1 then Some (Narada.Dpool.shared ~domains:t.domains)
@@ -523,23 +610,28 @@ let plan_of_query t (q : Ast.query) =
    planner flags.  A dictionary mutation bumps its version, so stale plans
    are never served; they are evicted wholesale when the table grows. *)
 let plan_key t (q : Ast.query) =
-  Printf.sprintf "%d|%d|%d|%b|%b|%s" (Gdd.version t.gdd) (Ad.version t.ad)
-    t.mdb_epoch t.optimize t.semijoin
+  (* the dictionary identity leads the key: when the plan table is shared
+     across sessions, only sessions over the same GDD instance may
+     exchange plans — equal version numbers from different dictionaries
+     must not collide *)
+  Printf.sprintf "%d|%d|%d|%d|%b|%b|%s" (Gdd.id t.gdd) (Gdd.version t.gdd)
+    (Ad.version t.ad) t.mdb_epoch t.optimize t.semijoin
     (Marshal.to_string q [])
 
 let plan_of_query_cached t (q : Ast.query) =
   if not t.plan_cache_on then plan_of_query t q
   else
     let k = plan_key t q in
-    match Hashtbl.find_opt t.plan_cache k with
+    match with_plan_table t (fun table -> Hashtbl.find_opt table k) with
     | Some plan ->
         t.plan_hits <- t.plan_hits + 1;
         plan
     | None ->
         let plan = plan_of_query t q in
         t.plan_misses <- t.plan_misses + 1;
-        if Hashtbl.length t.plan_cache > 128 then Hashtbl.reset t.plan_cache;
-        Hashtbl.replace t.plan_cache k plan;
+        with_plan_table t (fun table ->
+            if Hashtbl.length table > 128 then Hashtbl.reset table;
+            Hashtbl.replace table k plan);
         plan
 
 (* databases whose state a successful execution changed *)
@@ -693,7 +785,53 @@ type prepared = {
   p_session : t;
   p_stepper : Engine.stepper;
   p_interpret : Engine.outcome -> (result, string) Stdlib.result;
+  p_services : string list;
+      (* canonical service names the program OPENs — the statement's site
+         footprint, which the server's scheduler uses to decide which
+         statements may run concurrently *)
+  p_move_dsts : string list;
+      (* destinations of the program's MOVEs — the sites where it creates
+         shipped temp tables (msql_tmp_<k>, named per plan, not per
+         session), the only sites a retrieval writes to *)
 }
+
+(* services OPENed anywhere in the program, lowercased, deduplicated and
+   sorted; MOVEs and tasks act through aliases those OPENs bind, so the
+   OPEN set covers every site the statement touches *)
+let program_services (program : D.program) =
+  let acc = ref [] in
+  let rec stmt = function
+    | D.Open { service; _ } -> acc := String.lowercase_ascii service :: !acc
+    | D.Parallel body -> List.iter stmt body
+    | D.If (_, thens, elses) ->
+        List.iter stmt thens;
+        List.iter stmt elses
+    | D.Close _ | D.Task _ | D.Commit_tasks _ | D.Abort_tasks _ | D.Comp _
+    | D.Move _ | D.Set_status _ ->
+        ()
+  in
+  List.iter stmt program;
+  List.sort_uniq String.compare !acc
+
+(* MOVE destinations, lowercased, deduplicated and sorted *)
+let program_move_dsts (program : D.program) =
+  let acc = ref [] in
+  let rec stmt = function
+    | D.Move { dst; _ } -> acc := String.lowercase_ascii dst :: !acc
+    | D.Parallel body -> List.iter stmt body
+    | D.If (_, thens, elses) ->
+        List.iter stmt thens;
+        List.iter stmt elses
+    | D.Open _ | D.Close _ | D.Task _ | D.Commit_tasks _ | D.Abort_tasks _
+    | D.Comp _ | D.Set_status _ ->
+        ()
+  in
+  List.iter stmt program;
+  List.sort_uniq String.compare !acc
+
+let prepared_services p = p.p_services
+let prepared_move_dsts p = p.p_move_dsts
+let prepared_session p = p.p_session
 
 let prepare_text t text =
   match Mparser.parse_toplevel text with
@@ -709,6 +847,8 @@ let prepare_text t text =
               p_session = t;
               p_stepper = engine_start t plan.Plangen.program;
               p_interpret = interpret_query t q plan;
+              p_services = program_services plan.Plangen.program;
+              p_move_dsts = program_move_dsts plan.Plangen.program;
             })
   | Ast.Multitransaction mtx -> (
       t.metrics.Metrics.statements <- t.metrics.Metrics.statements + 1;
@@ -720,6 +860,8 @@ let prepare_text t text =
               p_session = t;
               p_stepper = engine_start t plan.Plangen.program;
               p_interpret = interpret_mtx t mtx expanded plan;
+              p_services = program_services plan.Plangen.program;
+              p_move_dsts = program_move_dsts plan.Plangen.program;
             })
   | Ast.Explain _ | Ast.Explain_multiple _ | Ast.Incorporate _ | Ast.Import _
   | Ast.Create_trigger _ | Ast.Drop_trigger _ | Ast.Create_multidatabase _

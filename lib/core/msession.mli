@@ -43,6 +43,7 @@ type cache_stats = Metrics.cache_stats = {
   pool_hits : int;  (** OPENs served by an idle pooled connection *)
   pool_misses : int;  (** OPENs that dialed *)
   pool_discarded : int;  (** pooled connections dropped as stale *)
+  pool_conflicts : int;  (** checkouts refused at the connection cap *)
   plan_hits : int;  (** statements served a memoized compiled plan *)
   plan_misses : int;  (** statements planned from scratch *)
   result_hits : int;  (** MOVEs served from the shipped-result cache *)
@@ -52,7 +53,17 @@ type cache_stats = Metrics.cache_stats = {
 type t
 
 val create :
-  ?world:Netsim.World.t -> ?directory:Narada.Directory.t -> unit -> t
+  ?world:Netsim.World.t ->
+  ?directory:Narada.Directory.t ->
+  ?ad:Ad.t ->
+  ?gdd:Gdd.t ->
+  unit ->
+  t
+(** A session over (by default) a fresh world, directory and dictionary
+    pair. A server passes one shared [?ad]/[?gdd] to every member
+    session — the dictionaries {e are} the shared global schema, and
+    sharing the instances is what makes cross-session cache keys (which
+    embed {!Gdd.id} and the version epochs) comparable. *)
 
 val world : t -> Netsim.World.t
 
@@ -113,6 +124,22 @@ val finish : prepared -> (result, string) Stdlib.result
 (** Drain remaining statements, run the epilogue and interpret the
     outcome. Idempotent at the engine level; interpret runs per call. *)
 
+val prepared_services : prepared -> string list
+(** The statement's site footprint: every service its DOL program OPENs
+    (lowercased, sorted, deduplicated — including OPENs nested in
+    PARBEGIN and IF arms). Statements with disjoint footprints touch
+    disjoint LDBMS instances, which is the server scheduler's condition
+    for running them concurrently. *)
+
+val prepared_move_dsts : prepared -> string list
+(** The services the program's MOVEs ship into — where it creates
+    temporary tables ([msql_tmp_<k>], named per plan, not per session).
+    Empty for single-database statements and replicated updates. The
+    server's serial scheduler refuses to interleave two statements whose
+    MOVE destinations intersect: their temp-table names would collide. *)
+
+val prepared_session : prepared -> t
+
 val set_trace : t -> (string -> unit) option -> unit
 (** Install an execution-trace sink: every DOL engine coordination event
     of subsequent queries is passed to it (see {!Narada.Engine.run}). *)
@@ -122,6 +149,16 @@ val set_typed_trace : t -> (Narada.Trace.event -> unit) option -> unit
     but as {!Narada.Trace.event} values (plus pool validation events),
     before rendering. Both sinks may be installed at once. The session's
     {!metrics} registry observes the stream regardless. *)
+
+val set_trace_tag : t -> string option -> unit
+(** Stamp every subsequently observed trace event with this tag (unless
+    the event already carries one) before it reaches the registry and
+    the typed sink. The server tags each member session with its session
+    id, so the merged multi-session event stream stays attributable.
+    {!Narada.Trace.render} ignores tags — the textual trace is
+    unchanged. *)
+
+val trace_tag : t -> string option
 
 val metrics : t -> Metrics.t
 (** The session's metrics registry: planning counters bumped by the
@@ -177,6 +214,35 @@ val set_pooling : t -> bool -> unit
     drains the pool. *)
 
 val pooling_enabled : t -> bool
+
+val set_shared_pool : t -> Narada.Pool.t -> unit
+(** Attach a pool owned by someone else (the server): OPEN/CLOSE check
+    out of and into it like {!set_pooling}, but the session never drains
+    it — other sessions' parked connections live there too — and the
+    pool's trace sink is left to its owner. A previously owned private
+    pool is drained first. *)
+
+(** {2 Cross-session sharing}
+
+    A server multiplexing many sessions over one federation shares three
+    things besides the world: the dictionaries (via {!create}'s
+    [?ad]/[?gdd]), the LAM connection pool ({!set_shared_pool}) and the
+    statement caches below. *)
+
+type shared_caches
+(** A communal compiled-plan + shipped-result cache block, mutex-guarded
+    so member sessions may execute on different domains. Epoch
+    invalidation is unchanged: keys embed {!Gdd.id} and the dictionary
+    versions, and shipped entries are stamped with the storing session's
+    dictionary epoch, so an IMPORT invalidates for every sharer at
+    once. *)
+
+val shared_caches : unit -> shared_caches
+
+val set_shared_caches : t -> shared_caches -> unit
+(** Attach the session to a communal cache block and enable both cache
+    layers. Per-session hit/miss counters keep counting locally, so
+    {!cache_stats} still reports each session's own traffic. *)
 
 val set_domains : t -> int -> unit
 (** Execute eligible PARBEGIN blocks of engine programs on [n] OCaml

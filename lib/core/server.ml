@@ -1,0 +1,512 @@
+(* Concurrent multi-session MSQL server.
+
+   One server owns a federation (a world + directory) and multiplexes N
+   member sessions over it. The member sessions share everything the
+   single-session design kept private: the dictionary pair (so plan and
+   predicate cache keys are comparable across sessions), one capped LAM
+   connection pool, and one communal compiled-plan + shipped-result
+   cache block. The scheduler is a synchronous wave loop: each round
+   admits at most one statement per session in connect order, then
+   partitions the wave into batches of mutually-safe statements and
+   executes each batch. With domains <= 1 a batch is interleaved at
+   DOL-statement granularity on the calling domain (deterministic,
+   matches Interleave's round-robin); the only interleaving hazard is
+   the shipped MOVE temp tables (msql_tmp_<k>, named per plan, not per
+   session), so statements shipping into a common site never share a
+   batch. With domains > 1 a batch runs on a Taskpool under
+   virtual-clock frames; there the LDBMS itself is not safe for
+   same-site concurrency, so batches demand fully disjoint site
+   footprints.
+
+   A statement that loses a race for a capped connection fails with the
+   pool's busy marker; the scheduler detects it on the session's typed
+   trace, verifies the failure left no site effects behind (retrieval
+   error, fully-aborted update, fully-undone multitransaction) and
+   requeues the statement at the front of its session's queue, bounded
+   by [max_requeues]. *)
+
+type config = {
+  max_sessions : int;
+  max_queue : int;
+  max_requeues : int;
+  pool_cap : int option;
+  domains : int;
+}
+
+let env_domains () =
+  match Sys.getenv_opt "MSQL_TEST_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 1 -> n
+      | _ -> 1)
+  | None -> 1
+
+let default_config () =
+  {
+    max_sessions = 64;
+    max_queue = 16;
+    max_requeues = 8;
+    pool_cap = None;
+    domains = env_domains ();
+  }
+
+type error = Overloaded of string | Unknown_session of int
+
+let error_message = function
+  | Overloaded m -> Printf.sprintf "overloaded: %s" m
+  | Unknown_session sid -> Printf.sprintf "unknown session %d" sid
+
+type completion = {
+  c_sid : int;
+  c_seq : int;
+  c_sql : string;
+  c_result : (Msession.result, string) result;
+  c_requeues : int;
+}
+
+type stats = {
+  mutable connects : int;
+  mutable rejected : int;
+  mutable submitted : int;
+  mutable shed : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable requeues : int;
+  mutable rounds : int;
+  mutable parallel_batches : int;
+}
+
+type pending = { q_seq : int; q_sql : string; mutable q_requeues : int }
+
+type entry = {
+  e_sid : int;
+  e_session : Msession.t;
+  e_queue : pending Queue.t;
+  mutable e_next_seq : int;
+  mutable e_busy : bool;
+      (* a pool-cap conflict was traced during the statement in flight *)
+}
+
+type t = {
+  world : Netsim.World.t;
+  directory : Narada.Directory.t;
+  ad : Ad.t;
+  gdd : Gdd.t;
+  pool : Narada.Pool.t;
+  caches : Msession.shared_caches;
+  config : config;
+  sessions : (int, entry) Hashtbl.t;
+  mutable ring : int list;  (* live session ids in connect order *)
+  mutable next_sid : int;
+  sstats : stats;
+  retired_metrics : Metrics.t;  (* folded in at disconnect *)
+  mutable retired_cache : Metrics.cache_stats;
+  mutable on_trace : (Narada.Trace.event -> unit) option;
+}
+
+let make ~config ~world ~directory ~ad ~gdd =
+  let pool = Narada.Pool.create world in
+  Narada.Pool.set_cap pool config.pool_cap;
+  {
+    world;
+    directory;
+    ad;
+    gdd;
+    pool;
+    caches = Msession.shared_caches ();
+    config;
+    sessions = Hashtbl.create 16;
+    ring = [];
+    next_sid = 0;
+    sstats =
+      {
+        connects = 0;
+        rejected = 0;
+        submitted = 0;
+        shed = 0;
+        completed = 0;
+        failed = 0;
+        requeues = 0;
+        rounds = 0;
+        parallel_batches = 0;
+      };
+    retired_metrics = Metrics.create ();
+    retired_cache = Metrics.zero_cache_stats;
+    on_trace = None;
+  }
+
+let create ?config ~world ~directory ~services () =
+  let config =
+    match config with Some c -> c | None -> default_config ()
+  in
+  let ad = Ad.create () and gdd = Gdd.create () in
+  let admin = Msession.create ~world ~directory ~ad ~gdd () in
+  let rec setup = function
+    | [] -> Ok ()
+    | svc :: rest -> (
+        match Msession.incorporate_auto admin ~service:svc with
+        | Error m -> Error (Printf.sprintf "incorporate %s: %s" svc m)
+        | Ok () -> (
+            match Msession.import_all admin ~service:svc with
+            | Error m -> Error (Printf.sprintf "import %s: %s" svc m)
+            | Ok () -> setup rest))
+  in
+  match setup services with
+  | Error _ as e -> e
+  | Ok () -> Ok (make ~config ~world ~directory ~ad ~gdd)
+
+let of_fixtures ?config fx =
+  let config =
+    match config with Some c -> c | None -> default_config ()
+  in
+  (* the fixture session already INCORPORATEd and IMPORTed everything;
+     sharing its dictionaries shares that work with every member *)
+  make ~config ~world:fx.Fixtures.world ~directory:fx.Fixtures.directory
+    ~ad:(Msession.ad fx.Fixtures.session)
+    ~gdd:(Msession.gdd fx.Fixtures.session)
+
+let world t = t.world
+let pool t = t.pool
+let stats t = t.sstats
+let set_trace t f = t.on_trace <- f
+let live_sessions t = Hashtbl.length t.sessions
+let session t sid =
+  Option.map (fun e -> e.e_session) (Hashtbl.find_opt t.sessions sid)
+
+let connect t =
+  if Hashtbl.length t.sessions >= t.config.max_sessions then begin
+    t.sstats.rejected <- t.sstats.rejected + 1;
+    Error
+      (Overloaded
+         (Printf.sprintf "session table full (%d live sessions)"
+            (Hashtbl.length t.sessions)))
+  end
+  else begin
+    t.next_sid <- t.next_sid + 1;
+    let sid = t.next_sid in
+    let s =
+      Msession.create ~world:t.world ~directory:t.directory ~ad:t.ad
+        ~gdd:t.gdd ()
+    in
+    Msession.set_shared_caches s t.caches;
+    Msession.set_shared_pool s t.pool;
+    Msession.set_trace_tag s (Some (Printf.sprintf "s%d" sid));
+    (* member statements may themselves be scheduled onto the shared
+       Taskpool (domains > 1); a job must never submit to its own pool,
+       so member engines keep PARBEGIN on their calling domain *)
+    Msession.set_domains s 1;
+    let e =
+      { e_sid = sid; e_session = s; e_queue = Queue.create ();
+        e_next_seq = 0; e_busy = false }
+    in
+    Msession.set_typed_trace s
+      (Some
+         (fun ev ->
+           (match ev.Narada.Trace.kind with
+           | Narada.Trace.Open_failed { reason; _ }
+             when Narada.Pool.is_busy_message reason ->
+               e.e_busy <- true
+           | _ -> ());
+           match t.on_trace with Some f -> f ev | None -> ()));
+    Hashtbl.replace t.sessions sid e;
+    t.ring <- t.ring @ [ sid ];
+    t.sstats.connects <- t.sstats.connects + 1;
+    Ok sid
+  end
+
+let strip_pool cs =
+  {
+    cs with
+    Metrics.pool_hits = 0;
+    pool_misses = 0;
+    pool_discarded = 0;
+    pool_conflicts = 0;
+  }
+
+let disconnect t sid =
+  match Hashtbl.find_opt t.sessions sid with
+  | None -> Error (Unknown_session sid)
+  | Some e ->
+      Metrics.add t.retired_metrics (Msession.metrics e.e_session);
+      t.retired_cache <-
+        Metrics.add_cache_stats t.retired_cache
+          (strip_pool (Msession.cache_stats e.e_session));
+      Hashtbl.remove t.sessions sid;
+      t.ring <- List.filter (fun s -> s <> sid) t.ring;
+      Ok ()
+
+let submit t sid sql =
+  match Hashtbl.find_opt t.sessions sid with
+  | None -> Error (Unknown_session sid)
+  | Some e ->
+      if Queue.length e.e_queue >= t.config.max_queue then begin
+        t.sstats.shed <- t.sstats.shed + 1;
+        Error
+          (Overloaded
+             (Printf.sprintf "session %d queue full (%d statements deep)"
+                sid (Queue.length e.e_queue)))
+      end
+      else begin
+        e.e_next_seq <- e.e_next_seq + 1;
+        let seq = e.e_next_seq in
+        Queue.add { q_seq = seq; q_sql = sql; q_requeues = 0 } e.e_queue;
+        t.sstats.submitted <- t.sstats.submitted + 1;
+        Ok seq
+      end
+
+let queued t =
+  Hashtbl.fold (fun _ e acc -> acc + Queue.length e.e_queue) t.sessions 0
+
+(* ---- the wave scheduler ---- *)
+
+type wave_item = {
+  w_entry : entry;
+  w_pending : pending;
+  w_prep : Msession.prepared;
+  w_services : string list;
+  w_move_dsts : string list;
+  mutable w_result : (Msession.result, string) result option;
+  mutable w_finish : float;
+}
+
+let push_front q x =
+  let tmp = Queue.create () in
+  Queue.add x tmp;
+  Queue.transfer q tmp;
+  Queue.transfer tmp q
+
+(* a busy-conflict statement is only worth replaying when it provably
+   left no effects at the sites behind *)
+let retriable = function
+  | Error _ -> true  (* planning/retrieval error: nothing committed *)
+  | Ok (Msession.Multitable _) ->
+      (* retrieval has no site effects — and a busy OPEN means a branch
+         of the answer silently went missing, so the "success" is a hole *)
+      true
+  | Ok (Msession.Update_report { outcome = Msession.Aborted; _ }) -> true
+  | Ok (Msession.Mtx_report { chosen = None; incorrect = false; _ }) -> true
+  | Ok _ -> false
+
+let run_to_end prep =
+  try
+    while Msession.step prep do () done;
+    Msession.finish prep
+  with exn -> Error (Printexc.to_string exn)
+
+(* deterministic round-robin at DOL-statement granularity, epilogues in
+   wave order — exactly Interleave.Round_robin over the wave *)
+let run_serial wave =
+  let slots = List.map (fun it -> (it, ref true)) wave in
+  let rec go () =
+    let stepped =
+      List.fold_left
+        (fun acc (it, alive) ->
+          if !alive then
+            if Msession.step it.w_prep then true
+            else begin
+              alive := false;
+              acc
+            end
+          else acc)
+        false slots
+    in
+    if stepped then go ()
+  in
+  go ();
+  List.iter
+    (fun (it, _) ->
+      it.w_result <-
+        Some (try Msession.finish it.w_prep
+              with exn -> Error (Printexc.to_string exn)))
+    slots
+
+let disjoint a b = List.for_all (fun s -> not (List.mem s b)) a
+
+(* greedy first-fit partition into batches of statements whose [key]
+   footprints are pairwise disjoint, preserving wave order within and
+   across batches *)
+let partition_by key wave =
+  let batches =
+    List.fold_left
+      (fun batches it ->
+        let rec place = function
+          | [] -> [ (ref [ it ], ref (key it)) ]
+          | (items, svcs) :: rest ->
+              if disjoint (key it) !svcs then begin
+                items := it :: !items;
+                svcs := key it @ !svcs;
+                (items, svcs) :: rest
+              end
+              else (items, svcs) :: place rest
+        in
+        place batches)
+      [] wave
+  in
+  List.map (fun (items, _) -> List.rev !items) batches
+
+(* parallel batches demand fully disjoint site footprints: the LDBMS is
+   not safe for same-site concurrency on separate domains *)
+let partition_batches wave = partition_by (fun it -> it.w_services) wave
+
+(* serial interleaving only conflicts through the shipped MOVE temp
+   tables (msql_tmp_<k>, named per plan, not per session): statements
+   shipping into a common site would collide on the temp name, so they
+   never share an interleaved group. Everything else — including two
+   single-site statements racing for a capped connection — interleaves
+   freely *)
+let partition_serial wave = partition_by (fun it -> it.w_move_dsts) wave
+
+let run_batch t batch =
+  match batch with
+  | [ it ] -> it.w_result <- Some (run_to_end it.w_prep)
+  | items ->
+      t.sstats.parallel_batches <- t.sstats.parallel_batches + 1;
+      let tpool = Sqlcore.Taskpool.shared ~domains:t.config.domains in
+      let start_ms = Netsim.World.now_ms t.world in
+      let jobs =
+        List.map
+          (fun it () ->
+            let r, fin =
+              Netsim.World.in_frame t.world ~start_ms (fun () ->
+                  run_to_end it.w_prep)
+            in
+            it.w_result <- Some r;
+            it.w_finish <- fin)
+          items
+      in
+      Sqlcore.Taskpool.run_all tpool jobs;
+      (* concurrent statements overlap in virtual time: the wave costs
+         the slowest statement, not the sum *)
+      let maxf =
+        List.fold_left (fun m it -> Float.max m it.w_finish) start_ms items
+      in
+      Netsim.World.advance_ms t.world (maxf -. start_ms)
+
+let step_round t =
+  let completions = ref [] in
+  let emit c = completions := c :: !completions in
+  let wave =
+    List.filter_map
+      (fun sid ->
+        match Hashtbl.find_opt t.sessions sid with
+        | None -> None
+        | Some e ->
+            if Queue.is_empty e.e_queue then None
+            else begin
+              let p = Queue.pop e.e_queue in
+              e.e_busy <- false;
+              match Msession.prepare_text e.e_session p.q_sql with
+              | Error m ->
+                  t.sstats.failed <- t.sstats.failed + 1;
+                  emit
+                    {
+                      c_sid = e.e_sid;
+                      c_seq = p.q_seq;
+                      c_sql = p.q_sql;
+                      c_result = Error m;
+                      c_requeues = p.q_requeues;
+                    };
+                  None
+              | Ok prep ->
+                  Some
+                    {
+                      w_entry = e;
+                      w_pending = p;
+                      w_prep = prep;
+                      w_services = Msession.prepared_services prep;
+                      w_move_dsts = Msession.prepared_move_dsts prep;
+                      w_result = None;
+                      w_finish = 0.;
+                    }
+            end)
+      t.ring
+  in
+  if wave <> [] then begin
+    t.sstats.rounds <- t.sstats.rounds + 1;
+    if t.config.domains > 1 then
+      List.iter (run_batch t) (partition_batches wave)
+    else List.iter run_serial (partition_serial wave);
+    List.iter
+      (fun it ->
+        let e = it.w_entry and p = it.w_pending in
+        let r =
+          match it.w_result with
+          | Some r -> r
+          | None -> Error "server: statement never ran"
+        in
+        let still_open = Hashtbl.mem t.sessions e.e_sid in
+        if
+          e.e_busy && retriable r
+          && p.q_requeues < t.config.max_requeues
+          && still_open
+        then begin
+          (* lost a race for a capped connection; the holder has released
+             by now, so replay ahead of the session's later statements *)
+          p.q_requeues <- p.q_requeues + 1;
+          t.sstats.requeues <- t.sstats.requeues + 1;
+          push_front e.e_queue p
+        end
+        else begin
+          (match r with
+          | Ok _ -> t.sstats.completed <- t.sstats.completed + 1
+          | Error _ -> t.sstats.failed <- t.sstats.failed + 1);
+          emit
+            {
+              c_sid = e.e_sid;
+              c_seq = p.q_seq;
+              c_sql = p.q_sql;
+              c_result = r;
+              c_requeues = p.q_requeues;
+            }
+        end)
+      wave
+  end;
+  List.rev !completions
+
+let drain t =
+  let acc = ref [] in
+  while queued t > 0 do
+    acc := !acc @ step_round t
+  done;
+  !acc
+
+(* ---- aggregate observability ---- *)
+
+let cache_stats t =
+  let per_session =
+    Hashtbl.fold
+      (fun _ e acc ->
+        Metrics.add_cache_stats acc
+          (strip_pool (Msession.cache_stats e.e_session)))
+      t.sessions t.retired_cache
+  in
+  (* every member session reports the one shared pool, so its counters
+     are folded in exactly once, at the server level *)
+  let ps = Narada.Pool.stats t.pool in
+  {
+    per_session with
+    Metrics.pool_hits = ps.Narada.Pool.hits;
+    pool_misses = ps.Narada.Pool.misses;
+    pool_discarded = ps.Narada.Pool.discarded;
+    pool_conflicts = ps.Narada.Pool.conflicts;
+  }
+
+let metrics t =
+  let agg = Metrics.create () in
+  Metrics.add agg t.retired_metrics;
+  Hashtbl.iter
+    (fun _ e -> Metrics.add agg (Msession.metrics e.e_session))
+    t.sessions;
+  agg
+
+let metrics_json t =
+  Metrics.to_json (metrics t) ~world:t.world ~cache:(cache_stats t)
+
+let stats_json t =
+  let s = t.sstats in
+  Printf.sprintf
+    "{\"connects\": %d, \"rejected\": %d, \"submitted\": %d, \"shed\": %d, \
+     \"completed\": %d, \"failed\": %d, \"requeues\": %d, \"rounds\": %d, \
+     \"parallel_batches\": %d, \"live_sessions\": %d}"
+    s.connects s.rejected s.submitted s.shed s.completed s.failed s.requeues
+    s.rounds s.parallel_batches (Hashtbl.length t.sessions)

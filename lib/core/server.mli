@@ -1,0 +1,146 @@
+(** Concurrent multi-session MSQL server core.
+
+    One server owns a federation (world + Narada directory) and
+    multiplexes many {!Msession}s over it, sharing what the
+    single-session design kept private:
+
+    - the {!Ad}/{!Gdd} dictionary pair, so compiled-plan and
+      compiled-predicate cache keys are comparable across sessions;
+    - one LAM connection {!Narada.Pool} with an optional per-service
+      connection cap — the member database's resource limit;
+    - one communal compiled-plan + shipped-result cache block
+      ({!Msession.shared_caches}).
+
+    Scheduling is a synchronous {e wave} loop ({!step_round}): each
+    round admits at most one statement per session in connect order —
+    per-session fairness at statement granularity — then partitions the
+    wave into batches of mutually-safe statements and executes each
+    batch. With [domains <= 1] a batch is interleaved at DOL-statement
+    granularity on the calling domain, deterministically (the
+    {!Interleave} round-robin); the only interleaving hazard is the
+    shipped MOVE temp tables (named per plan, not per session — see
+    {!Msession.prepared_move_dsts}), so statements shipping into a
+    common site never share a batch. With [domains > 1] a batch runs on
+    a {!Sqlcore.Taskpool} under virtual-clock frames — concurrent
+    statements overlap in virtual time (the batch costs its slowest
+    statement) — and since the LDBMS is not safe for same-site
+    concurrency, parallel batches demand fully disjoint site
+    footprints.
+
+    A statement that loses a race for a capped connection fails with the
+    pool's busy marker ({!Narada.Pool.is_busy_message}); the scheduler
+    observes it on the session's typed trace and — provided the
+    statement left no site effects behind (any retrieval, a fully
+    aborted update, a fully undone multitransaction) — requeues it at
+    the front of its session's queue, at most [max_requeues] times. *)
+
+type config = {
+  max_sessions : int;  (** admission: connect beyond this is refused *)
+  max_queue : int;  (** per-session queue depth: submit beyond is shed *)
+  max_requeues : int;  (** busy-conflict replays per statement *)
+  pool_cap : int option;
+      (** per-service connection cap on the shared pool ({!Narada.Pool.set_cap}) *)
+  domains : int;  (** wave execution width; [<= 1] is serial *)
+}
+
+val default_config : unit -> config
+(** 64 sessions, queue depth 16, 8 requeues, no cap; [domains] from the
+    [MSQL_TEST_DOMAINS] environment variable (default 1). *)
+
+(** Typed overload/addressing errors — the admission-control surface. *)
+type error =
+  | Overloaded of string
+      (** session table full (connect) or queue full (submit) — the
+          caller should back off and retry later *)
+  | Unknown_session of int
+
+val error_message : error -> string
+
+type completion = {
+  c_sid : int;
+  c_seq : int;  (** per-session statement sequence from {!submit} *)
+  c_sql : string;
+  c_result : (Msession.result, string) result;
+  c_requeues : int;  (** busy-conflict replays this statement took *)
+}
+
+type stats = {
+  mutable connects : int;
+  mutable rejected : int;  (** connects refused at the session cap *)
+  mutable submitted : int;
+  mutable shed : int;  (** submits refused at the queue cap *)
+  mutable completed : int;
+  mutable failed : int;
+  mutable requeues : int;
+  mutable rounds : int;
+  mutable parallel_batches : int;  (** batches run on the Taskpool *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  world:Netsim.World.t ->
+  directory:Narada.Directory.t ->
+  services:string list ->
+  unit ->
+  (t, string) result
+(** A server over an existing federation: builds a fresh dictionary
+    pair, INCORPORATEs and IMPORTs every listed service into it, then
+    shares it with every member session. *)
+
+val of_fixtures : ?config:config -> Fixtures.t -> t
+(** A server over a {!Fixtures} federation, sharing the fixture
+    session's already-populated dictionaries. *)
+
+val connect : t -> (int, error) result
+(** Admit a session: a fresh {!Msession} sharing the server's world,
+    dictionaries, pool and caches, trace-tagged ["s<id>"]. Fails
+    [Overloaded] when the session table is full. *)
+
+val disconnect : t -> int -> (unit, error) result
+(** Retire a session. Its metrics are folded into the server aggregate;
+    statements still queued are dropped. *)
+
+val submit : t -> int -> string -> (int, error) result
+(** Enqueue one MSQL statement; returns its per-session sequence
+    number. Fails [Overloaded] when the session's queue is at
+    [max_queue] — queue-depth shedding. *)
+
+val step_round : t -> completion list
+(** Run one scheduler round: up to one statement per session, in
+    connect order. Returns the completions the round produced (requeued
+    statements produce none yet), in wave order. Empty when nothing was
+    queued. *)
+
+val drain : t -> completion list
+(** {!step_round} until every queue is empty. Terminates because
+    requeues are bounded. *)
+
+val queued : t -> int
+(** Statements currently queued across all sessions. *)
+
+val live_sessions : t -> int
+
+val session : t -> int -> Msession.t option
+(** The member session behind an id (for assertions in tests). *)
+
+val world : t -> Netsim.World.t
+val pool : t -> Narada.Pool.t
+val stats : t -> stats
+
+val set_trace : t -> (Narada.Trace.event -> unit) option -> unit
+(** Observe the merged typed trace stream of every member session; each
+    event's [tag] carries the originating session ("s<id>"). *)
+
+val cache_stats : t -> Metrics.cache_stats
+(** Aggregate cache counters: plan/result hits summed over member
+    sessions (live and retired), pool counters read once from the
+    shared pool. *)
+
+val metrics : t -> Metrics.t
+(** A fresh registry folding every member session's counters (live and
+    retired). *)
+
+val metrics_json : t -> string
+val stats_json : t -> string

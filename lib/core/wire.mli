@@ -1,0 +1,32 @@
+(** Newline-framed text protocol over {!Server}, transport-free.
+
+    One logical client connection speaks lines; the daemon moves them
+    over a socket, the tests call {!on_line} directly. Requests:
+
+    - [HELLO] — admit a session; replies [HELLO <sid>], or
+      [ERROR overloaded: ...] when the session table is full.
+    - [STMT <sql>] — enqueue one statement ([<sql>] may carry escaped
+      newlines). No immediate reply on success — the answer arrives
+      later as a {!completion_line} ([RESULT <seq> <payload>] or
+      [ERROR <seq> <msg>]), in per-session submission order. A shed
+      statement replies [ERROR overloaded: ...] immediately.
+    - [BYE] — retire the session; replies [BYE].
+
+    Payloads are escaped ([\n] → [\\n], [\\] → [\\\\]) so every reply is
+    exactly one line. *)
+
+type conn
+
+val create : Server.t -> conn
+val sid : conn -> int option
+
+val on_line : conn -> string -> string list
+(** Handle one request line; returns the immediate reply lines (empty
+    for an accepted [STMT], whose reply is asynchronous). *)
+
+val completion_line : Server.completion -> string
+(** Render an asynchronous completion as its reply line:
+    [RESULT <seq> <escaped result>] or [ERROR <seq> <escaped msg>]. *)
+
+val escape : string -> string
+val unescape : string -> string

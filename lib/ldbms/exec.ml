@@ -331,30 +331,48 @@ let maybe_parallel_join ?note a b ~keys =
 (* ---- compiled-predicate cache -------------------------------------------
 
    WHERE predicates and projection expressions are compiled once per
-   statement ({!Compile.compile_row}) and memoized here, keyed by the
+   statement ({!Compile.compile_row}) and memoized here. The key is the
    marshalled (expression, input schema) pair — the schema is part of the
-   key because column indices are baked into the closure. The cache is
-   additionally pinned to the caller-supplied dictionary epoch
-   ({!set_dict_epoch}): a bumped epoch (any GDD/AD version change, e.g. a
-   simulated local ALTER) clears every compiled entry, mirroring the
-   multidatabase layer's compiled-plan cache. Local DDL clears it too.
+   key because column indices are baked into the closure — prefixed with
+   the caller's dictionary {e identity} and {e epoch} ({!set_dict_epoch}).
+   Folding both into the key (instead of pinning the table to one global
+   epoch scalar and resetting on change) means two sessions with
+   different dictionaries interleaving statements cannot thrash each
+   other's compiled entries, and equal epoch numbers from different
+   dictionaries cannot collide. A bumped epoch still invalidates: the old
+   epoch's keys stop being looked up and are pruned eagerly, so the table
+   never accumulates dead generations. Local DDL clears everything —
+   an index/table/view change can invalidate any captured closure.
    Sessions at different sites execute on different domains, so the table
    is lock-guarded; the payoff of a hit is per-statement, not per-row, so
    the lock is far off the hot loop. *)
 
-let compiled_cache : (string, (Row.t -> Value.t) option) Hashtbl.t =
+type compiled_key = { ck_ident : int; ck_epoch : int; ck_expr : string }
+
+let compiled_cache : (compiled_key, (Row.t -> Value.t) option) Hashtbl.t =
   Hashtbl.create 64
 
 let compiled_m = Mutex.create ()
 let compiled_hits = ref 0
 let compiled_misses = ref 0
+let compiled_ident = ref 0
 let compiled_epoch = ref min_int
 
-let set_dict_epoch e =
+let set_dict_epoch ?(ident = 0) e =
   Mutex.lock compiled_m;
-  if e <> !compiled_epoch then begin
-    compiled_epoch := e;
-    Hashtbl.reset compiled_cache
+  if ident <> !compiled_ident || e <> !compiled_epoch then begin
+    (* this dictionary moved to a new epoch: its older-generation entries
+       can never be hit again, drop them; entries of other dictionaries
+       (different ident) are untouched *)
+    let doomed =
+      Hashtbl.fold
+        (fun k _ acc ->
+          if k.ck_ident = ident && k.ck_epoch <> e then k :: acc else acc)
+        compiled_cache []
+    in
+    List.iter (Hashtbl.remove compiled_cache) doomed;
+    compiled_ident := ident;
+    compiled_epoch := e
   end;
   Mutex.unlock compiled_m
 
@@ -370,8 +388,14 @@ let compiled_cache_stats () =
   r
 
 let compile_cached schema expr =
-  let key = Marshal.to_string (expr, schema) [] in
   Mutex.lock compiled_m;
+  let key =
+    {
+      ck_ident = !compiled_ident;
+      ck_epoch = !compiled_epoch;
+      ck_expr = Marshal.to_string (expr, schema) [];
+    }
+  in
   let f =
     match Hashtbl.find_opt compiled_cache key with
     | Some f ->

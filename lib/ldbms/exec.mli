@@ -48,12 +48,17 @@ val set_parallel_exec :
 
 val parallel_exec_enabled : unit -> bool
 
-val set_dict_epoch : int -> unit
-(** Pin the compiled-predicate cache to a dictionary epoch (the
-    multidatabase layer passes the sum of its GDD/AD versions before
-    executing local statements). A changed epoch clears every compiled
-    entry, exactly as it invalidates the compiled-plan and shipped-result
-    caches one layer up. *)
+val set_dict_epoch : ?ident:int -> int -> unit
+(** Declare the calling dictionary's identity and epoch for subsequent
+    local statements: both are folded into the compiled-predicate cache
+    key (the multidatabase layer passes its {!Msql.Gdd.id} and the sum of
+    its GDD/AD versions before executing local statements; [ident]
+    defaults to [0] for bare LDBMS sessions). A changed epoch therefore
+    invalidates by construction — old-generation keys stop matching and
+    are pruned — without clearing entries that belong to {e other}
+    dictionaries, so sessions with different dictionary versions
+    interleaving statements no longer thrash the whole cache, and equal
+    epoch numbers from different dictionaries cannot collide. *)
 
 val compiled_cache_stats : unit -> int * int * int
 (** [(hits, misses, live_entries)] of the compiled-predicate/projection

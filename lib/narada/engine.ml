@@ -85,7 +85,7 @@ let akey = String.lowercase_ascii
    byte-identical across pool widths while buffering only happens at
    width >= 2. *)
 
-let dummy_event = { Trace.at_ms = 0.0; kind = Trace.Dolstatus 0 }
+let dummy_event = { Trace.at_ms = 0.0; kind = Trace.Dolstatus 0; tag = None }
 
 type branch_buf = {
   mutable bevents : Trace.event array;
@@ -187,7 +187,8 @@ let tell_ev st ev =
   | Some b -> push_event b ev
   | None -> deliver st ev
 
-let tell st kind = tell_ev st { Trace.at_ms = World.now_ms st.world; kind }
+let tell st kind =
+  tell_ev st { Trace.at_ms = World.now_ms st.world; kind; tag = None }
 
 let emit st fmt = Printf.ksprintf (fun m -> tell st (Trace.Note m)) fmt
 
@@ -415,6 +416,7 @@ let exec_move st ~mname ~src ~dst ~dest_table ~query ~reduce =
                   bytes = c.Lam.ck_bytes;
                   window = c.Lam.ck_window;
                 };
+            tag = None;
           }
       in
       match

@@ -41,7 +41,7 @@ let install_observer t =
                   Trace.Parallel
                     { site = s; op; partitions; build_rows; probe_rows }
             in
-            sink { Trace.at_ms = World.now_ms t.world; kind }))
+            sink { Trace.at_ms = World.now_ms t.world; kind; tag = None }))
 
 type failure =
   | Local of string

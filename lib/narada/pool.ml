@@ -4,6 +4,7 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable discarded : int;
+  mutable conflicts : int;
 }
 
 type entry = {
@@ -14,8 +15,16 @@ type entry = {
 type t = {
   world : World.t;
   conns : (string, entry list) Hashtbl.t;  (* service key -> idle stack *)
+  in_use : (string, int) Hashtbl.t;  (* service key -> checked out *)
+  mutable cap : int option;  (* per-service checkout ceiling *)
   pstats : stats;
   mutable on_trace : Trace.event -> unit;
+  m : Mutex.t;
+      (* one pool may serve many sessions stepping on separate domains;
+         every entry point locks, so idle stacks and the in-use ledger
+         never race. Lam dials happen under the lock — connection setup
+         is cheap in virtual time, and a lock-free dial would let two
+         sessions both slip past the cap. *)
 }
 
 let key = String.lowercase_ascii
@@ -24,17 +33,52 @@ let create world =
   {
     world;
     conns = Hashtbl.create 8;
-    pstats = { hits = 0; misses = 0; discarded = 0 };
+    in_use = Hashtbl.create 8;
+    cap = None;
+    pstats = { hits = 0; misses = 0; discarded = 0; conflicts = 0 };
     on_trace = ignore;
+    m = Mutex.create ();
   }
 
 let set_trace t sink = t.on_trace <- sink
 
-let tell t kind = t.on_trace { Trace.at_ms = World.now_ms t.world; kind }
+let set_cap t n =
+  t.cap <- (match n with Some n when n >= 1 -> Some n | _ -> None)
+
+let cap t = t.cap
+
+let tell t kind =
+  t.on_trace { Trace.at_ms = World.now_ms t.world; kind; tag = None }
 
 let stats t = t.pstats
 
-let size t = Hashtbl.fold (fun _ es acc -> acc + List.length es) t.conns 0
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let size t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ es acc -> acc + List.length es) t.conns 0)
+
+let checked_out_unlocked t k =
+  Option.value ~default:0 (Hashtbl.find_opt t.in_use k)
+
+let checked_out t svc = locked t (fun () -> checked_out_unlocked t (key svc))
+
+(* The marker a capped-out checkout carries; the server's scheduler
+   recognizes it in [Trace.Open_failed] reasons and requeues the
+   statement instead of reporting the failure to the client. *)
+let busy_tag = "(pool busy)"
+
+let busy_message svc =
+  Printf.sprintf "connection cap reached at %s %s" svc busy_tag
+
+let is_busy_message m =
+  (* substring search: the engine wraps the failure text on its way into
+     Open_failed reasons *)
+  let n = String.length busy_tag and l = String.length m in
+  let rec go i = i + n <= l && (String.sub m i n = busy_tag || go (i + 1)) in
+  go 0
 
 (* A stale connection is one whose transport broke while it idled: the
    real LDBMS notices the broken session and aborts its orphaned {e
@@ -54,52 +98,70 @@ let healthy t e =
   && Ldbms.Session.txn_state (Lam.session e.lam) = None
 
 let checkout ?retry ?on_retry ?on_trace t (svc : Service.t) =
-  let k = key svc.Service.service_name in
-  let rec pick () =
-    match Hashtbl.find_opt t.conns k with
-    | Some (e :: rest) ->
-        Hashtbl.replace t.conns k rest;
-        if healthy t e then begin
-          t.pstats.hits <- t.pstats.hits + 1;
-          Ok (Lam.with_policy ?retry ?on_retry ?on_trace e.lam)
-        end
-        else begin
-          t.pstats.discarded <- t.pstats.discarded + 1;
-          tell t
-            (Trace.Pool_stale
-               {
-                 service = svc.Service.service_name;
-                 site = Lam.site e.lam;
-               });
-          abandon e.lam;
-          pick ()
-        end
-    | Some [] | None ->
-        t.pstats.misses <- t.pstats.misses + 1;
-        Lam.connect ?retry ?on_retry ?on_trace t.world svc
-  in
-  pick ()
+  locked t (fun () ->
+      let k = key svc.Service.service_name in
+      (* the cap bounds live connections per service across every session
+         sharing the pool; a capped-out checkout fails immediately with a
+         transient failure — retrying in place cannot succeed while the
+         holder's statement is still running under the same schedule, so
+         the caller (the server's scheduler) retries the whole statement
+         after the holder has checked its connection back in *)
+      match t.cap with
+      | Some cap when checked_out_unlocked t k >= cap ->
+          t.pstats.conflicts <- t.pstats.conflicts + 1;
+          Error (Lam.Network (busy_message svc.Service.service_name))
+      | Some _ | None ->
+          let rec pick () =
+            match Hashtbl.find_opt t.conns k with
+            | Some (e :: rest) ->
+                Hashtbl.replace t.conns k rest;
+                if healthy t e then begin
+                  t.pstats.hits <- t.pstats.hits + 1;
+                  Ok (Lam.with_policy ?retry ?on_retry ?on_trace e.lam)
+                end
+                else begin
+                  t.pstats.discarded <- t.pstats.discarded + 1;
+                  tell t
+                    (Trace.Pool_stale
+                       {
+                         service = svc.Service.service_name;
+                         site = Lam.site e.lam;
+                       });
+                  abandon e.lam;
+                  pick ()
+                end
+            | Some [] | None ->
+                t.pstats.misses <- t.pstats.misses + 1;
+                Lam.connect ?retry ?on_retry ?on_trace t.world svc
+          in
+          let r = pick () in
+          (match r with
+          | Ok _ -> Hashtbl.replace t.in_use k (checked_out_unlocked t k + 1)
+          | Error _ -> ());
+          r)
 
 let checkin t lam =
-  let usable =
-    (not (World.is_down t.world (Lam.site lam)))
-    && Ldbms.Session.txn_state (Lam.session lam) = None
-  in
-  if usable then begin
-    let k = key (Lam.service lam).Service.service_name in
-    let prev = Option.value ~default:[] (Hashtbl.find_opt t.conns k) in
-    Hashtbl.replace t.conns k
-      ({ lam; since_ms = World.now_ms t.world } :: prev)
-  end
-  else
-    (* an unreachable site or an open transaction disqualifies the
-       session from reuse; Lam.disconnect applies the proper farewell
-       semantics (abort active, preserve prepared, skip the goodbye when
-       the site is down) *)
-    Lam.disconnect lam
+  locked t (fun () ->
+      let k = key (Lam.service lam).Service.service_name in
+      Hashtbl.replace t.in_use k (max 0 (checked_out_unlocked t k - 1));
+      let usable =
+        (not (World.is_down t.world (Lam.site lam)))
+        && Ldbms.Session.txn_state (Lam.session lam) = None
+      in
+      if usable then
+        let prev = Option.value ~default:[] (Hashtbl.find_opt t.conns k) in
+        Hashtbl.replace t.conns k
+          ({ lam; since_ms = World.now_ms t.world } :: prev)
+      else
+        (* an unreachable site or an open transaction disqualifies the
+           session from reuse; Lam.disconnect applies the proper farewell
+           semantics (abort active, preserve prepared, skip the goodbye when
+           the site is down) *)
+        Lam.disconnect lam)
 
 let drain t =
-  Hashtbl.iter
-    (fun _ es -> List.iter (fun e -> Lam.disconnect e.lam) es)
-    t.conns;
-  Hashtbl.reset t.conns
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun _ es -> List.iter (fun e -> Lam.disconnect e.lam) es)
+        t.conns;
+      Hashtbl.reset t.conns)

@@ -16,7 +16,17 @@
     recovered), and the session must hold no transaction. Stale
     connections are discarded (their orphaned active transaction rolled
     back, as the LDBMS does autonomously when a session dies) and a fresh
-    connection is dialed transparently. *)
+    connection is dialed transparently.
+
+    A pool may be shared by many sessions (the MSQL server checks every
+    session's OPENs out of one pool): all entry points are serialized by
+    an internal mutex, and an optional per-service {!set_cap} bounds how
+    many connections to one service can be live at once across all
+    sharers — the resource limit of the member database. A capped-out
+    checkout fails with a {e transient} failure carrying a recognizable
+    marker ({!is_busy_message}); the server's scheduler requeues the
+    whole statement and retries it after the holder's statement has
+    released its connection. *)
 
 type t
 
@@ -24,6 +34,8 @@ type stats = {
   mutable hits : int;  (** checkouts served by an idle pooled connection *)
   mutable misses : int;  (** checkouts that had to dial *)
   mutable discarded : int;  (** idle connections dropped as stale *)
+  mutable conflicts : int;
+      (** checkouts refused because the service was at its cap *)
 }
 
 val create : Netsim.World.t -> t
@@ -33,10 +45,27 @@ val set_trace : t -> (Trace.event -> unit) -> unit
     connections ({!Trace.Pool_stale}) through it. Replaces any previous
     sink. *)
 
+val set_cap : t -> int option -> unit
+(** Bound concurrent checkouts per service ([None] — the default — is
+    unlimited; values below 1 clear the cap). With a cap of [n], the
+    [n+1]-th simultaneous checkout of the same service returns a
+    transient [Lam.Network] failure whose text satisfies
+    {!is_busy_message}. *)
+
+val cap : t -> int option
+
+val checked_out : t -> string -> int
+(** Connections to the named service currently checked out. *)
+
 val stats : t -> stats
 
 val size : t -> int
 (** Idle connections currently parked. *)
+
+val is_busy_message : string -> bool
+(** Whether a failure (or [Trace.Open_failed] reason) text carries the
+    cap-conflict marker — the signal that the statement merely raced
+    another session for a capped connection and is worth retrying. *)
 
 val checkout :
   ?retry:Retry_policy.t ->
@@ -48,12 +77,14 @@ val checkout :
 (** An idle healthy connection to the service if one is parked (rebound
     to the given retry policy and observers), else a fresh
     {!Lam.connect}. Stale parked connections encountered on the way are
-    discarded and counted. *)
+    discarded and counted. With a cap set and the service fully checked
+    out, fails fast instead (see {!set_cap}). *)
 
 val checkin : t -> Lam.t -> unit
 (** Park the connection for reuse. Refused — with full
     {!Lam.disconnect} semantics instead — when the site is currently
-    down or the session still holds a transaction. *)
+    down or the session still holds a transaction. Either way the
+    connection leaves the in-use ledger. *)
 
 val drain : t -> unit
 (** Disconnect and forget every idle connection. *)

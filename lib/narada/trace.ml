@@ -55,7 +55,10 @@ type kind =
   | Dolstatus of int
   | Note of string
 
-type event = { at_ms : float; kind : kind }
+type event = { at_ms : float; kind : kind; tag : string option }
+
+let make ?tag ~at_ms kind = { at_ms; kind; tag }
+let with_tag tag ev = if ev.tag = None then { ev with tag = Some tag } else ev
 
 let verdict_to_string = function Commit -> "COMMIT" | Abort -> "ABORT"
 

@@ -90,7 +90,22 @@ type kind =
       (** Free-form diagnostics that have no structured shape (recovery
           narration, split settlement, ...). *)
 
-type event = { at_ms : float; kind : kind }
+type event = {
+  at_ms : float;
+  kind : kind;
+  tag : string option;
+      (** Attribution label, e.g. the server's session id. [None] for
+          every event emitted by a bare session — the field exists so a
+          multi-session consumer (the MSQL server) can stamp each event
+          with the session that produced it before the streams merge.
+          {!render} ignores it, keeping the historical text stable. *)
+}
+
+val make : ?tag:string -> at_ms:float -> kind -> event
+
+val with_tag : string -> event -> event
+(** Stamp the tag unless one is already present (first writer wins: an
+    event attributed by an inner layer keeps its attribution). *)
 
 val verdict_to_string : verdict -> string
 val status_of_verdict : verdict -> Dol_ast.status

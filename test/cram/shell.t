@@ -87,3 +87,25 @@ national's rented vehicle once avis prices exceed 100):
   | 13    | available |
   +-------+-----------+
 
+
+Errors are diagnostics: they go to stderr and a failing --script run exits
+nonzero (the shell used to print them to stdout and always exit 0):
+
+  $ ../../bin/msql_shell.exe --script bad.msql
+  error: query is not pertinent for any database in its scope
+  [1]
+
+The REPL statement terminator tolerates surrounding whitespace (a `;;`
+line with trailing blanks used to be buffered into the statement):
+
+  $ printf 'USE avis\nSELECT code FROM cars WHERE cartype = %s\n;;  \n' "'sedan'" | ../../bin/msql_shell.exe
+  MSQL shell — demo federation: continental delta united avis national
+  End a statement with `;;` on its own line; ctrl-d quits.
+  msql>   ...   ... -- avis --
+  +------+
+  | code |
+  +------+
+  | 1    |
+  | 4    |
+  +------+
+  msql> 

@@ -120,6 +120,49 @@ let test_epoch_bump_drops_shipped_results () =
   Alcotest.(check bool) "stale entry dropped and reshipped" true
     (cs.M.result_misses > misses_before)
 
+(* compiled-cache keys carry the dictionary identity, so two sessions
+   pinning different dictionaries (a multi-session server) no longer
+   thrash each other's entries: pinning B's epoch leaves A's warm *)
+let test_two_dictionaries_do_not_thrash () =
+  let mk name rows =
+    let db = Ldbms.Database.create name in
+    Ldbms.Database.load db ~name:"crates"
+      [ col "cid" Ty.Int; col ~width:8 "dock" Ty.Str ]
+      (List.init rows (fun k ->
+           [| i k; s (Printf.sprintf "dock%d" (k mod 4)) |]));
+    Ldbms.Session.connect db Ldbms.Capabilities.ingres_like
+  in
+  let sa = mk "wa" 30 and sb = mk "wb" 30 in
+  let qa = "SELECT cid FROM crates WHERE dock = 'dock1'" in
+  let qb = "SELECT cid FROM crates WHERE dock = 'dock2'" in
+  let run sess q =
+    match Ldbms.Session.exec_sql sess q with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail m
+  in
+  (* dictionary A (ident 1) populates under its epoch *)
+  Exec.set_dict_epoch ~ident:1 1;
+  run sa qa;
+  let _, _, size_a = Exec.compiled_cache_stats () in
+  Alcotest.(check bool) "A populated" true (size_a > 0);
+  (* dictionary B (ident 2) pins a different epoch: A's entries survive *)
+  Exec.set_dict_epoch ~ident:2 7;
+  run sb qb;
+  let _, _, size_ab = Exec.compiled_cache_stats () in
+  Alcotest.(check bool) "B added, A kept" true (size_ab > size_a);
+  (* A pins its (unchanged) epoch again: still warm, nothing recompiled *)
+  Exec.set_dict_epoch ~ident:1 1;
+  let hits_before, misses_before, _ = Exec.compiled_cache_stats () in
+  run sa qa;
+  let hits_after, misses_after, _ = Exec.compiled_cache_stats () in
+  Alcotest.(check int) "A recompiled nothing" misses_before misses_after;
+  Alcotest.(check bool) "A hit its warm entry" true (hits_after > hits_before);
+  (* A's own epoch moves: only A's entries go, B's stay *)
+  Exec.set_dict_epoch ~ident:1 2;
+  let _, _, size_after = Exec.compiled_cache_stats () in
+  Alcotest.(check bool) "only A's entries dropped" true
+    (size_after < size_ab && size_after > 0)
+
 (* local DDL must flush the compiled cache immediately — a dropped or
    added index/table/view can change what a cached closure captured *)
 let test_local_ddl_flushes_compiled_cache () =
@@ -151,6 +194,8 @@ let () =
             test_epoch_bump_resets_compiled_cache;
           Alcotest.test_case "bump drops shipped results" `Quick
             test_epoch_bump_drops_shipped_results;
+          Alcotest.test_case "two dictionaries do not thrash" `Quick
+            test_two_dictionaries_do_not_thrash;
         ] );
       ( "local DDL",
         [

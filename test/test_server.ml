@@ -1,0 +1,365 @@
+(* The concurrent multi-session server: wire protocol round trips,
+   admission control and queue shedding, round-robin fairness, the
+   server-vs-Interleave and serial-vs-parallel differentials, shared
+   plan/result cache accounting across sessions, and capped-pool
+   conflict requeues. *)
+
+module F = Msql.Fixtures
+module M = Msql.Msession
+module S = Msql.Server
+module W = Msql.Wire
+module I = Msql.Interleave
+
+let contains = Astring_contains.contains
+
+let config ?(max_sessions = 64) ?(max_queue = 16) ?(max_requeues = 8)
+    ?pool_cap ?(domains = 1) () =
+  { S.max_sessions; max_queue; max_requeues; pool_cap; domains }
+
+let ok_result = function
+  | Ok r -> r
+  | Error m -> Alcotest.fail ("unexpected statement error: " ^ m)
+
+let connect_exn srv =
+  match S.connect srv with
+  | Ok sid -> sid
+  | Error e -> Alcotest.fail (S.error_message e)
+
+let submit_exn srv sid sql =
+  match S.submit srv sid sql with
+  | Ok seq -> seq
+  | Error e -> Alcotest.fail (S.error_message e)
+
+(* ---- wire protocol ---------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let srv = S.of_fixtures ~config:(config ()) (F.make ()) in
+  let c = W.create srv in
+  (match W.on_line c "STMT USE avis SELECT code FROM cars" with
+  | [ reply ] ->
+      Alcotest.(check bool) "STMT before HELLO refused" true
+        (contains reply "ERROR protocol")
+  | _ -> Alcotest.fail "expected one protocol error line");
+  (match W.on_line c "HELLO" with
+  | [ "HELLO 1" ] -> ()
+  | other -> Alcotest.fail (String.concat "|" other));
+  Alcotest.(check (option int)) "sid bound" (Some 1) (W.sid c);
+  Alcotest.(check (list string))
+    "accepted STMT replies asynchronously" []
+    (W.on_line c "STMT USE avis SELECT code FROM cars WHERE cartype = 'sedan'");
+  (match S.drain srv with
+  | [ comp ] ->
+      let line = W.completion_line comp in
+      Alcotest.(check bool) "RESULT line" true
+        (String.length line > 9 && String.sub line 0 9 = "RESULT 1 ");
+      Alcotest.(check bool) "single line" true
+        (not (String.contains line '\n'));
+      let payload =
+        W.unescape (String.sub line 9 (String.length line - 9))
+      in
+      Alcotest.(check bool) "table came back" true (contains payload "code")
+  | comps ->
+      Alcotest.fail (Printf.sprintf "expected 1 completion, got %d"
+                       (List.length comps)));
+  (match W.on_line c "NOPE" with
+  | [ reply ] ->
+      Alcotest.(check bool) "unknown command" true
+        (contains reply "ERROR protocol")
+  | _ -> Alcotest.fail "expected one error line");
+  (match W.on_line c "BYE" with
+  | [ "BYE" ] -> ()
+  | other -> Alcotest.fail (String.concat "|" other));
+  Alcotest.(check (option int)) "sid released" None (W.sid c);
+  Alcotest.(check int) "session retired" 0 (S.live_sessions srv)
+
+let test_wire_escaping () =
+  let samples = [ "a\nb"; "back\\slash"; "\\n"; ""; "plain" ] in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("roundtrip " ^ String.escaped s) s
+        (W.unescape (W.escape s));
+      Alcotest.(check bool) "escaped is one line" true
+        (not (String.contains (W.escape s) '\n')))
+    samples
+
+(* ---- admission control and shedding ----------------------------------- *)
+
+let test_admission_and_shedding () =
+  let srv =
+    S.of_fixtures ~config:(config ~max_sessions:2 ~max_queue:2 ()) (F.make ())
+  in
+  let s1 = connect_exn srv in
+  let _s2 = connect_exn srv in
+  (match S.connect srv with
+  | Error (S.Overloaded m) ->
+      Alcotest.(check bool) "says why" true (contains m "session table full")
+  | Ok _ | Error _ -> Alcotest.fail "third connect must be shed");
+  let q = "USE avis SELECT code FROM cars" in
+  ignore (submit_exn srv s1 q);
+  ignore (submit_exn srv s1 q);
+  (match S.submit srv s1 q with
+  | Error (S.Overloaded m) ->
+      Alcotest.(check bool) "says why" true (contains m "queue full")
+  | Ok _ | Error _ -> Alcotest.fail "third submit must be shed");
+  (match S.submit srv 99 q with
+  | Error (S.Unknown_session 99) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "unknown sid must be typed");
+  let st = S.stats srv in
+  Alcotest.(check int) "rejected counted" 1 st.S.rejected;
+  Alcotest.(check int) "shed counted" 1 st.S.shed;
+  (* the queue drains and capacity comes back *)
+  let comps = S.drain srv in
+  Alcotest.(check int) "both queued statements ran" 2 (List.length comps);
+  match S.submit srv s1 q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (S.error_message e)
+
+(* ---- fairness --------------------------------------------------------- *)
+
+let test_round_robin_fairness () =
+  let srv = S.of_fixtures ~config:(config ()) (F.make ()) in
+  let sids = List.init 3 (fun _ -> connect_exn srv) in
+  (* every session enqueues two statements up front *)
+  List.iter
+    (fun sid ->
+      ignore (submit_exn srv sid "USE avis SELECT code FROM cars");
+      ignore (submit_exn srv sid "USE national SELECT vcode FROM vehicle"))
+    sids;
+  let round1 = S.step_round srv in
+  Alcotest.(check (list int)) "one statement per session, connect order"
+    sids
+    (List.map (fun c -> c.S.c_sid) round1);
+  Alcotest.(check (list int)) "all first statements" [ 1; 1; 1 ]
+    (List.map (fun c -> c.S.c_seq) round1);
+  let round2 = S.step_round srv in
+  Alcotest.(check (list int)) "second statements next round" [ 2; 2; 2 ]
+    (List.map (fun c -> c.S.c_seq) round2);
+  List.iter (fun c -> ignore (ok_result c.S.c_result)) (round1 @ round2);
+  Alcotest.(check int) "queues empty" 0 (S.queued srv)
+
+(* ---- differentials ---------------------------------------------------- *)
+
+(* each client k owns airline<k>; the workload is disjoint by design,
+   which is what the scheduler needs to run it concurrently *)
+let client_sql k =
+  [
+    Printf.sprintf
+      "USE airline%d UPDATE flights SET rate = rate * 2 WHERE source = \
+       'Houston'"
+      k;
+    Printf.sprintf
+      "USE airline%d SELECT flnu, rate FROM flights WHERE destination = \
+       'Denver'"
+      k;
+  ]
+
+let fleet_scans fx n =
+  List.init n (fun i ->
+      Sqlcore.Relation.to_string
+        (F.scan fx ~db:(Printf.sprintf "airline%d" (i + 1)) ~table:"flights"))
+
+(* the server's serial wave schedule must be exactly Interleave's
+   round-robin: same results, same final state *)
+let test_server_matches_interleave () =
+  let n = 3 in
+  let via_server () =
+    let fx = F.airline_fleet ~flights_per_db:20 ~n () in
+    let srv = S.of_fixtures ~config:(config ~domains:1 ()) fx in
+    let sids = List.init n (fun _ -> connect_exn srv) in
+    List.iteri
+      (fun i sid -> List.iter (fun q -> ignore (submit_exn srv sid q))
+          (client_sql (i + 1)))
+      sids;
+    let comps = S.drain srv in
+    let results =
+      List.map
+        (fun c -> M.result_to_string (ok_result c.S.c_result))
+        (List.sort
+           (fun a b ->
+             compare (a.S.c_sid, a.S.c_seq) (b.S.c_sid, b.S.c_seq))
+           comps)
+    in
+    (results, fleet_scans fx n)
+  in
+  let via_interleave () =
+    let fx = F.airline_fleet ~flights_per_db:20 ~n () in
+    let base = fx.F.session in
+    (* configure the baseline sessions exactly like server members:
+       shared dictionaries, one shared pool, one communal cache block *)
+    let pool = Narada.Pool.create fx.F.world in
+    let sc = M.shared_caches () in
+    let sessions =
+      List.init n (fun _ ->
+          let s =
+            M.create ~world:fx.F.world ~directory:fx.F.directory
+              ~ad:(M.ad base) ~gdd:(M.gdd base) ()
+          in
+          M.set_shared_caches s sc;
+          M.set_shared_pool s pool;
+          M.set_domains s 1;
+          s)
+    in
+    (* one wave per statement rank, like the server's rounds *)
+    let results = ref [] in
+    for rank = 0 to 1 do
+      let participants =
+        List.mapi
+          (fun i session ->
+            { I.label = Printf.sprintf "s%d" (i + 1);
+              session;
+              sql = List.nth (client_sql (i + 1)) rank })
+          sessions
+      in
+      let outcome = I.run ~schedule:I.Round_robin participants in
+      results :=
+        !results
+        @ List.map
+            (fun (label, r) -> (label, rank, M.result_to_string (ok_result r)))
+            outcome
+    done;
+    let sorted =
+      List.sort compare !results |> List.map (fun (_, _, r) -> r)
+    in
+    (sorted, fleet_scans fx n)
+  in
+  let server_results, server_state = via_server () in
+  let inter_results, inter_state = via_interleave () in
+  Alcotest.(check (list string)) "same results" inter_results server_results;
+  Alcotest.(check (list string)) "same final state" inter_state server_state
+
+(* independent sessions executed concurrently (domains > 1, Taskpool
+   waves under clock frames) must leave the same state as the serial
+   schedule *)
+let test_parallel_matches_serial () =
+  let n = 4 in
+  let run ~domains =
+    let fx = F.airline_fleet ~flights_per_db:20 ~n () in
+    let srv = S.of_fixtures ~config:(config ~domains ()) fx in
+    let sids = List.init n (fun _ -> connect_exn srv) in
+    List.iteri
+      (fun i sid -> List.iter (fun q -> ignore (submit_exn srv sid q))
+          (client_sql (i + 1)))
+      sids;
+    let comps = S.drain srv in
+    List.iter (fun c -> ignore (ok_result c.S.c_result)) comps;
+    (fleet_scans fx n, S.stats srv)
+  in
+  let serial_state, _ = run ~domains:1 in
+  let par_state, par_stats = run ~domains:4 in
+  Alcotest.(check (list string)) "state identical" serial_state par_state;
+  Alcotest.(check bool) "waves actually ran on the pool" true
+    (par_stats.S.parallel_batches > 0)
+
+(* ---- cross-session cache sharing -------------------------------------- *)
+
+let test_shared_cache_accounting () =
+  let srv = S.of_fixtures ~config:(config ()) (F.make ()) in
+  let s1 = connect_exn srv in
+  let s2 = connect_exn srv in
+  (* a cross-database join ships subqueries between sites, which is what
+     the shipped-result cache memoizes *)
+  let q =
+    "USE avis national SELECT c.code, v.vcode FROM avis.cars c, \
+     national.vehicle v WHERE c.cartype = v.vty"
+  in
+  ignore (submit_exn srv s1 q);
+  List.iter (fun c -> ignore (ok_result c.S.c_result)) (S.drain srv);
+  ignore (submit_exn srv s2 q);
+  List.iter (fun c -> ignore (ok_result c.S.c_result)) (S.drain srv);
+  let cs1 = M.cache_stats (Option.get (S.session srv s1)) in
+  let cs2 = M.cache_stats (Option.get (S.session srv s2)) in
+  Alcotest.(check int) "first sharer planned" 1 cs1.M.plan_misses;
+  Alcotest.(check int) "second sharer reused the plan" 1 cs2.M.plan_hits;
+  Alcotest.(check int) "second sharer planned nothing" 0 cs2.M.plan_misses;
+  Alcotest.(check bool) "first sharer shipped" true (cs1.M.result_misses > 0);
+  Alcotest.(check bool) "second sharer moved zero bytes" true
+    (cs2.M.result_hits > 0 && cs2.M.result_misses = 0);
+  let agg = S.cache_stats srv in
+  Alcotest.(check int) "aggregate folds both sessions"
+    (cs1.M.plan_hits + cs2.M.plan_hits) agg.M.plan_hits;
+  (* pool counters come from the one shared pool, folded exactly once *)
+  let ps = Narada.Pool.stats (S.pool srv) in
+  Alcotest.(check int) "pool counted once" ps.Narada.Pool.hits
+    agg.M.pool_hits
+
+let test_shared_cache_epoch_invalidation () =
+  let srv = S.of_fixtures ~config:(config ()) (F.make ()) in
+  let s1 = connect_exn srv in
+  let s2 = connect_exn srv in
+  let q = "USE avis SELECT code FROM cars" in
+  ignore (submit_exn srv s1 q);
+  List.iter (fun c -> ignore (ok_result c.S.c_result)) (S.drain srv);
+  (* a dictionary change through any sharer bumps the shared epoch *)
+  (match
+     M.exec (Option.get (S.session srv s1)) "IMPORT DATABASE avis FROM SERVICE avis"
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  ignore (submit_exn srv s2 q);
+  List.iter (fun c -> ignore (ok_result c.S.c_result)) (S.drain srv);
+  let cs2 = M.cache_stats (Option.get (S.session srv s2)) in
+  Alcotest.(check int) "stale shared plan not served" 0 cs2.M.plan_hits;
+  Alcotest.(check int) "replanned under the new epoch" 1 cs2.M.plan_misses
+
+(* ---- capped pool: conflict, requeue, completion ----------------------- *)
+
+let test_pool_conflict_requeue () =
+  let srv =
+    S.of_fixtures ~config:(config ~pool_cap:1 ~domains:1 ()) (F.make ())
+  in
+  let s1 = connect_exn srv in
+  let s2 = connect_exn srv in
+  (* same service: under the serial interleaving both OPEN continental in
+     the same wave, and the cap of one forces the second to lose *)
+  let q = "USE continental SELECT flnu FROM flights" in
+  ignore (submit_exn srv s1 q);
+  ignore (submit_exn srv s2 q);
+  let comps = S.drain srv in
+  Alcotest.(check int) "both statements completed" 2 (List.length comps);
+  List.iter (fun c -> ignore (ok_result c.S.c_result)) comps;
+  let st = S.stats srv in
+  Alcotest.(check bool) "the loser was requeued" true (st.S.requeues > 0);
+  let loser = List.find (fun c -> c.S.c_sid = s2) comps in
+  Alcotest.(check bool) "its completion says so" true
+    (loser.S.c_requeues > 0);
+  let ps = Narada.Pool.stats (S.pool srv) in
+  Alcotest.(check bool) "conflict counted" true (ps.Narada.Pool.conflicts > 0);
+  Alcotest.(check int) "aggregate sees it" ps.Narada.Pool.conflicts
+    (S.cache_stats srv).M.pool_conflicts;
+  (* every checkout was balanced by a checkin: nothing left in use *)
+  Alcotest.(check int) "ledger empty" 0
+    (Narada.Pool.checked_out (S.pool srv) "continental");
+  ignore s1
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "protocol round trip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "payload escaping" `Quick test_wire_escaping;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "session cap and queue shedding" `Quick
+            test_admission_and_shedding;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "round-robin fairness" `Quick
+            test_round_robin_fairness;
+          Alcotest.test_case "server matches Interleave" `Quick
+            test_server_matches_interleave;
+          Alcotest.test_case "parallel waves match serial state" `Quick
+            test_parallel_matches_serial;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "shared plan/result caches account per session"
+            `Quick test_shared_cache_accounting;
+          Alcotest.test_case "shared epoch invalidation" `Quick
+            test_shared_cache_epoch_invalidation;
+          Alcotest.test_case "capped pool conflict requeues" `Quick
+            test_pool_conflict_requeue;
+        ] );
+    ]
