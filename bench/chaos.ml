@@ -162,9 +162,11 @@ let steps_to_block t sql =
   match M.translate t sql with
   | Error m -> failwith m
   | Ok prog ->
+      let has_task ms = List.exists (function D.Task _ -> true | _ -> false) ms in
       let rec idx k = function
-        | [] -> failwith "no parallel block"
-        | D.Parallel _ :: _ -> k + 1
+        | [] -> failwith "no parallel task block"
+        | D.Parallel ms :: _ when has_task ms -> k + 1
+        | D.Task _ :: _ -> k + 1
         | _ :: rest -> idx (k + 1) rest
       in
       idx 0 prog

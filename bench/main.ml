@@ -1364,9 +1364,154 @@ let p14_server ?(rows = 2000) ?(per_client = 40) () =
   p14_assert_smoke ~domains ();
   grid
 
+(* ---- P15: dataflow wave scheduling of whole DOL programs ------------------------- *)
+
+type p15_row = {
+  p15_config : string;
+  p15_virt_ms : float;
+  p15_msgs : int;
+  p15_bytes : int;
+  p15_waves : int;
+  p15_crit_ms : float;
+  p15_serial_ms : float;
+}
+
+(* blank out "12.34 ms" timings: latency is the one thing the wave
+   schedule may change, so result strings compare modulo the clock *)
+let p15_scrub s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let is_t c = (c >= '0' && c <= '9') || c = '.' in
+  let i = ref 0 in
+  while !i < n do
+    if is_t s.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_t s.[!j] do incr j done;
+      if !j + 2 < n && s.[!j] = ' ' && s.[!j + 1] = 'm' && s.[!j + 2] = 's'
+      then (Buffer.add_string b "T ms"; i := !j + 3)
+      else (Buffer.add_string b (String.sub s !i (!j - !i)); i := !j)
+    end
+    else (Buffer.add_char b s.[!i]; incr i)
+  done;
+  Buffer.contents b
+
+(* the workload mixes the shapes the scheduler can overlap: the serial
+   open chains of wide multiple statements, and a cross-database transfer
+   whose MOVE rides with independent opens *)
+let p15_sqls ~n =
+  let dbs =
+    String.concat " " (List.init n (fun i -> Printf.sprintf "airline%d" (i + 1)))
+  in
+  [
+    Printf.sprintf
+      "USE %s SELECT flnu, rate FROM flights WHERE source = 'Houston'" dbs;
+    Printf.sprintf
+      "USE %s UPDATE flights SET rate = rate * 1.1 WHERE source = 'Houston'"
+      dbs;
+    "USE airline1 airline2 INSERT INTO airline1.flights (flnu, source, \
+     destination, rate) SELECT f.flnu, f.source, f.destination, f.rate FROM \
+     airline2.flights f WHERE f.source = 'Houston'";
+  ]
+
+let p15_run ~n ~dataflow ~config =
+  let fx = F.airline_fleet ~flights_per_db:60 ~n () in
+  M.set_dataflow fx.F.session dataflow;
+  Netsim.World.reset_clock fx.F.world;
+  Netsim.World.reset_stats fx.F.world;
+  let results =
+    List.map
+      (fun sql ->
+        match M.exec fx.F.session sql with
+        | Ok r -> p15_scrub (M.result_to_string r)
+        | Error m -> failwith ("P15: " ^ m))
+      (p15_sqls ~n)
+  in
+  let state =
+    String.concat "\n"
+      (List.init n (fun i ->
+           let db = Printf.sprintf "airline%d" (i + 1) in
+           db ^ ":" ^ Relation.to_string (F.scan fx ~db ~table:"flights")))
+  in
+  let st = Netsim.World.stats fx.F.world in
+  let m = M.metrics fx.F.session in
+  ( {
+      p15_config = config;
+      p15_virt_ms = Netsim.World.now_ms fx.F.world;
+      p15_msgs = st.Netsim.World.messages;
+      p15_bytes = st.Netsim.World.bytes_moved;
+      p15_waves = m.Msql.Metrics.dataflow_waves;
+      p15_crit_ms = m.Msql.Metrics.dataflow_crit_ms;
+      p15_serial_ms = m.Msql.Metrics.dataflow_serial_ms;
+    },
+    state,
+    results )
+
+(* the virtual network is deterministic, so replays must be identical;
+   best-of-N is a determinism check here, not noise reduction *)
+let p15_best ~reps ~n ~dataflow ~config =
+  let r0, s0, res0 = p15_run ~n ~dataflow ~config in
+  for _ = 2 to reps do
+    let r, s, res = p15_run ~n ~dataflow ~config in
+    if r.p15_virt_ms <> r0.p15_virt_ms || s <> s0 || res <> res0 then begin
+      Printf.eprintf "P15: nondeterministic replay for %s\n" config;
+      exit 1
+    end
+  done;
+  (r0, s0, res0)
+
+let p15_dataflow ?(n = 8) ?(reps = 3) () =
+  header "P15: dataflow wave scheduling (whole-program DAG, airline fleet)";
+  Printf.printf "%-10s %12s %8s %10s %7s %12s %12s\n" "schedule" "virt ms"
+    "msgs" "bytes" "waves" "crit ms" "serial ms";
+  let off, s_off, r_off = p15_best ~reps ~n ~dataflow:false ~config:"serial" in
+  let on_, s_on, r_on = p15_best ~reps ~n ~dataflow:true ~config:"dataflow" in
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %12.2f %8d %10d %7d %12.2f %12.2f\n" r.p15_config
+        r.p15_virt_ms r.p15_msgs r.p15_bytes r.p15_waves r.p15_crit_ms
+        r.p15_serial_ms)
+    [ off; on_ ];
+  Printf.printf "latency reduction: %.2fx\n" (off.p15_virt_ms /. on_.p15_virt_ms);
+  (* equality gate: the schedule may only change the clock *)
+  if s_off <> s_on || r_off <> r_on then begin
+    Printf.eprintf
+      "P15 smoke FAILED: dataflow schedule diverges from serial execution\n";
+    exit 1
+  end;
+  Printf.printf
+    "P15 assertion passed: byte-identical state and results under the wave \
+     schedule\n";
+  [ off; on_ ]
+
+let p15_assert_smoke p15 =
+  let find c = List.find (fun r -> String.equal r.p15_config c) p15 in
+  let off = find "serial" and on_ = find "dataflow" in
+  if off.p15_msgs <> on_.p15_msgs || off.p15_bytes <> on_.p15_bytes then begin
+    Printf.eprintf
+      "P15 smoke FAILED: traffic differs (serial %d msgs/%d bytes, dataflow \
+       %d msgs/%d bytes)\n"
+      off.p15_msgs off.p15_bytes on_.p15_msgs on_.p15_bytes;
+    exit 1
+  end;
+  let ratio = off.p15_virt_ms /. on_.p15_virt_ms in
+  if ratio < 1.5 then begin
+    Printf.eprintf "P15 smoke FAILED: latency reduction %.2fx < 1.5x\n" ratio;
+    exit 1
+  end;
+  if on_.p15_crit_ms > on_.p15_serial_ms +. 1e-9 then begin
+    Printf.eprintf
+      "P15 smoke FAILED: critical path %.2f ms exceeds serial sum %.2f ms\n"
+      on_.p15_crit_ms on_.p15_serial_ms;
+    exit 1
+  end;
+  Printf.printf
+    "P15 assertion passed: %.2fx virtual latency reduction, critical path \
+     %.2f <= serial %.2f ms\n"
+    ratio on_.p15_crit_ms on_.p15_serial_ms
+
 (* machine-readable record of the perf-critical experiments, consumed by
    the CI bench-smoke step *)
-let write_perf_json ~path p4 p9 p10 p11 p12 p13 p14 =
+let write_perf_json ~path p4 p9 p10 p11 p12 p13 p14 p15 =
   let oc = open_out path in
   let p4_json r =
     Printf.sprintf
@@ -1414,6 +1559,15 @@ let write_perf_json ~path p4 p9 p10 p11 p12 p13 p14 =
       r.p14_p99_ms r.p14_virt_ms r.p14_requeues r.p14_shed r.p14_pool_hits
       r.p14_plan_hits r.p14_result_hits
   in
+  let p15_json r =
+    Printf.sprintf
+      {|      {"config": "%s", "virtual_ms": %.2f, "messages": %d, "bytes": %d, "waves": %d, "critical_path_ms": %.2f, "serial_ms": %.2f, "overlap_ratio": %.2f}|}
+      r.p15_config r.p15_virt_ms r.p15_msgs r.p15_bytes r.p15_waves
+      r.p15_crit_ms r.p15_serial_ms
+      (if r.p15_crit_ms > 0.0 then r.p15_serial_ms /. r.p15_crit_ms else 1.0)
+  in
+  let p15_off = List.find (fun r -> String.equal r.p15_config "serial") p15 in
+  let p15_on = List.find (fun r -> String.equal r.p15_config "dataflow") p15 in
   Printf.fprintf oc
     "{\n\
     \  \"p4_data_shipping\": [\n\
@@ -1441,7 +1595,13 @@ let write_perf_json ~path p4 p9 p10 p11 p12 p13 p14 =
     \  ],\n\
     \  \"p14_server\": [\n\
      %s\n\
-    \  ]\n\
+    \  ],\n\
+    \  \"p15_dataflow\": {\n\
+    \    \"latency_reduction\": %.2f,\n\
+    \    \"runs\": [\n\
+     %s\n\
+    \    ]\n\
+    \  }\n\
      }\n"
     (String.concat ",\n" (List.map p4_json p4))
     (String.concat ",\n" (List.map p9_json p9))
@@ -1450,7 +1610,9 @@ let write_perf_json ~path p4 p9 p10 p11 p12 p13 p14 =
     (String.concat ",\n" (List.map p11_json p11_rows))
     (String.concat ",\n" (List.map p12_json p12))
     (String.concat ",\n" (List.map p13_json p13))
-    (String.concat ",\n" (List.map p14_json p14));
+    (String.concat ",\n" (List.map p14_json p14))
+    (p15_off.p15_virt_ms /. p15_on.p15_virt_ms)
+    (String.concat ",\n" (List.map p15_json p15));
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
@@ -1770,7 +1932,11 @@ let () =
     (* reduced P14: the serial-vs-concurrent equality gate is what the CI
        domain matrix is after; the throughput grid shrinks with it *)
     let p14 = p14_server ~rows:500 ~per_client:15 () in
-    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11 p12 p13 p14;
+    (* reduced P15: the equality and >=1.5x latency gates hold at any
+       fleet width, so the smoke fleet shrinks with the rest *)
+    let p15 = p15_dataflow ~n:6 ~reps:2 () in
+    p15_assert_smoke p15;
+    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11 p12 p13 p14 p15;
     write_metrics_json ~path:"BENCH_metrics.json";
     print_newline ()
   end
@@ -1792,7 +1958,9 @@ let () =
     let p12 = p12_parallel_join () in
     let p13 = p13_batch_kernels () in
     let p14 = p14_server () in
-    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11 p12 p13 p14;
+    let p15 = p15_dataflow () in
+    p15_assert_smoke p15;
+    write_perf_json ~path:"BENCH_perf.json" p4 p9 p10 p11 p12 p13 p14 p15;
     write_metrics_json ~path:"BENCH_metrics.json";
     run_bechamel ();
     print_newline ()

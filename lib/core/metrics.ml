@@ -75,6 +75,17 @@ type t = {
   mutable par_joins : int;
   mutable par_filters : int;
   mutable par_partitions : int;
+  (* dataflow scheduler: planning-side DAG shape (folded when the pass
+     regroups a program) and execution-side wave accounting (folded from
+     Wave trace events; virtual, so width-invariant) *)
+  mutable dataflow_nodes : int;
+  mutable dataflow_edges : int;
+  mutable dataflow_waves_planned : int;
+  mutable dataflow_critical_len : int;
+  mutable dataflow_waves : int;
+  mutable dataflow_wave_branches : int;
+  mutable dataflow_crit_ms : float;
+  mutable dataflow_serial_ms : float;
   site_retries : (string, int) Hashtbl.t;
 }
 
@@ -110,6 +121,14 @@ let create () =
     par_joins = 0;
     par_filters = 0;
     par_partitions = 0;
+    dataflow_nodes = 0;
+    dataflow_edges = 0;
+    dataflow_waves_planned = 0;
+    dataflow_critical_len = 0;
+    dataflow_waves = 0;
+    dataflow_wave_branches = 0;
+    dataflow_crit_ms = 0.0;
+    dataflow_serial_ms = 0.0;
     site_retries = Hashtbl.create 8;
   }
 
@@ -147,6 +166,17 @@ let add dst src =
   dst.par_joins <- dst.par_joins + src.par_joins;
   dst.par_filters <- dst.par_filters + src.par_filters;
   dst.par_partitions <- dst.par_partitions + src.par_partitions;
+  dst.dataflow_nodes <- dst.dataflow_nodes + src.dataflow_nodes;
+  dst.dataflow_edges <- dst.dataflow_edges + src.dataflow_edges;
+  dst.dataflow_waves_planned <-
+    dst.dataflow_waves_planned + src.dataflow_waves_planned;
+  dst.dataflow_critical_len <-
+    max dst.dataflow_critical_len src.dataflow_critical_len;
+  dst.dataflow_waves <- dst.dataflow_waves + src.dataflow_waves;
+  dst.dataflow_wave_branches <-
+    dst.dataflow_wave_branches + src.dataflow_wave_branches;
+  dst.dataflow_crit_ms <- dst.dataflow_crit_ms +. src.dataflow_crit_ms;
+  dst.dataflow_serial_ms <- dst.dataflow_serial_ms +. src.dataflow_serial_ms;
   Hashtbl.iter
     (fun site n ->
       Hashtbl.replace dst.site_retries site
@@ -184,6 +214,14 @@ let reset m =
   m.par_joins <- 0;
   m.par_filters <- 0;
   m.par_partitions <- 0;
+  m.dataflow_nodes <- 0;
+  m.dataflow_edges <- 0;
+  m.dataflow_waves_planned <- 0;
+  m.dataflow_critical_len <- 0;
+  m.dataflow_waves <- 0;
+  m.dataflow_wave_branches <- 0;
+  m.dataflow_crit_ms <- 0.0;
+  m.dataflow_serial_ms <- 0.0;
   Hashtbl.reset m.site_retries
 
 (* fold one typed trace event; events with no metric dimension are
@@ -217,6 +255,11 @@ let observe m (ev : Narada.Trace.event) =
       if String.equal op "join" then m.par_joins <- m.par_joins + 1
       else m.par_filters <- m.par_filters + 1;
       m.par_partitions <- m.par_partitions + partitions
+  | Narada.Trace.Wave { branches; crit_ms; serial_ms } ->
+      m.dataflow_waves <- m.dataflow_waves + 1;
+      m.dataflow_wave_branches <- m.dataflow_wave_branches + branches;
+      m.dataflow_crit_ms <- m.dataflow_crit_ms +. crit_ms;
+      m.dataflow_serial_ms <- m.dataflow_serial_ms +. serial_ms
   (* Chunk events are deliberately not folded: a chunked MOVE's totals
      arrive through its Moved event, so the metrics JSON stays
      byte-identical at any chunk size *)
@@ -225,6 +268,14 @@ let observe m (ev : Narada.Trace.event) =
   | Narada.Trace.Cache _ | Narada.Trace.Chunk _ | Narada.Trace.Dolstatus _
   | Narada.Trace.Note _ ->
       ()
+
+let note_dataflow m (ds : Narada.Dol_graph.stats) =
+  m.dataflow_nodes <- m.dataflow_nodes + ds.Narada.Dol_graph.nodes;
+  m.dataflow_edges <- m.dataflow_edges + ds.Narada.Dol_graph.edges;
+  m.dataflow_waves_planned <-
+    m.dataflow_waves_planned + ds.Narada.Dol_graph.waves;
+  m.dataflow_critical_len <-
+    max m.dataflow_critical_len ds.Narada.Dol_graph.critical_path_len
 
 let note_decomposition m (dp : Decompose.plan) =
   List.iter
@@ -289,8 +340,18 @@ let to_json m ~world ~cache =
      \"semijoin_reduced\": %d, \"cache_hits\": %d},\n"
     m.moves m.moved_rows m.moved_bytes m.moves_reduced m.moves_cached;
   addf
-    "    \"parallel\": {\"joins\": %d, \"filters\": %d, \"partitions\": %d}\n"
+    "    \"parallel\": {\"joins\": %d, \"filters\": %d, \"partitions\": %d},\n"
     m.par_joins m.par_filters m.par_partitions;
+  addf
+    "    \"dataflow\": {\"nodes\": %d, \"edges\": %d, \"waves_planned\": %d, \
+     \"critical_path_len\": %d, \"waves\": %d, \"wave_branches\": %d, \
+     \"critical_path_ms\": %.2f, \"serial_ms\": %.2f, \"overlap_ratio\": \
+     %.2f}\n"
+    m.dataflow_nodes m.dataflow_edges m.dataflow_waves_planned
+    m.dataflow_critical_len m.dataflow_waves m.dataflow_wave_branches
+    m.dataflow_crit_ms m.dataflow_serial_ms
+    (if m.dataflow_crit_ms > 0.0 then m.dataflow_serial_ms /. m.dataflow_crit_ms
+     else 1.0);
   addf "  },\n";
   addf "  \"caches\": {\n";
   addf

@@ -74,6 +74,20 @@ type t = {
   mutable par_partitions : int;
       (** total partitions/chunks used by the above (data-dependent, so
           identical at every pool width) *)
+  mutable dataflow_nodes : int;
+      (** DAG nodes analyzed by the dataflow scheduler's planning pass *)
+  mutable dataflow_edges : int;  (** dependency edges (transitively reduced) *)
+  mutable dataflow_waves_planned : int;
+      (** multi-statement waves the pass formed *)
+  mutable dataflow_critical_len : int;
+      (** longest dependency chain seen in any scheduled program *)
+  mutable dataflow_waves : int;  (** multi-branch waves executed *)
+  mutable dataflow_wave_branches : int;
+  mutable dataflow_crit_ms : float;
+      (** summed per-wave critical paths (max branch duration) — virtual,
+          so identical at any domain width; never exceeds
+          [dataflow_serial_ms], the summed branch durations *)
+  mutable dataflow_serial_ms : float;
   site_retries : (string, int) Hashtbl.t;  (** site name -> retry count *)
 }
 
@@ -93,6 +107,10 @@ val observe : t -> Narada.Trace.event -> unit
 val note_decomposition : t -> Decompose.plan -> unit
 (** Count a decomposition's shipped subqueries and semijoin gate
     outcomes. *)
+
+val note_dataflow : t -> Narada.Dol_graph.stats -> unit
+(** Fold one program's dataflow-scheduling stats (DAG nodes/edges, waves
+    formed, critical-path length) into the registry. *)
 
 val to_json : t -> world:Netsim.World.t -> cache:cache_stats -> string
 (** Render the registry plus live network/cache state as a JSON

@@ -57,6 +57,8 @@ type t = {
   gdd : Gdd.t;
   mutable scope : Ast.use_item list;  (* current scope (USE CURRENT) *)
   mutable optimize : bool;
+  mutable dataflow : bool;
+      (* dataflow wave scheduling of generated DOL programs (default on) *)
   mutable semijoin : bool;
   mutable trace : (string -> unit) option;
   mutable typed_trace : (Narada.Trace.event -> unit) option;
@@ -118,6 +120,12 @@ let create ?world ?directory ?ad ?gdd () =
     gdd = (match gdd with Some g -> g | None -> Gdd.create ());
     scope = [];
     optimize = false;
+    dataflow =
+      (* on by default; the CI matrix pins both legs explicitly via
+         MSQL_TEST_DATAFLOW={0,1} *)
+      (match Sys.getenv_opt "MSQL_TEST_DATAFLOW" with
+      | Some ("0" | "false" | "off") -> false
+      | Some _ | None -> true);
     semijoin = true;
     trace = None;
     typed_trace = None;
@@ -161,6 +169,8 @@ let triggers t =
 
 let trigger_log t = List.rev t.trigger_log
 let set_optimize t b = t.optimize <- b
+let set_dataflow t b = t.dataflow <- b
+let dataflow_enabled t = t.dataflow
 let set_semijoin t b = t.semijoin <- b
 let semijoin_enabled t = t.semijoin
 let set_trace t sink = t.trace <- sink
@@ -376,9 +386,19 @@ let engine_run t program =
   note_outcome t (Engine.finish (engine_start t program))
 
 let maybe_optimize t (plan : Plangen.plan) =
-  if t.optimize then
-    { plan with Plangen.program = Narada.Dol_opt.optimize plan.Plangen.program }
-  else plan
+  let program = plan.Plangen.program in
+  let program =
+    if t.optimize then Narada.Dol_opt.optimize program else program
+  in
+  let program =
+    if t.dataflow then begin
+      let program, ds = Narada.Dol_opt.dataflow_with_stats program in
+      Metrics.note_dataflow t.metrics ds;
+      program
+    end
+    else program
+  in
+  if t.optimize || t.dataflow then { plan with Plangen.program } else plan
 let log_trigger t fmt = Printf.ksprintf (fun m -> t.trigger_log <- m :: t.trigger_log) fmt
 
 (* resolve USE CURRENT: prepend the session scope, newest designations
@@ -614,8 +634,8 @@ let plan_key t (q : Ast.query) =
      across sessions, only sessions over the same GDD instance may
      exchange plans — equal version numbers from different dictionaries
      must not collide *)
-  Printf.sprintf "%d|%d|%d|%d|%b|%b|%s" (Gdd.id t.gdd) (Gdd.version t.gdd)
-    (Ad.version t.ad) t.mdb_epoch t.optimize t.semijoin
+  Printf.sprintf "%d|%d|%d|%d|%b|%b|%b|%s" (Gdd.id t.gdd) (Gdd.version t.gdd)
+    (Ad.version t.ad) t.mdb_epoch t.optimize t.dataflow t.semijoin
     (Marshal.to_string q [])
 
 let plan_of_query_cached t (q : Ast.query) =
@@ -959,6 +979,11 @@ let explain_multiple t (q : Ast.query) =
       let plan = maybe_optimize t plan in
       addf "== phase 4: DOL program ==\n%s"
         (Narada.Dol_pp.program_to_string plan.Plangen.program);
+      if t.dataflow then
+        (* the analysis is idempotent over scheduling: waves dissolve like
+           any PARBEGIN block, so this renders the DAG the pass derived *)
+        addf "\n== phase 5: dataflow schedule ==\n%s"
+          (Narada.Dol_graph.describe plan.Plangen.program);
       Buffer.contents b
     in
     match render () with
@@ -993,7 +1018,8 @@ let rec translate_toplevel t = function
                  "cross-database statements are not allowed inside a multitransaction")
       in
       match
-        Plangen.plan_mtx t.ad mtx (List.map expand_one mtx.Ast.queries)
+        maybe_optimize t
+          (Plangen.plan_mtx t.ad mtx (List.map expand_one mtx.Ast.queries))
       with
       | plan -> Ok plan.Plangen.program
       | exception Expand.Error m -> Error m

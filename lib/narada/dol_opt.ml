@@ -4,6 +4,7 @@ type stats = {
   opens_parallelized : int;
   tasks_merged : int;
   closes_merged : int;
+  waves_formed : int;
 }
 
 (* ---- analysis: task names whose status the program reads ------------------ *)
@@ -69,12 +70,28 @@ let parallelize_opens stmts =
 
 (* ---- pass: merge consecutive CLOSEs ----------------------------------------- *)
 
+(* Both lists may name the same connection (programs stitched from
+   templates do): closing an alias twice is a program error, so the merged
+   list keeps the first occurrence only (case-insensitive, like every
+   alias lookup, and order-preserving). *)
+let dedup_aliases aliases =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun a ->
+      let k = String.lowercase_ascii a in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    aliases
+
 let merge_closes stmts =
   let merged = ref 0 in
   let rec go = function
     | Close a :: Close b :: rest ->
         incr merged;
-        go (Close (a @ b) :: rest)
+        go (Close (dedup_aliases (a @ b)) :: rest)
     | s :: rest -> s :: go rest
     | [] -> []
   in
@@ -106,7 +123,16 @@ let rec map_blocks f stmts =
        | Parallel inner -> Parallel (map_blocks f inner)
        | s -> s)
 
-let optimize_with_stats program =
+(* ---- pass: dataflow wave scheduling ----------------------------------------- *)
+
+(* The pass itself lives in {!Dol_graph}: build the dependency DAG over
+   the program (read/write summaries of aliases, task statuses, MOVE
+   destination tables, order-sensitive globals) and regroup maximal runs
+   of independent statements into [PARBEGIN] waves, order-preserved. *)
+let dataflow_with_stats program = Dol_graph.schedule program
+let dataflow program = fst (Dol_graph.schedule program)
+
+let optimize_with_stats ?(dataflow = false) program =
   let protected = read_task_names program in
   let tasks_merged = ref 0 in
   let program =
@@ -120,11 +146,18 @@ let optimize_with_stats program =
   let program, opens_parallelized = parallelize_opens program in
   let program, closes_merged = merge_closes program in
   let program = tidy program in
+  let program, waves_formed =
+    if dataflow then
+      let program, (ds : Dol_graph.stats) = Dol_graph.schedule program in
+      (program, ds.Dol_graph.waves)
+    else (program, 0)
+  in
   ( program,
     {
       opens_parallelized;
       tasks_merged = !tasks_merged;
       closes_merged;
+      waves_formed;
     } )
 
-let optimize program = fst (optimize_with_stats program)
+let optimize ?dataflow program = fst (optimize_with_stats ?dataflow program)

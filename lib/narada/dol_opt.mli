@@ -14,14 +14,27 @@
       of several), provided the dropped task names are never read by a
       status condition or a COMMIT/ABORT list elsewhere in the program;
     - {b trivial unwrapping}: singleton [PARBEGIN] blocks and empty IF
-      branches are flattened. *)
+      branches are flattened;
+    - {b dataflow wave scheduling} (opt-in here via [?dataflow], applied
+      by default at the session layer): {!Dol_graph} builds the
+      dependency DAG over the program and regroups maximal runs of
+      independent statements — MOVEs with local TASKs, whole queries of
+      one MULTIPLE statement — into [PARBEGIN] waves, order-preserved, so
+      their virtual-time latencies max-merge instead of summing. *)
 
-val optimize : Dol_ast.program -> Dol_ast.program
+val optimize : ?dataflow:bool -> Dol_ast.program -> Dol_ast.program
 
 type stats = {
   opens_parallelized : int;  (** OPEN statements moved into parallel blocks *)
   tasks_merged : int;  (** tasks fused away *)
   closes_merged : int;  (** CLOSE statements merged away *)
+  waves_formed : int;  (** multi-statement dataflow waves formed *)
 }
 
-val optimize_with_stats : Dol_ast.program -> Dol_ast.program * stats
+val optimize_with_stats :
+  ?dataflow:bool -> Dol_ast.program -> Dol_ast.program * stats
+
+val dataflow : Dol_ast.program -> Dol_ast.program
+(** The dataflow wave-scheduling pass alone ({!Dol_graph.schedule}). *)
+
+val dataflow_with_stats : Dol_ast.program -> Dol_ast.program * Dol_graph.stats

@@ -598,7 +598,16 @@ let run_branches_on_domains st dp stmts ~exec =
     end
   in
   Fun.protect ~finally:(fun () -> return_bufs bufs) (fun () -> merge 0);
-  World.advance_ms st.world (Array.fold_left max t0 ends -. t0)
+  World.advance_ms st.world (Array.fold_left max t0 ends -. t0);
+  (* the same wave summary the sequential combinator path emits, from the
+     same virtual frame arithmetic: byte-identical at any pool width *)
+  tell st
+    (Trace.Wave
+       {
+         branches = n;
+         crit_ms = Array.fold_left (fun acc e -> max acc (e -. t0)) 0.0 ends;
+         serial_ms = Array.fold_left (fun acc e -> acc +. (e -. t0)) 0.0 ends;
+       })
 
 (* A fan-out of independent single-site verbs (the second phase of 2PC,
    the in-doubt resolution pass): account them concurrently so the phase
@@ -875,9 +884,18 @@ let rec exec_stmt st = function
           (* Declarations must be deterministic regardless of branch
              timing, so run branches under the world's parallel combinator,
              which serializes effects but accounts time concurrently. *)
-          ignore
-            (World.parallel st.world
-               (List.map (fun s () -> exec_stmt st s) stmts)))
+          let _, durs =
+            World.parallel_timed st.world
+              (List.map (fun s () -> exec_stmt st s) stmts)
+          in
+          if List.length durs >= 2 then
+            tell st
+              (Trace.Wave
+                 {
+                   branches = List.length durs;
+                   crit_ms = List.fold_left max 0.0 durs;
+                   serial_ms = List.fold_left ( +. ) 0.0 durs;
+                 }))
   | If (cond, then_b, else_b) ->
       let taken = eval_cond st cond in
       tell st (Trace.Branch { cond = Dol_pp.cond_to_string cond; taken });

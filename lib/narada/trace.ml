@@ -52,6 +52,11 @@ type kind =
       build_rows : int;
       probe_rows : int;
     }
+  | Wave of {
+      branches : int;
+      crit_ms : float;  (* slowest branch: the wave's critical path *)
+      serial_ms : float;  (* sum of branch durations: the serial estimate *)
+    }
   | Dolstatus of int
   | Note of string
 
@@ -108,6 +113,9 @@ let render_kind = function
   | Parallel { site; op; partitions; build_rows; probe_rows } ->
       Printf.sprintf "parallel %s at %s: %d partition(s), build=%d probe=%d" op
         site partitions build_rows probe_rows
+  | Wave { branches; crit_ms; serial_ms } ->
+      Printf.sprintf "wave: %d branch(es), %.2f ms critical / %.2f ms serial"
+        branches crit_ms serial_ms
   | Dolstatus n -> Printf.sprintf "DOLSTATUS = %d" n
   | Note m -> m
 

@@ -85,6 +85,16 @@ type kind =
           ran; the partition count is a pure function of the data and the
           executor knobs, so the event stream is byte-identical at any
           pool width. *)
+  | Wave of {
+      branches : int;
+      crit_ms : float;  (** slowest branch: the wave's critical path *)
+      serial_ms : float;
+          (** sum of branch durations: what serial execution would cost *)
+    }
+      (** A [PARBEGIN] block of two or more branches joined. Durations are
+          virtual and derived from each branch's clock frame, so the event
+          is byte-identical whether the wave ran on the sequential
+          combinator or on a domain pool of any width. *)
   | Dolstatus of int
   | Note of string
       (** Free-form diagnostics that have no structured shape (recovery

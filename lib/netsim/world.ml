@@ -361,3 +361,20 @@ let parallel t thunks =
   in
   set_now t (List.fold_left max t0 !finishes);
   results
+
+(* [parallel] plus each branch's individual virtual duration, in thunk
+   order — the dataflow scheduler's wave accounting (critical path = max,
+   serial estimate = sum) reads these without re-deriving frames. *)
+let parallel_timed t thunks =
+  let t0 = now_ms t in
+  let finishes = ref [] in
+  let results =
+    List.map
+      (fun thunk ->
+        let r, fin = in_frame t ~start_ms:t0 thunk in
+        finishes := fin :: !finishes;
+        r)
+      thunks
+  in
+  set_now t (List.fold_left max t0 !finishes);
+  (results, List.rev_map (fun fin -> fin -. t0) !finishes)

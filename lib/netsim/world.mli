@@ -163,3 +163,9 @@ val parallel : t -> (unit -> 'a) list -> 'a list
     clock is the maximum finish time. Results are returned in order. The
     thunks execute serially on the calling domain — real domain-parallel
     execution is built on {!in_frame} directly by the DOL engine. *)
+
+val parallel_timed : t -> (unit -> 'a) list -> 'a list * float list
+(** {!parallel}, additionally returning each branch's virtual duration
+    (finish minus the block's start), in thunk order — the per-wave
+    accounting (critical path = max, serial estimate = sum) the dataflow
+    scheduler records. *)

@@ -18,13 +18,15 @@ exercises IMPORT, the paper's multiple SELECT and UPDATE, and EXPLAIN:
   | 11    | sedan   |
   | 13    | compact |
   +-------+---------+
-  update success (DOLSTATUS=0, 50.04 ms)
+  update success (DOLSTATUS=0, 30.02 ms)
     continental: C [2 row(s)]
     delta: C [2 row(s)]
     united: C [2 row(s)]
   DOLBEGIN
-    OPEN continental AT site1 AS continental;
-    OPEN united AT site3 AS united;
+    PARBEGIN
+      OPEN continental AT site1 AS continental;
+      OPEN united AT site3 AS united;
+    PAREND;
     PARBEGIN
       TASK t_continental NOCOMMIT FOR continental
         { UPDATE flights SET rate = (rate * 2) }
@@ -43,17 +45,20 @@ exercises IMPORT, the paper's multiple SELECT and UPDATE, and EXPLAIN:
       ABORT t_continental, t_united;
       DOLSTATUS = 1; -- return code
     END;
-    CLOSE continental united;
+    PARBEGIN
+      CLOSE continental;
+      CLOSE united;
+    PAREND;
   DOLEND
   
 
 A multitransaction through the shell, with network statistics:
 
   $ ../../bin/msql_shell.exe --script mtx.msql --stats
-  multitransaction committed acceptable state 1 (60.04 ms)
+  multitransaction committed acceptable state 1 (50.03 ms)
     continental: C [1 row(s)]
     delta: A [1 row(s)]
-  [net: 16 messages, 574 bytes, clock 60.04 ms]
+  [net: 16 messages, 574 bytes, clock 50.03 ms]
 
 Virtual databases and an interdatabase trigger (the trigger's action frees
 national's rented vehicle once avis prices exceed 100):

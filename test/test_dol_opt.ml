@@ -82,6 +82,25 @@ DOLEND
   let _, stats = Opt.optimize_with_stats prog in
   Alcotest.(check int) "merged" 1 stats.Opt.closes_merged
 
+let test_merged_closes_deduped () =
+  (* regression: merging CLOSE aa with CLOSE AA used to keep both aliases,
+     releasing the same connection twice *)
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  CLOSE aa;
+  CLOSE AA;
+DOLEND
+|} in
+  let opt, stats = Opt.optimize_with_stats prog in
+  Alcotest.(check int) "merged" 1 stats.Opt.closes_merged;
+  match List.filter (function D.Close _ -> true | _ -> false) opt with
+  | [ D.Close [ "aa" ] ] -> ()
+  | [ D.Close aliases ] ->
+      Alcotest.failf "expected one deduped alias, got [%s]"
+        (String.concat "; " aliases)
+  | _ -> Alcotest.fail "expected a single merged close"
+
 let test_singleton_parallel_unwrapped () =
   let prog =
     [ D.Parallel
@@ -91,6 +110,79 @@ let test_singleton_parallel_unwrapped () =
   match Opt.optimize prog with
   | [ D.Task _; D.Set_status 0 ] -> ()
   | _ -> Alcotest.fail "singleton parallel should unwrap"
+
+(* ---- dataflow scheduling -------------------------------------------------------- *)
+
+let test_dataflow_waves_independent_tasks () =
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  OPEN b AS bb;
+  TASK T1 FOR aa { UPDATE t SET x = 1 } ENDTASK;
+  TASK T2 FOR bb { UPDATE t SET y = 2 } ENDTASK;
+  DOLSTATUS = 0;
+DOLEND
+|} in
+  let opt, ds = Opt.dataflow_with_stats prog in
+  Alcotest.(check bool) "formed waves" true (ds.Narada.Dol_graph.waves >= 2);
+  let wave_of pred =
+    List.exists
+      (function D.Parallel ms -> List.for_all pred ms && List.length ms = 2 | _ -> false)
+      opt
+  in
+  Alcotest.(check bool) "opens overlapped" true
+    (wave_of (function D.Open _ -> true | _ -> false));
+  Alcotest.(check bool) "tasks overlapped" true
+    (wave_of (function D.Task _ -> true | _ -> false))
+
+let test_dataflow_respects_status_reads () =
+  (* T2's wave must not absorb the IF that reads T1's status, and the IF must
+     come after T1 completes: order is preserved, so this is structural *)
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  TASK T1 FOR aa { UPDATE t SET x = 1 } ENDTASK;
+  IF (T1=C) THEN BEGIN DOLSTATUS = 0; END;
+DOLEND
+|} in
+  let opt, ds = Opt.dataflow_with_stats prog in
+  Alcotest.(check int) "no waves possible" 0 ds.Narada.Dol_graph.waves;
+  Alcotest.(check bool) "program untouched" true (opt = prog)
+
+let test_dataflow_same_alias_serialized () =
+  (* two tasks on the same connection conflict: no wave may contain both *)
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  TASK T1 FOR aa { UPDATE t SET x = 1 } ENDTASK;
+  TASK T2 FOR aa { UPDATE t SET y = 2 } ENDTASK;
+  DOLSTATUS = 0;
+DOLEND
+|} in
+  let opt, _ = Opt.dataflow_with_stats prog in
+  List.iter
+    (function
+      | D.Parallel ms ->
+          let tasks =
+            List.length (List.filter (function D.Task _ -> true | _ -> false) ms)
+          in
+          Alcotest.(check bool) "tasks on one alias stay serial" true (tasks <= 1)
+      | _ -> ())
+    opt
+
+let test_dataflow_idempotent () =
+  let prog = parse {|
+DOLBEGIN
+  OPEN a AS aa;
+  OPEN b AS bb;
+  TASK T1 FOR aa { UPDATE t SET x = 1 } ENDTASK;
+  TASK T2 FOR bb { UPDATE t SET y = 2 } ENDTASK;
+  DOLSTATUS = 0;
+DOLEND
+|} in
+  let once, _ = Opt.dataflow_with_stats prog in
+  let twice, _ = Opt.dataflow_with_stats once in
+  Alcotest.(check bool) "schedule is a fixpoint" true (once = twice)
 
 (* ---- semantic equivalence ------------------------------------------------------ *)
 
@@ -170,6 +262,9 @@ let test_optimized_is_faster () =
       SELECT %nu FROM flight%|}
   in
   let fx1 = F.make () in
+  (* compare against the paper-shaped serial program: the dataflow
+     scheduler (on by default) would already overlap the opens *)
+  M.set_dataflow fx1.F.session false;
   let prog =
     match M.translate fx1.F.session sql with Ok p -> p | Error m -> Alcotest.fail m
   in
@@ -202,7 +297,15 @@ let () =
           Alcotest.test_case "protect read statuses" `Quick test_tasks_not_merged_when_status_read;
           Alcotest.test_case "protect nocommit" `Quick test_nocommit_tasks_never_merged;
           Alcotest.test_case "merge closes" `Quick test_closes_merged;
+          Alcotest.test_case "dedup merged closes" `Quick test_merged_closes_deduped;
           Alcotest.test_case "unwrap singleton" `Quick test_singleton_parallel_unwrapped;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "waves independent work" `Quick test_dataflow_waves_independent_tasks;
+          Alcotest.test_case "respects status reads" `Quick test_dataflow_respects_status_reads;
+          Alcotest.test_case "same alias serialized" `Quick test_dataflow_same_alias_serialized;
+          Alcotest.test_case "idempotent" `Quick test_dataflow_idempotent;
         ] );
       ( "equivalence",
         [

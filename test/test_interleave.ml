@@ -197,15 +197,18 @@ let second_session fx services =
     services;
   s
 
-(* number of steps that carry a participant through its parallel task
-   block (inclusive): DOL statements up to and including the Parallel *)
+(* number of steps that carry a participant through its task block
+   (inclusive): DOL statements up to and including the Parallel — or the
+   bare Task, since the dataflow scheduler unwraps singleton waves *)
 let steps_to_block t sql =
   match M.translate t sql with
   | Error m -> Alcotest.fail ("translate: " ^ m)
   | Ok prog ->
+      let has_task ms = List.exists (function D.Task _ -> true | _ -> false) ms in
       let rec idx k = function
         | [] -> Alcotest.fail "plan has no parallel task block"
-        | D.Parallel _ :: _ -> k + 1
+        | D.Parallel ms :: _ when has_task ms -> k + 1
+        | D.Task _ :: _ -> k + 1
         | _ :: rest -> idx (k + 1) rest
       in
       idx 0 prog
